@@ -1,0 +1,138 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These do not correspond to a numbered table or figure; they quantify the two
+algorithmic decisions the paper motivates in prose:
+
+* **Single projected-gradient step per block** (Section IV-B): solving each
+  block subproblem only approximately converges faster in wall-clock time
+  than solving it (nearly) exactly before alternating.
+* **Regularisation is crucial** (Section II, discussing BIGCLAM): an
+  unregularised fit generalises worse than a properly regularised one.
+* **R-OCuLaR weighting** (Section V): the relative-preference weighting is a
+  comparable-quality alternative, not a strict improvement — matching the
+  mixed outcome of the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.core.ocular import OCuLaR
+from repro.core.r_ocular import ROCuLaR
+from repro.data.datasets import make_movielens_like
+from repro.data.splitting import train_test_split
+from repro.evaluation.evaluator import evaluate_recommender
+from repro.utils.tables import format_table
+
+
+def _make_split(random_state: int = 0):
+    matrix, _ = make_movielens_like(n_users=250, n_items=160, random_state=random_state)
+    return train_test_split(matrix, test_fraction=0.25, random_state=random_state)
+
+
+def test_ablation_single_vs_exact_block_updates(benchmark, report_writer):
+    """Single-step block updates reach a given objective in less wall-clock time."""
+
+    def run():
+        split = _make_split()
+        rows = []
+        for inner_sweeps in (1, 5):
+            start = time.perf_counter()
+            model = OCuLaR(
+                n_coclusters=20,
+                regularization=10.0,
+                max_iterations=100,
+                tolerance=1e-4,
+                inner_sweeps=inner_sweeps,
+                random_state=0,
+            ).fit(split.train)
+            elapsed = time.perf_counter() - start
+            evaluation = evaluate_recommender(model, split, m=20)
+            rows.append(
+                {
+                    "inner_sweeps": inner_sweeps,
+                    "seconds": elapsed,
+                    "objective": model.history_.final_objective,
+                    "outer_iterations": model.history_.n_iterations,
+                    "recall": evaluation.recall,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = format_table(
+        ["inner sweeps/block", "wall-clock (s)", "final objective", "outer iters", "recall@20"],
+        [
+            [row["inner_sweeps"], row["seconds"], row["objective"], row["outer_iterations"], row["recall"]]
+            for row in rows
+        ],
+    )
+    report_writer(
+        "ablation_inner_sweeps",
+        "Ablation — single projected-gradient step per block vs (nearly) exact block solves\n"
+        + table
+        + "\npaper: 'solving the subproblems exactly may slow down convergence' (Section IV-B)",
+    )
+
+    single, exact = rows
+    # Comparable quality...
+    assert abs(single["recall"] - exact["recall"]) < 0.08
+    assert single["objective"] <= exact["objective"] * 1.05
+    # ...at a fraction of the per-outer-iteration cost (5 inner sweeps cost
+    # roughly 5x per iteration, so the single-step variant must be cheaper
+    # per unit of objective progress).
+    assert single["seconds"] < exact["seconds"]
+
+
+def test_ablation_regularization_matters(benchmark, report_writer):
+    """lambda = 0 underperforms a tuned lambda (the paper's BIGCLAM critique)."""
+
+    def run():
+        split = _make_split(random_state=1)
+        results = {}
+        for lam in (0.0, 10.0):
+            model = OCuLaR(
+                n_coclusters=20,
+                regularization=lam,
+                max_iterations=100,
+                random_state=0,
+            ).fit(split.train)
+            results[lam] = evaluate_recommender(model, split, m=20).recall
+        return results
+
+    results = run_once(benchmark, run)
+    report_writer(
+        "ablation_regularization",
+        "Ablation — regularisation\n"
+        + format_table(
+            ["lambda", "recall@20"], [[lam, recall] for lam, recall in results.items()]
+        )
+        + "\npaper: regularisation 'turns out to be crucial for recommendation performance'",
+    )
+    assert results[10.0] >= results[0.0]
+
+
+def test_ablation_relative_weighting(benchmark, report_writer):
+    """R-OCuLaR is competitive with OCuLaR (neither dominates, as in Table I)."""
+
+    def run():
+        split = _make_split(random_state=2)
+        shared = dict(n_coclusters=20, regularization=10.0, max_iterations=100, random_state=0)
+        ocular = evaluate_recommender(OCuLaR(**shared).fit(split.train), split, m=20)
+        r_ocular = evaluate_recommender(ROCuLaR(**shared).fit(split.train), split, m=20)
+        return {"OCuLaR": ocular, "R-OCuLaR": r_ocular}
+
+    results = run_once(benchmark, run)
+    report_writer(
+        "ablation_relative_weighting",
+        "Ablation — absolute (OCuLaR) vs relative (R-OCuLaR) likelihood weighting\n"
+        + format_table(
+            ["variant", "recall@20", "MAP@20"],
+            [[name, result.recall, result.map] for name, result in results.items()],
+        )
+        + "\npaper Table I: the two variants trade places across datasets",
+    )
+    ratio = results["R-OCuLaR"].recall / max(results["OCuLaR"].recall, 1e-9)
+    assert 0.6 < ratio < 1.4

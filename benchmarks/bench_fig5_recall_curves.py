@@ -1,0 +1,48 @@
+"""Figure 5: recall@M and MAP@M versus M on the MovieLens-like corpus.
+
+Paper claim reproduced here: "OCuLaR and R-OCuLaR are consistently better or
+at least as good as the other recommendation techniques" across the whole
+range of list lengths M.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.accuracy import run_recall_curves
+from repro.experiments.paper_reference import FIGURE5_PAPER_SHAPE
+
+M_VALUES = (5, 10, 20, 50, 100)
+
+
+def test_fig5_recall_curves(benchmark, report_writer):
+    result = run_once(
+        benchmark,
+        run_recall_curves,
+        dataset="movielens",
+        m_values=M_VALUES,
+        scale=0.5,
+        max_users=120,
+        random_state=0,
+    )
+
+    lines = [
+        result.to_text(),
+        "",
+        "paper shape: " + "; ".join(f"{k}: {v}" for k, v in FIGURE5_PAPER_SHAPE.items()),
+    ]
+    report_writer("fig5_recall_curves", "\n".join(lines))
+
+    # Shape assertions: the best OCuLaR variant matches or beats every
+    # baseline at the paper's headline cut-off (M = 50), and recall curves
+    # are monotone in M for every method.
+    index_50 = result.m_values.index(50)
+    ocular_recall = max(
+        result.curves["OCuLaR"]["recall"][index_50],
+        result.curves["R-OCuLaR"]["recall"][index_50],
+    )
+    for name in ("wALS", "BPR", "user-based", "item-based"):
+        assert ocular_recall >= result.curves[name]["recall"][index_50] - 0.02
+    for name, curves in result.curves.items():
+        recalls = curves["recall"]
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(recalls, recalls[1:]))

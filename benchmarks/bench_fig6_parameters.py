@@ -1,0 +1,65 @@
+"""Figure 6: recall and co-cluster metrics versus K and lambda.
+
+Paper claims reproduced here:
+
+* "either too little (lambda = 0) or too much regularisation (lambda = 100)
+  can hurt the recommendation accuracy" — the best recall is achieved at an
+  intermediate lambda;
+* larger K yields smaller (and typically denser) co-clusters, which is the
+  criterion the paper suggests for picking K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.parameters import run_parameter_study
+from repro.experiments.paper_reference import PAPER_CLAIMS
+
+K_VALUES = (5, 10, 20, 40)
+LAMBDA_VALUES = (0.0, 5.0, 30.0, 100.0)
+
+
+def test_fig6_parameter_study(benchmark, report_writer):
+    result = run_once(
+        benchmark,
+        run_parameter_study,
+        dataset="movielens",
+        k_values=K_VALUES,
+        lambda_values=LAMBDA_VALUES,
+        m=50,
+        scale=0.4,
+        max_users=100,
+        max_iterations=80,
+        random_state=0,
+    )
+
+    best = result.best_point()
+    best_recall_per_lambda = {
+        lam: max(point.recall for point in result.series_for_lambda(lam))
+        for lam in result.lambdas()
+    }
+    lines = [
+        result.to_text(),
+        "",
+        f"paper: {PAPER_CLAIMS['fig6_regularization']}",
+        f"measured best: K={best.n_coclusters}, lambda={best.regularization}, "
+        f"recall@{result.m}={best.recall:.4f}",
+        "best recall per lambda: "
+        + ", ".join(f"lambda={lam:g}: {val:.4f}" for lam, val in best_recall_per_lambda.items()),
+    ]
+    report_writer("fig6_parameters", "\n".join(lines))
+
+    # Shape assertion 1: some intermediate lambda beats both extremes.
+    intermediate = max(best_recall_per_lambda[5.0], best_recall_per_lambda[30.0])
+    assert intermediate >= best_recall_per_lambda[0.0]
+    assert intermediate >= best_recall_per_lambda[100.0]
+
+    # Shape assertion 2: at a fixed intermediate lambda, larger K gives
+    # smaller co-clusters on average.
+    series = result.series_for_lambda(5.0)
+    sizes = [point.mean_users_per_cocluster for point in series]
+    assert sizes[0] >= sizes[-1] * 0.8
+    # Co-cluster statistics must be well-defined for the swept configurations.
+    assert all(np.isfinite(point.mean_items_per_cocluster) for point in series)

@@ -1,0 +1,54 @@
+"""Figure 7: linear scalability in the number of positive examples and in K.
+
+Paper claim reproduced here: "the training time is indeed linear in the
+number of positive examples and linear in the number of co-clusters K".  The
+benchmark sweeps fractions of the Netflix-like corpus for several K, fits a
+straight line to seconds-per-iteration versus the number of positives, and
+asserts the fit explains the data (R^2 high) — i.e. no super-linear blow-up.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.paper_reference import PAPER_CLAIMS
+from repro.experiments.scalability import run_scalability_study
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+K_VALUES = (10, 50, 100)
+
+
+def test_fig7_linear_scalability(benchmark, report_writer):
+    result = run_once(
+        benchmark,
+        run_scalability_study,
+        fractions=FRACTIONS,
+        k_values=K_VALUES,
+        n_iterations=3,
+        n_users=1500,
+        n_items=500,
+        random_state=0,
+    )
+
+    lines = [
+        result.to_text(),
+        "",
+        f"paper: {PAPER_CLAIMS['fig7_scaling']}",
+    ]
+    report_writer("fig7_scalability", "\n".join(lines))
+
+    # Linear in nnz: the straight-line fit explains the timing for every K.
+    for k in K_VALUES:
+        assert result.linearity_r2(k) > 0.7, f"scaling in nnz not linear for K={k}"
+
+    # Monotone in nnz: the full corpus costs more per iteration than 20% of it.
+    for k in K_VALUES:
+        series = result.series_for_k(k)
+        assert series[-1].seconds_per_iteration > series[0].seconds_per_iteration
+
+    # Roughly linear (certainly monotone) in K at the full corpus size.
+    full = {
+        k: result.series_for_k(k)[-1].seconds_per_iteration for k in K_VALUES
+    }
+    assert full[50] > full[10]
+    assert full[100] > full[50]

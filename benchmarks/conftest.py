@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment once (timed through ``benchmark.pedantic`` with a
+single round, because the experiments themselves take seconds to minutes),
+prints the measured values next to the paper's reported values, and appends
+the same report to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+assembled from the files.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _silence_warnings():
+    """Benchmarks use tight iteration budgets; convergence warnings are expected."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Callable that persists a benchmark's textual report.
+
+    Usage: ``report_writer("table1_movielens", text)`` writes
+    ``benchmarks/results/table1_movielens.txt`` and echoes the text to stdout
+    (visible with ``pytest -s``).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{text}\n")
+        return path
+
+    return write
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are far too heavy for statistical repetition; a single
+    timed round still records wall-clock cost in the benchmark report.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""B2B deployment walk-through (the paper's Section VIII and Figure 10).
+
+Generates a synthetic business-to-business purchase corpus (named client
+companies with industries, enterprise products with historical deal values),
+fits OCuLaR, and prints seller-facing recommendation cards: product,
+confidence, co-cluster rationale naming the similar clients, and a price
+estimate from the co-cluster members' historical purchases.
+
+Run with::
+
+    python examples/b2b_deployment.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import OCuLaR
+from repro.core.coclusters import cocluster_statistics, extract_coclusters
+from repro.core.recommend import recommend_with_explanations
+from repro.core.render import render_coclusters
+from repro.data.datasets import make_b2b
+from repro.evaluation.metrics import catalog_coverage
+
+
+def main() -> None:
+    warnings.filterwarnings("ignore")
+
+    # ------------------------------------------------------------------ #
+    # 1. The corpus: companies x enterprise products with deal values.
+    # ------------------------------------------------------------------ #
+    dataset = make_b2b(n_clients=400, n_products=60, random_state=0)
+    matrix = dataset.matrix
+    print(
+        f"B2B corpus: {matrix.n_users} client companies x {matrix.n_items} products, "
+        f"{matrix.nnz} historical purchases."
+    )
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 2. Fit OCuLaR and summarise the discovered buying patterns.
+    # ------------------------------------------------------------------ #
+    model = OCuLaR(
+        n_coclusters=12, regularization=2.0, max_iterations=100, random_state=0
+    ).fit(matrix)
+    coclusters = extract_coclusters(model.factors_, matrix, drop_empty=True)
+    stats = cocluster_statistics(coclusters, n_users=matrix.n_users, n_items=matrix.n_items)
+    print(
+        f"Discovered {stats.n_coclusters} co-clusters; on average "
+        f"{stats.mean_users:.0f} clients x {stats.mean_items:.1f} products each, "
+        f"density {stats.mean_density:.2f}."
+    )
+    print()
+    print("Example buying patterns (top members):")
+    print(render_coclusters(coclusters[:4], matrix, max_members=4))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 3. Seller-facing recommendation cards for the largest accounts.
+    # ------------------------------------------------------------------ #
+    top_accounts = np.argsort(-matrix.user_degrees())[:3]
+    for client in top_accounts:
+        report = recommend_with_explanations(
+            model, int(client), n_items=2, deal_values=dataset.deal_values
+        )
+        print(report.to_text())
+        print()
+
+    # ------------------------------------------------------------------ #
+    # 4. A catalogue-coverage diagnostic: co-cluster recommendations reach
+    #    beyond the global best-sellers.
+    # ------------------------------------------------------------------ #
+    sample_clients = list(range(0, matrix.n_users, 4))
+    ocular_lists = [model.recommend(user, n_items=3) for user in sample_clients]
+    coverage = catalog_coverage(ocular_lists, n_items=matrix.n_items)
+    print(
+        f"Catalogue coverage of the top-3 lists over {len(sample_clients)} accounts: "
+        f"{coverage:.0%} of all products are recommended to someone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Why generic community detection is not enough (the paper's Figure 2).
+
+Runs greedy modularity maximisation (non-overlapping) and BIGCLAM
+(overlapping) on the bipartite purchase graph of the toy example and counts
+how many of the three planted candidate recommendations each method can
+identify from its communities, compared with OCuLaR's ranked
+recommendations.
+
+Run with::
+
+    python examples/community_comparison.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.community.bigclam import BigClam
+from repro.community.modularity import GreedyModularityCommunities
+from repro.core.render import render_matrix
+from repro.data.synthetic import make_paper_toy_example
+from repro.experiments.toy import run_community_comparison, run_toy_example
+from repro.utils.tables import format_table
+
+
+def describe_communities(name: str, user_sets, item_sets) -> None:
+    """Print each community's user/item members."""
+    print(f"{name}:")
+    for index, (users, items) in enumerate(zip(user_sets, item_sets)):
+        if len(users) == 0 and len(items) == 0:
+            continue
+        print(f"  community {index}: users {list(users)}  items {list(items)}")
+    print()
+
+
+def main() -> None:
+    warnings.filterwarnings("ignore")
+
+    toy = make_paper_toy_example()
+    print("Toy purchase matrix (three overlapping co-clusters, three holes):")
+    print(render_matrix(toy.matrix))
+    print(f"Candidate recommendations (the white squares): {toy.heldout_pairs}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 1. Non-overlapping: greedy modularity maximisation.
+    # ------------------------------------------------------------------ #
+    modularity = GreedyModularityCommunities().fit(toy.matrix)
+    describe_communities(
+        f"Greedy modularity ({modularity.n_communities} communities, "
+        f"Q = {modularity.modularity_:.2f})",
+        modularity.user_communities(),
+        modularity.item_communities(),
+    )
+
+    # ------------------------------------------------------------------ #
+    # 2. Overlapping: BIGCLAM on the same bipartite graph.
+    # ------------------------------------------------------------------ #
+    bigclam = BigClam(n_communities=3, max_iterations=150, random_state=0).fit(toy.matrix)
+    describe_communities(
+        "BIGCLAM (3 affiliation communities)",
+        bigclam.user_communities(),
+        bigclam.item_communities(),
+    )
+
+    # ------------------------------------------------------------------ #
+    # 3. OCuLaR for comparison, plus the head-to-head count of recovered
+    #    candidate recommendations (the paper's Figure 2 message).
+    # ------------------------------------------------------------------ #
+    ocular = run_toy_example(random_state=0)
+    print(
+        f"OCuLaR recovers {ocular.holes_recovered_at_1} of "
+        f"{len(toy.heldout_pairs)} candidates as top-1 recommendations "
+        f"(headline confidence {ocular.headline_confidence:.2f})."
+    )
+    print()
+
+    comparison = run_community_comparison(random_state=0)
+    rows = [
+        [method, covered, comparison.n_candidates]
+        for method, covered in comparison.coverage.items()
+    ]
+    print("Candidate recommendations identified (cf. Figure 2 — the paper reports that")
+    print("Modularity and BIGCLAM identify only 1 of the 3):")
+    print(format_table(["method", "identified", "out of"], rows))
+
+
+if __name__ == "__main__":
+    main()

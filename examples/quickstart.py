@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: OCuLaR on the paper's toy example (Figures 1 and 3).
+
+Fits the overlapping co-cluster model on the 12x12 toy matrix from the
+paper's introduction, prints the fitted probability grid, the co-clusters,
+and the flagship interpretable recommendation ("Item 4 is recommended to
+User 6 with confidence ~0.83 because ...").
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro import OCuLaR
+from repro.core.render import render_coclusters, render_matrix, render_probability_matrix
+from repro.data.synthetic import make_paper_toy_example
+
+
+def main() -> None:
+    warnings.filterwarnings("ignore")
+
+    # ------------------------------------------------------------------ #
+    # 1. The data: a binary user-item matrix with three overlapping
+    #    co-clusters and three held-out "white squares".
+    # ------------------------------------------------------------------ #
+    toy = make_paper_toy_example()
+    print("Input interaction matrix (# = purchase, . = unknown):")
+    print(render_matrix(toy.matrix))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 2. Fit OCuLaR.  K = 3 co-clusters, light L2 regularisation.  The toy
+    #    problem is tiny, so a handful of random restarts guards against
+    #    poor local optima of the non-convex likelihood.
+    # ------------------------------------------------------------------ #
+    best_model = None
+    for restart in range(5):
+        model = OCuLaR(
+            n_coclusters=3,
+            regularization=0.05,
+            max_iterations=500,
+            random_state=restart,
+        ).fit(toy.matrix)
+        if best_model is None or model.history_.final_objective < best_model.history_.final_objective:
+            best_model = model
+    model = best_model
+    print(
+        f"Fitted in {model.history_.n_iterations} iterations "
+        f"(objective {model.history_.final_objective:.2f})."
+    )
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 3. The fitted probabilities (the paper's Figure 3): observed
+    #    positives are bracketed, candidate recommendations are not.
+    # ------------------------------------------------------------------ #
+    print("Fitted probabilities P[r_ui = 1] (observed positives in brackets):")
+    print(render_probability_matrix(model.factors_, toy.matrix, max_users=12, max_items=12))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 4. The discovered overlapping co-clusters.
+    # ------------------------------------------------------------------ #
+    print("Discovered co-clusters:")
+    print(render_coclusters(model.coclusters(membership_threshold=0.5), toy.matrix))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 5. The flagship interpretable recommendation.
+    # ------------------------------------------------------------------ #
+    top_item = int(model.recommend(6, n_items=1)[0])
+    explanation = model.explain(6, top_item)
+    print("Top recommendation for user 6, with its rationale:")
+    print(explanation.to_text())
+    print()
+    print(
+        "Paper reference: 'Item 4 is recommended to Client 6 with confidence 0.83' — "
+        f"this run recommends item {top_item} with confidence {explanation.confidence:.2f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

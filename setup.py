@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks the
+``wheel`` package required by PEP 660 editable installs: without a
+``[build-system]`` table pip falls back to the legacy ``setup.py develop``
+code path, which has no such dependency.
+"""
+
+from setuptools import setup
+
+setup()

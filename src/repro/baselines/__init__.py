@@ -1,0 +1,15 @@
+"""Baseline one-class recommenders the paper compares against (Table I)."""
+
+from repro.baselines.popularity import PopularityRecommender
+from repro.baselines.user_knn import UserKNNRecommender
+from repro.baselines.item_knn import ItemKNNRecommender
+from repro.baselines.wals import WeightedALSRecommender
+from repro.baselines.bpr import BPRRecommender
+
+__all__ = [
+    "PopularityRecommender",
+    "UserKNNRecommender",
+    "ItemKNNRecommender",
+    "WeightedALSRecommender",
+    "BPRRecommender",
+]

@@ -1,0 +1,7 @@
+"""Community detection on the user-item bipartite graph (Figure 2 comparators)."""
+
+from repro.community.bipartite import BipartiteGraph
+from repro.community.modularity import GreedyModularityCommunities
+from repro.community.bigclam import BigClam
+
+__all__ = ["BipartiteGraph", "GreedyModularityCommunities", "BigClam"]

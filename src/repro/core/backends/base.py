@@ -1,0 +1,112 @@
+"""Backend interface for the projected-gradient block sweeps."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class SweepStats:
+    """Diagnostics of one block sweep.
+
+    Attributes
+    ----------
+    n_rows:
+        Number of row factors the sweep attempted to update.
+    n_accepted:
+        Number of rows whose Armijo line search accepted a step.
+    n_backtracks:
+        Total number of step-size halvings performed across all rows.
+    """
+
+    n_rows: int
+    n_accepted: int
+    n_backtracks: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of rows that accepted a projected-gradient step."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.n_accepted / float(self.n_rows)
+
+
+class Backend(abc.ABC):
+    """A strategy for performing one projected-gradient sweep over one side.
+
+    A *sweep* updates every row factor of one side (all items, or all users)
+    by a single projected-gradient step with Armijo backtracking, holding the
+    other side fixed — one half of the paper's alternating scheme.
+
+    The sweep is expressed generically over "rows" and "columns": to update
+    item factors, pass the item-major (transposed) interaction matrix with
+    ``row_factors = item_factors`` and ``col_factors = user_factors``; to
+    update user factors pass the user-major matrix with the roles swapped.
+    """
+
+    #: Human-readable backend name, e.g. ``"reference"``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sweep(
+        self,
+        matrix: sp.csr_matrix,
+        row_factors: np.ndarray,
+        col_factors: np.ndarray,
+        regularization: float,
+        row_positive_weights: Optional[np.ndarray] = None,
+        col_positive_weights: Optional[np.ndarray] = None,
+        sigma: float = 0.1,
+        beta: float = 0.5,
+        max_backtracks: int = 20,
+    ) -> tuple[np.ndarray, SweepStats]:
+        """Perform one projected-gradient sweep over all rows.
+
+        Parameters
+        ----------
+        matrix:
+            CSR matrix of shape ``(n_rows, n_cols)`` whose non-zeros are the
+            positive examples, with rows indexing the side being updated.
+        row_factors:
+            Current factors of the rows being updated, shape ``(n_rows, K)``.
+            Not modified in place.
+        col_factors:
+            Fixed factors of the other side, shape ``(n_cols, K)``.
+        regularization:
+            The L2 penalty ``lambda``.
+        row_positive_weights, col_positive_weights:
+            Optional per-row / per-column weights; the weight of a positive
+            entry ``(r, c)`` is their product (1 when both are ``None``).
+            R-OCuLaR passes the per-user weights through whichever side the
+            users occupy.
+        sigma, beta:
+            Armijo line-search constants, both in (0, 1).
+        max_backtracks:
+            Maximum number of step-size reductions per row; a row whose
+            search exhausts the budget keeps its previous factor.
+
+        Returns
+        -------
+        (new_row_factors, stats)
+        """
+
+    @staticmethod
+    def entry_weights(
+        matrix_coo: sp.coo_matrix,
+        row_positive_weights: Optional[np.ndarray],
+        col_positive_weights: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Per-positive-entry weights, or ``None`` when every weight is 1."""
+        if row_positive_weights is None and col_positive_weights is None:
+            return None
+        weights = np.ones(matrix_coo.nnz)
+        if row_positive_weights is not None:
+            weights = weights * row_positive_weights[matrix_coo.row]
+        if col_positive_weights is not None:
+            weights = weights * col_positive_weights[matrix_coo.col]
+        return weights

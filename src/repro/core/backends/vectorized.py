@@ -1,0 +1,182 @@
+"""Vectorized (batched) backend — the GPU-kernel stand-in.
+
+The paper's CUDA kernel (Section VI-A) parallelises the gradient computation
+over the positive ratings: each positive ``(u, i)`` contributes
+``f_u * alpha(<f_u, f_i>)`` to item ``i``'s gradient, accumulated with atomic
+adds.  The same structure maps onto one sparse-matrix product here:
+
+* compute the affinity of every positive entry in one ``einsum`` over the
+  COO representation (the "thread block per rating" of the paper),
+* scatter ``weight * alpha(affinity)`` back into a sparse matrix and multiply
+  it by the fixed factors to accumulate all row gradients at once (the
+  atomic-add reduction),
+* run the Armijo backtracking for all rows simultaneously, masking out rows
+  whose step has already been accepted.
+
+The result is mathematically identical to the reference backend but runs one
+to two orders of magnitude faster in NumPy, which is what the Figure 8
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.backends.base import Backend, SweepStats
+from repro.core.objective import gradient_ratio, safe_log1mexp
+
+
+class VectorizedBackend(Backend):
+    """Batched projected gradient descent over all rows of one side."""
+
+    name = "vectorized"
+
+    def sweep(
+        self,
+        matrix: sp.csr_matrix,
+        row_factors: np.ndarray,
+        col_factors: np.ndarray,
+        regularization: float,
+        row_positive_weights: Optional[np.ndarray] = None,
+        col_positive_weights: Optional[np.ndarray] = None,
+        sigma: float = 0.1,
+        beta: float = 0.5,
+        max_backtracks: int = 20,
+    ) -> Tuple[np.ndarray, SweepStats]:
+        matrix = sp.csr_matrix(matrix)
+        coo = matrix.tocoo()
+        n_rows = matrix.shape[0]
+
+        entry_weights = self.entry_weights(coo, row_positive_weights, col_positive_weights)
+
+        # --- gradient of every row at the current point ------------------- #
+        affinities = np.einsum("ij,ij->i", row_factors[coo.row], col_factors[coo.col])
+        ratios = gradient_ratio(affinities)
+        if entry_weights is not None:
+            ratios = ratios * entry_weights
+        # tocoo() of a canonical CSR matrix preserves CSR (row-major) order, so
+        # the per-entry ratios can be scattered by reusing the CSR structure
+        # directly instead of rebuilding (and re-sorting) a sparse matrix.
+        scatter = sp.csr_matrix(
+            (ratios, matrix.indices, matrix.indptr), shape=matrix.shape
+        )
+        gradient_positive = scatter @ col_factors
+
+        positive_sums = matrix @ col_factors
+        unknown_sums = col_factors.sum(axis=0)[np.newaxis, :] - positive_sums
+
+        gradients = -gradient_positive + unknown_sums + 2.0 * regularization * row_factors
+
+        # --- current per-row objective values ------------------------------ #
+        current_values = self._row_objectives(
+            coo, row_factors, col_factors, entry_weights, unknown_sums, regularization, n_rows
+        )
+
+        # --- batched Armijo backtracking ----------------------------------- #
+        new_factors = row_factors.copy()
+        step_sizes = np.ones(n_rows)
+        active = np.ones(n_rows, dtype=bool)
+        n_backtracks = 0
+
+        for _ in range(max_backtracks + 1):
+            if not active.any():
+                break
+            active_rows = np.flatnonzero(active)
+            candidates = np.maximum(
+                0.0,
+                row_factors[active_rows] - step_sizes[active_rows, np.newaxis] * gradients[active_rows],
+            )
+            candidate_values = self._row_objectives_subset(
+                matrix,
+                candidates,
+                active_rows,
+                col_factors,
+                entry_weights,
+                unknown_sums,
+                regularization,
+            )
+            differences = candidates - row_factors[active_rows]
+            armijo_rhs = sigma * np.einsum("ij,ij->i", gradients[active_rows], differences)
+            accepted = (candidate_values - current_values[active_rows]) <= armijo_rhs
+
+            accepted_rows = active_rows[accepted]
+            new_factors[accepted_rows] = candidates[accepted]
+            active[accepted_rows] = False
+            n_backtracks += int(np.count_nonzero(~accepted))
+            step_sizes[active] *= beta
+
+        n_accepted = int(n_rows - np.count_nonzero(active))
+        stats = SweepStats(n_rows=n_rows, n_accepted=n_accepted, n_backtracks=n_backtracks)
+        return new_factors, stats
+
+    # ------------------------------------------------------------------ #
+    # Row objective helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _row_objectives(
+        coo: sp.coo_matrix,
+        row_factors: np.ndarray,
+        col_factors: np.ndarray,
+        entry_weights: Optional[np.ndarray],
+        unknown_sums: np.ndarray,
+        regularization: float,
+        n_rows: int,
+    ) -> np.ndarray:
+        """Objective value of every row at the given factors."""
+        affinities = np.einsum("ij,ij->i", row_factors[coo.row], col_factors[coo.col])
+        log_terms = safe_log1mexp(affinities)
+        if entry_weights is not None:
+            log_terms = log_terms * entry_weights
+        positive_part = -np.bincount(coo.row, weights=log_terms, minlength=n_rows)
+        unknown_part = np.einsum("ij,ij->i", row_factors, unknown_sums)
+        penalty = regularization * np.einsum("ij,ij->i", row_factors, row_factors)
+        return positive_part + unknown_part + penalty
+
+    @staticmethod
+    def _row_objectives_subset(
+        matrix: sp.csr_matrix,
+        candidate_factors: np.ndarray,
+        active_rows: np.ndarray,
+        col_factors: np.ndarray,
+        entry_weights: Optional[np.ndarray],
+        unknown_sums: np.ndarray,
+        regularization: float,
+    ) -> np.ndarray:
+        """Objective values of ``active_rows`` evaluated at ``candidate_factors``.
+
+        ``candidate_factors[k]`` is the candidate for row ``active_rows[k]``.
+        The positive entries of the active rows are gathered directly from the
+        CSR structure (``indptr``/``indices``), so a late backtracking pass
+        over a handful of stubborn rows costs only those rows' entries rather
+        than a scan of the whole matrix.
+        """
+        n_active = len(active_rows)
+        indptr, indices = matrix.indptr, matrix.indices
+        counts = (indptr[active_rows + 1] - indptr[active_rows]).astype(np.int64)
+        total_entries = int(counts.sum())
+
+        if total_entries:
+            starts = indptr[active_rows].astype(np.int64)
+            offsets = np.arange(total_entries) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            entry_positions = np.repeat(starts, counts) + offsets
+            rows_entries = np.repeat(np.arange(n_active), counts)
+            cols_entries = indices[entry_positions]
+
+            affinities = np.einsum(
+                "ij,ij->i", candidate_factors[rows_entries], col_factors[cols_entries]
+            )
+            log_terms = safe_log1mexp(affinities)
+            if entry_weights is not None:
+                log_terms = log_terms * entry_weights[entry_positions]
+            positive_part = -np.bincount(rows_entries, weights=log_terms, minlength=n_active)
+        else:
+            positive_part = np.zeros(n_active)
+
+        unknown_part = np.einsum("ij,ij->i", candidate_factors, unknown_sums[active_rows])
+        penalty = regularization * np.einsum("ij,ij->i", candidate_factors, candidate_factors)
+        return positive_part + unknown_part + penalty

@@ -1,0 +1,105 @@
+"""Container for the fitted co-cluster affiliation factors.
+
+The generative model of Section IV-A is fully described by two non-negative
+matrices: the user affiliations ``F_u`` of shape ``(n_users, K)`` and the
+item affiliations ``F_i`` of shape ``(n_items, K)``.  :class:`FactorModel`
+stores them and implements the probability formula
+
+    ``P[r_ui = 1] = 1 - exp(-<f_u, f_i>)``
+
+along with batched variants used for scoring and co-cluster extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_array_2d
+
+
+@dataclass
+class FactorModel:
+    """Non-negative co-cluster affiliation factors for users and items.
+
+    Attributes
+    ----------
+    user_factors:
+        Array of shape ``(n_users, n_coclusters)``; entry ``[u, c]`` is the
+        affiliation strength of user ``u`` with co-cluster ``c``.
+    item_factors:
+        Array of shape ``(n_items, n_coclusters)``.
+    """
+
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.user_factors = check_array_2d(self.user_factors, "user_factors")
+        self.item_factors = check_array_2d(self.item_factors, "item_factors")
+        if self.user_factors.shape[1] != self.item_factors.shape[1]:
+            raise ConfigurationError(
+                "user_factors and item_factors must have the same number of co-clusters, got "
+                f"{self.user_factors.shape[1]} and {self.item_factors.shape[1]}"
+            )
+        if (self.user_factors < 0).any() or (self.item_factors < 0).any():
+            raise ConfigurationError("affiliation factors must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Shapes
+    # ------------------------------------------------------------------ #
+    @property
+    def n_users(self) -> int:
+        """Number of users."""
+        return self.user_factors.shape[0]
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return self.item_factors.shape[0]
+
+    @property
+    def n_coclusters(self) -> int:
+        """Number of co-clusters ``K``."""
+        return self.user_factors.shape[1]
+
+    # ------------------------------------------------------------------ #
+    # Probabilities
+    # ------------------------------------------------------------------ #
+    def affinity(self, user: int, item: int) -> float:
+        """Inner product ``<f_u, f_i>`` for a single pair."""
+        return float(self.user_factors[user] @ self.item_factors[item])
+
+    def predict_proba(self, user: int, item: int) -> float:
+        """``P[r_ui = 1] = 1 - exp(-<f_u, f_i>)`` for a single pair."""
+        return float(1.0 - np.exp(-self.affinity(user, item)))
+
+    def user_scores(self, user: int) -> np.ndarray:
+        """Probabilities for one user against every item, shape ``(n_items,)``."""
+        affinities = self.item_factors @ self.user_factors[user]
+        return 1.0 - np.exp(-affinities)
+
+    def score_matrix(self, users: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense probability matrix for the given users (default: all users).
+
+        Only intended for small matrices (toy examples, tests, figures); the
+        recommenders score one user at a time in production paths.
+        """
+        factors = self.user_factors if users is None else self.user_factors[np.asarray(users)]
+        affinities = factors @ self.item_factors.T
+        return 1.0 - np.exp(-affinities)
+
+    def cocluster_contributions(self, user: int, item: int) -> np.ndarray:
+        """Per-co-cluster contribution ``[f_u]_c [f_i]_c`` to the affinity.
+
+        The explanation engine uses these to identify which co-clusters are
+        responsible for a recommendation.
+        """
+        return self.user_factors[user] * self.item_factors[item]
+
+    def copy(self) -> "FactorModel":
+        """Deep copy of the factors."""
+        return FactorModel(self.user_factors.copy(), self.item_factors.copy())

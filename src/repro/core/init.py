@@ -1,0 +1,103 @@
+"""Factor initialisation strategies.
+
+The block-coordinate scheme needs feasible (non-negative) starting factors.
+The default draws uniform values scaled so the expected affinity
+``<f_u, f_i>`` roughly matches the empirical density of the matrix, which
+keeps the first sweeps well-conditioned across corpora of very different
+sparsity.  A degree-based variant seeds users and items proportionally to
+their activity, which often accelerates the first iterations on heavy-tailed
+data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomStateLike, ensure_rng
+
+
+def _target_affinity(matrix: sp.csr_matrix) -> float:
+    """Affinity whose model probability equals the matrix density.
+
+    Solving ``1 - exp(-a) = density`` for ``a``; floored to keep the
+    initialisation away from zero on extremely sparse matrices.
+    """
+    density = matrix.nnz / float(matrix.shape[0] * matrix.shape[1])
+    density = min(max(density, 1e-6), 0.99)
+    return max(-np.log(1.0 - density), 1e-3)
+
+
+def random_init(
+    matrix: sp.csr_matrix,
+    n_coclusters: int,
+    scale: float = 1.0,
+    random_state: RandomStateLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform random non-negative factors calibrated to the matrix density.
+
+    Entries are drawn from ``U(0, 2m)`` where ``m`` is chosen so that the
+    expected inner product of a random user/item pair equals the affinity
+    matching the matrix density, then multiplied by ``scale``.
+    """
+    if n_coclusters <= 0:
+        raise ConfigurationError(f"n_coclusters must be positive, got {n_coclusters}")
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    rng = ensure_rng(random_state)
+    n_users, n_items = matrix.shape
+    target = _target_affinity(matrix)
+    # E[<f_u, f_i>] = K * E[f]^2 = K * m^2 for entries ~ U(0, 2m).
+    mean_entry = np.sqrt(target / n_coclusters)
+    high = 2.0 * mean_entry * scale
+    user_factors = rng.uniform(0.0, high, size=(n_users, n_coclusters))
+    item_factors = rng.uniform(0.0, high, size=(n_items, n_coclusters))
+    return user_factors, item_factors
+
+
+def degree_scaled_init(
+    matrix: sp.csr_matrix,
+    n_coclusters: int,
+    scale: float = 1.0,
+    random_state: RandomStateLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random factors whose magnitude grows with user/item activity.
+
+    Heavy users and popular items start with larger affiliations, mirroring
+    the fact that under the generative model their expected factor norms are
+    larger.  Falls back to :func:`random_init` magnitudes for empty rows.
+    """
+    user_factors, item_factors = random_init(
+        matrix, n_coclusters, scale=scale, random_state=random_state
+    )
+    user_degrees = np.asarray(matrix.sum(axis=1)).ravel()
+    item_degrees = np.asarray(matrix.sum(axis=0)).ravel()
+    user_scale = np.sqrt((user_degrees + 1.0) / (user_degrees.mean() + 1.0))
+    item_scale = np.sqrt((item_degrees + 1.0) / (item_degrees.mean() + 1.0))
+    return user_factors * user_scale[:, np.newaxis], item_factors * item_scale[:, np.newaxis]
+
+
+_INITIALIZERS = {
+    "random": random_init,
+    "degree": degree_scaled_init,
+}
+
+
+def initialize_factors(
+    matrix: sp.csr_matrix,
+    n_coclusters: int,
+    method: str = "random",
+    scale: float = 1.0,
+    random_state: RandomStateLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dispatch to a named initialisation strategy (``"random"`` or ``"degree"``)."""
+    try:
+        initializer = _INITIALIZERS[method]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown initialisation method {method!r}; available: {sorted(_INITIALIZERS)}"
+        ) from exc
+    return initializer(matrix, n_coclusters, scale=scale, random_state=random_state)

@@ -1,0 +1,229 @@
+"""The OCuLaR objective: regularised negative log-likelihood and its gradients.
+
+Section IV-B of the paper defines, for a binary matrix ``R`` and non-negative
+factors ``f_u``, ``f_i``:
+
+    -log L = - sum_{(u,i): r=1} log(1 - exp(-<f_u, f_i>))
+             + sum_{(u,i): r=0} <f_u, f_i>
+
+    Q = -log L + lambda * (sum_u ||f_u||^2 + sum_i ||f_i||^2)
+
+R-OCuLaR (Section V) multiplies each positive term by a per-user weight
+``w_u = #unknowns(u) / #positives(u)``; the unknown term is unchanged.  This
+module implements both through an optional per-positive weight.
+
+Numerical care: ``log(1 - exp(-x))`` and ``exp(-x)/(1 - exp(-x))`` blow up as
+``x -> 0``.  Affinities of positive pairs are therefore floored at
+``MIN_AFFINITY`` before entering logs or ratios, the standard device used by
+BIGCLAM-style fitters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Smallest affinity used inside logarithms / gradient ratios.
+MIN_AFFINITY = 1e-10
+
+#: Largest affinity before ``exp(-x)`` underflows meaningfully; used to clip.
+MAX_AFFINITY = 50.0
+
+
+def safe_log1mexp(affinity: np.ndarray) -> np.ndarray:
+    """Numerically safe ``log(1 - exp(-x))`` for non-negative ``x``.
+
+    Uses ``log(-expm1(-x))`` which is accurate for small ``x`` and floors the
+    input at :data:`MIN_AFFINITY` to avoid ``log(0)``.
+    """
+    clipped = np.clip(affinity, MIN_AFFINITY, None)
+    return np.log(-np.expm1(-clipped))
+
+
+def gradient_ratio(affinity: np.ndarray) -> np.ndarray:
+    """Numerically safe ``exp(-x) / (1 - exp(-x))`` for non-negative ``x``.
+
+    This is the scalar the paper calls ``alpha(<f_u, f_i>)`` in the GPU
+    kernel description (equation 11).
+    """
+    clipped = np.clip(affinity, MIN_AFFINITY, MAX_AFFINITY)
+    return np.exp(-clipped) / (-np.expm1(-clipped))
+
+
+def positive_affinities(
+    matrix: sp.csr_matrix, row_factors: np.ndarray, col_factors: np.ndarray
+) -> np.ndarray:
+    """Affinities ``<f_row, f_col>`` for every positive entry of ``matrix``.
+
+    ``matrix`` must be a CSR matrix of shape ``(n_rows, n_cols)``; the result
+    is aligned with ``matrix.tocoo()`` order (row-major, which CSR guarantees).
+    """
+    coo = matrix.tocoo()
+    return np.einsum("ij,ij->i", row_factors[coo.row], col_factors[coo.col])
+
+
+def full_objective(
+    matrix: sp.csr_matrix,
+    user_factors: np.ndarray,
+    item_factors: np.ndarray,
+    regularization: float,
+    user_weights: Optional[np.ndarray] = None,
+) -> float:
+    """Evaluate the full regularised objective ``Q``.
+
+    Parameters
+    ----------
+    matrix:
+        CSR interaction matrix of shape ``(n_users, n_items)``.
+    user_factors, item_factors:
+        Current factors.
+    regularization:
+        The L2 penalty ``lambda``.
+    user_weights:
+        Optional per-user weights applied to the positive-example terms
+        (R-OCuLaR); ``None`` means unit weights (OCuLaR).
+
+    Notes
+    -----
+    The unknown-pair term ``sum_{(u,i): r=0} <f_u, f_i>`` is computed without
+    materialising the dense matrix by using
+
+        ``sum_{all pairs} <f_u, f_i> = <sum_u f_u, sum_i f_i>``
+
+    and subtracting the affinities of the positive pairs.
+    """
+    coo = matrix.tocoo()
+    affinities = np.einsum("ij,ij->i", user_factors[coo.row], item_factors[coo.col])
+
+    log_terms = safe_log1mexp(affinities)
+    if user_weights is not None:
+        log_terms = log_terms * user_weights[coo.row]
+    positive_part = -float(np.sum(log_terms))
+
+    total_affinity = float(user_factors.sum(axis=0) @ item_factors.sum(axis=0))
+    unknown_part = total_affinity - float(np.sum(affinities))
+
+    penalty = regularization * (
+        float(np.sum(user_factors**2)) + float(np.sum(item_factors**2))
+    )
+    return positive_part + unknown_part + penalty
+
+
+def negative_log_likelihood(
+    matrix: sp.csr_matrix,
+    user_factors: np.ndarray,
+    item_factors: np.ndarray,
+    user_weights: Optional[np.ndarray] = None,
+) -> float:
+    """The unregularised negative log-likelihood ``-log L``.
+
+    Used by the Figure 8 benchmark, which plots the distance to the optimal
+    *likelihood* (not the penalised objective) against wall-clock time.
+    """
+    return full_objective(
+        matrix, user_factors, item_factors, regularization=0.0, user_weights=user_weights
+    )
+
+
+def row_objective(
+    factor: np.ndarray,
+    positive_col_factors: np.ndarray,
+    positive_weights: Optional[np.ndarray],
+    unknown_sum: np.ndarray,
+    regularization: float,
+) -> float:
+    """Objective restricted to one row factor (equation 5 of the paper).
+
+    ``Q(f_i) = -sum_{u: r=1} w_u log(1 - exp(-<f_u, f_i>))
+               + <f_i, sum_{u: r=0} f_u> + lambda ||f_i||^2``
+
+    Parameters
+    ----------
+    factor:
+        The row factor being optimised, shape ``(K,)``.
+    positive_col_factors:
+        Factors of the columns with a positive entry in this row,
+        shape ``(n_positive, K)``.
+    positive_weights:
+        Optional per-positive weights (R-OCuLaR), shape ``(n_positive,)``.
+    unknown_sum:
+        Precomputed ``sum_{cols with r=0} f_col``, shape ``(K,)``.
+    regularization:
+        The L2 penalty ``lambda``.
+    """
+    affinities = positive_col_factors @ factor
+    log_terms = safe_log1mexp(affinities)
+    if positive_weights is not None:
+        log_terms = log_terms * positive_weights
+    positive_part = -float(np.sum(log_terms))
+    unknown_part = float(factor @ unknown_sum)
+    penalty = regularization * float(factor @ factor)
+    return positive_part + unknown_part + penalty
+
+
+def row_gradient(
+    factor: np.ndarray,
+    positive_col_factors: np.ndarray,
+    positive_weights: Optional[np.ndarray],
+    unknown_sum: np.ndarray,
+    regularization: float,
+) -> np.ndarray:
+    """Gradient of :func:`row_objective` with respect to the row factor.
+
+    Equation (6) of the paper:
+
+    ``grad Q(f_i) = -sum_{u: r=1} w_u f_u exp(-x)/(1-exp(-x))
+                    + sum_{u: r=0} f_u + 2 lambda f_i``
+    """
+    affinities = positive_col_factors @ factor
+    ratios = gradient_ratio(affinities)
+    if positive_weights is not None:
+        ratios = ratios * positive_weights
+    positive_part = -(ratios @ positive_col_factors)
+    return positive_part + unknown_sum + 2.0 * regularization * factor
+
+
+def relative_user_weights(matrix: sp.csr_matrix) -> np.ndarray:
+    """R-OCuLaR per-user weights ``w_u = #unknowns(u) / #positives(u)``.
+
+    Users with no positives receive weight 1 (they contribute no positive
+    terms anyway, so the value is irrelevant but must be finite).
+    """
+    n_items = matrix.shape[1]
+    positives = np.diff(matrix.indptr).astype(float)
+    weights = np.ones_like(positives)
+    nonzero = positives > 0
+    weights[nonzero] = (n_items - positives[nonzero]) / positives[nonzero]
+    return weights
+
+
+def armijo_accept(
+    old_value: float,
+    new_value: float,
+    gradient: np.ndarray,
+    step_difference: np.ndarray,
+    sigma: float,
+) -> bool:
+    """Armijo acceptance test along the projection arc (Section IV-D).
+
+    Accept the candidate when
+    ``Q(f_new) - Q(f_old) <= sigma * <grad Q(f_old), f_new - f_old>``.
+    """
+    return new_value - old_value <= sigma * float(gradient @ step_difference)
+
+
+def split_known_unknown_sums(
+    matrix: sp.csr_matrix, col_factors: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row sums of column factors over positives, and over unknowns.
+
+    Returns ``(positive_sums, unknown_sums)`` with shape ``(n_rows, K)``.
+    Implements the paper's precomputation trick:
+    ``sum_{c: r=0} f_c = sum_c f_c - sum_{c: r=1} f_c``.
+    """
+    positive_sums = matrix @ col_factors
+    total = col_factors.sum(axis=0)
+    unknown_sums = total[np.newaxis, :] - positive_sums
+    return positive_sums, unknown_sums

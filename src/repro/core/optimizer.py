@@ -1,0 +1,240 @@
+"""Block-coordinate trainer for the OCuLaR objective.
+
+Section IV-B: alternate between updating all item factors (users fixed) and
+all user factors (items fixed); each block is improved by a *single*
+projected-gradient step with Armijo backtracking rather than solved to
+optimality, because inexact block updates converge faster in wall-clock time.
+Convergence is declared when the objective stops decreasing (relative change
+below a tolerance).
+
+The trainer is agnostic to which backend performs the sweeps, records the
+objective trajectory and per-sweep timings (consumed by the Figure 7 and
+Figure 8 benchmarks), and guarantees the objective is monotonically
+non-increasing across accepted iterations — a property the test-suite checks.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.backends import Backend, get_backend
+from repro.core.objective import full_objective, negative_log_likelihood
+from repro.exceptions import ConfigurationError, ConvergenceWarning
+from repro.utils.validation import (
+    check_non_negative_float,
+    check_positive_int,
+    check_unit_interval_open,
+)
+
+
+@dataclass
+class TrainingHistory:
+    """Trajectory of a training run.
+
+    Attributes
+    ----------
+    objective_values:
+        Value of the regularised objective ``Q`` after every outer iteration
+        (index 0 is the value at initialisation).
+    log_likelihoods:
+        Negative log-likelihood (unregularised) after every outer iteration.
+    iteration_seconds:
+        Wall-clock seconds spent in each outer iteration (both sweeps).
+    elapsed_seconds:
+        Cumulative wall-clock time at the end of each outer iteration.
+    converged:
+        Whether the relative-improvement stopping rule fired before the
+        iteration budget ran out.
+    n_iterations:
+        Number of completed outer iterations.
+    """
+
+    objective_values: List[float] = field(default_factory=list)
+    log_likelihoods: List[float] = field(default_factory=list)
+    iteration_seconds: List[float] = field(default_factory=list)
+    elapsed_seconds: List[float] = field(default_factory=list)
+    converged: bool = False
+    n_iterations: int = 0
+
+    @property
+    def final_objective(self) -> float:
+        """Objective value at the end of training."""
+        if not self.objective_values:
+            raise ValueError("training has not produced any objective values")
+        return self.objective_values[-1]
+
+    @property
+    def mean_seconds_per_iteration(self) -> float:
+        """Average wall-clock seconds per outer iteration."""
+        if not self.iteration_seconds:
+            return 0.0
+        return float(np.mean(self.iteration_seconds))
+
+
+class BlockCoordinateTrainer:
+    """Alternating projected-gradient trainer for the OCuLaR objective.
+
+    Parameters
+    ----------
+    regularization:
+        L2 penalty ``lambda`` (must be non-negative; the paper notes strong
+        convexity of the subproblems requires ``lambda > 0``).
+    max_iterations:
+        Maximum number of outer iterations (one item sweep + one user sweep).
+    tolerance:
+        Relative objective improvement below which training stops.
+    sigma, beta:
+        Armijo line-search constants in (0, 1).
+    max_backtracks:
+        Per-row cap on step-size halvings within a sweep.
+    backend:
+        Backend instance or name (``"vectorized"`` / ``"reference"``).
+    inner_sweeps:
+        Number of consecutive projected-gradient sweeps applied to a block
+        before switching to the other block.  The paper argues (Section IV-B)
+        that ``1`` — i.e. only *approximately* solving each subproblem — is
+        the fastest choice in wall-clock terms; larger values solve each
+        block more exactly and exist mainly for the ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1.0,
+        max_iterations: int = 100,
+        tolerance: float = 1e-4,
+        sigma: float = 0.1,
+        beta: float = 0.5,
+        max_backtracks: int = 20,
+        backend: Backend | str = "vectorized",
+        inner_sweeps: int = 1,
+    ) -> None:
+        self.regularization = check_non_negative_float(regularization, "regularization")
+        self.max_iterations = check_positive_int(max_iterations, "max_iterations")
+        self.tolerance = check_non_negative_float(tolerance, "tolerance")
+        self.sigma = check_unit_interval_open(sigma, "sigma")
+        self.beta = check_unit_interval_open(beta, "beta")
+        self.max_backtracks = check_positive_int(max_backtracks, "max_backtracks")
+        self.backend = get_backend(backend)
+        self.inner_sweeps = check_positive_int(inner_sweeps, "inner_sweeps")
+
+    def train(
+        self,
+        matrix: sp.csr_matrix,
+        user_factors: np.ndarray,
+        item_factors: np.ndarray,
+        user_weights: Optional[np.ndarray] = None,
+        callback=None,
+    ) -> Tuple[np.ndarray, np.ndarray, TrainingHistory]:
+        """Run alternating sweeps until convergence or the iteration budget.
+
+        Parameters
+        ----------
+        matrix:
+            CSR interaction matrix of shape ``(n_users, n_items)``.
+        user_factors, item_factors:
+            Feasible (non-negative) initial factors; not modified in place.
+        user_weights:
+            Optional per-user positive-example weights (R-OCuLaR).
+        callback:
+            Optional callable invoked as ``callback(iteration, history)``
+            after every outer iteration; returning ``True`` stops training
+            early (used by time-budgeted benchmarks).
+
+        Returns
+        -------
+        (user_factors, item_factors, history)
+        """
+        matrix = sp.csr_matrix(matrix)
+        if matrix.shape[0] != user_factors.shape[0]:
+            raise ConfigurationError(
+                f"user_factors has {user_factors.shape[0]} rows but the matrix has "
+                f"{matrix.shape[0]} users"
+            )
+        if matrix.shape[1] != item_factors.shape[0]:
+            raise ConfigurationError(
+                f"item_factors has {item_factors.shape[0]} rows but the matrix has "
+                f"{matrix.shape[1]} items"
+            )
+        if user_weights is not None and len(user_weights) != matrix.shape[0]:
+            raise ConfigurationError("user_weights must have one entry per user")
+
+        user_factors = np.array(user_factors, dtype=float, copy=True)
+        item_factors = np.array(item_factors, dtype=float, copy=True)
+        matrix_items_by_users = sp.csr_matrix(matrix.T)
+
+        history = TrainingHistory()
+        objective = full_objective(
+            matrix, user_factors, item_factors, self.regularization, user_weights
+        )
+        history.objective_values.append(objective)
+        history.log_likelihoods.append(
+            negative_log_likelihood(matrix, user_factors, item_factors, user_weights)
+        )
+
+        start_time = time.perf_counter()
+        for iteration in range(1, self.max_iterations + 1):
+            iteration_start = time.perf_counter()
+
+            # Item sweeps: rows are items, columns are users; the per-user
+            # R-OCuLaR weight rides on the column side.
+            for _ in range(self.inner_sweeps):
+                item_factors, _ = self.backend.sweep(
+                    matrix_items_by_users,
+                    item_factors,
+                    user_factors,
+                    regularization=self.regularization,
+                    col_positive_weights=user_weights,
+                    sigma=self.sigma,
+                    beta=self.beta,
+                    max_backtracks=self.max_backtracks,
+                )
+            # User sweeps: rows are users, columns are items; the weight is
+            # constant within a row and rides on the row side.
+            for _ in range(self.inner_sweeps):
+                user_factors, _ = self.backend.sweep(
+                    matrix,
+                    user_factors,
+                    item_factors,
+                    regularization=self.regularization,
+                    row_positive_weights=user_weights,
+                    sigma=self.sigma,
+                    beta=self.beta,
+                    max_backtracks=self.max_backtracks,
+                )
+
+            iteration_seconds = time.perf_counter() - iteration_start
+            previous = history.objective_values[-1]
+            objective = full_objective(
+                matrix, user_factors, item_factors, self.regularization, user_weights
+            )
+            history.objective_values.append(objective)
+            history.log_likelihoods.append(
+                negative_log_likelihood(matrix, user_factors, item_factors, user_weights)
+            )
+            history.iteration_seconds.append(iteration_seconds)
+            history.elapsed_seconds.append(time.perf_counter() - start_time)
+            history.n_iterations = iteration
+
+            if callback is not None and callback(iteration, history):
+                break
+
+            improvement = previous - objective
+            relative = abs(improvement) / max(abs(previous), 1.0)
+            if improvement >= 0 and relative < self.tolerance:
+                history.converged = True
+                break
+
+        if not history.converged and history.n_iterations >= self.max_iterations:
+            warnings.warn(
+                "OCuLaR training reached max_iterations without meeting the "
+                "convergence tolerance",
+                ConvergenceWarning,
+                stacklevel=2,
+            )
+        return user_factors, item_factors, history

@@ -1,0 +1,57 @@
+"""R-OCuLaR: the relative-preference variant of OCuLaR (Section V).
+
+The paper derives that maximising the BPR-style relative-preference
+likelihood under the OCuLaR generative model is equivalent to the plain
+OCuLaR objective with each positive-example term weighted by
+
+    ``w_u = |{i : r_ui = 0}| / |{i : r_ui = 1}|``
+
+so users with a short purchase history have their few positives counted more
+heavily.  The implementation therefore reuses the full OCuLaR machinery with
+``user_weighting="relative"`` — the paper notes it "has exactly the same
+complexity".
+"""
+
+from __future__ import annotations
+
+from repro.core.backends import Backend
+from repro.core.ocular import OCuLaR
+from repro.utils.rng import RandomStateLike
+
+
+class ROCuLaR(OCuLaR):
+    """Relative OCuLaR: OCuLaR with per-user positive-example weights.
+
+    All constructor parameters have the same meaning as for
+    :class:`~repro.core.ocular.OCuLaR`; ``user_weighting`` is fixed to
+    ``"relative"``.
+    """
+
+    def __init__(
+        self,
+        n_coclusters: int = 50,
+        regularization: float = 10.0,
+        max_iterations: int = 100,
+        tolerance: float = 1e-4,
+        sigma: float = 0.1,
+        beta: float = 0.5,
+        max_backtracks: int = 20,
+        init: str = "random",
+        init_scale: float = 1.0,
+        backend: Backend | str = "vectorized",
+        random_state: RandomStateLike = None,
+    ) -> None:
+        super().__init__(
+            n_coclusters=n_coclusters,
+            regularization=regularization,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            sigma=sigma,
+            beta=beta,
+            max_backtracks=max_backtracks,
+            init=init,
+            init_scale=init_scale,
+            backend=backend,
+            user_weighting="relative",
+            random_state=random_state,
+        )

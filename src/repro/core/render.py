@@ -1,0 +1,115 @@
+"""Plain-text rendering of interaction matrices and fitted probabilities.
+
+The paper's Figures 1 and 3 visualise the toy example as a grid of dark
+squares (positives) with the model's probability estimates overlaid.  These
+helpers produce the same pictures as ASCII tables so the quickstart example
+and the Figure 3 benchmark can show them in a terminal without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.coclusters import CoCluster
+from repro.core.factors import FactorModel
+from repro.data.interactions import InteractionMatrix
+from repro.exceptions import ConfigurationError
+
+#: Character used for a positive example in matrix renderings.
+POSITIVE_CHAR = "#"
+#: Character used for an unknown example.
+UNKNOWN_CHAR = "."
+
+
+def render_matrix(matrix: InteractionMatrix, max_users: int = 40, max_items: int = 60) -> str:
+    """Render a small interaction matrix as a character grid.
+
+    Positive examples are ``#`` and unknowns ``.``; rows are users.  Matrices
+    larger than the limits are truncated with a note, since the rendering is
+    intended for toy-scale illustrations only.
+    """
+    n_users = min(matrix.n_users, max_users)
+    n_items = min(matrix.n_items, max_items)
+    dense = matrix.csr()[:n_users, :n_items].toarray()
+    lines = []
+    header = "     " + "".join(f"{item % 10}" for item in range(n_items))
+    lines.append(header)
+    for user in range(n_users):
+        row = "".join(POSITIVE_CHAR if dense[user, item] > 0 else UNKNOWN_CHAR for item in range(n_items))
+        lines.append(f"{user:4d} {row}")
+    if n_users < matrix.n_users or n_items < matrix.n_items:
+        lines.append(
+            f"... truncated to {n_users}x{n_items} of {matrix.n_users}x{matrix.n_items}"
+        )
+    return "\n".join(lines)
+
+
+def render_probability_matrix(
+    factors: FactorModel,
+    matrix: Optional[InteractionMatrix] = None,
+    max_users: int = 20,
+    max_items: int = 20,
+    as_percent: bool = True,
+) -> str:
+    """Render the model's probability estimates as a numeric grid (Figure 3).
+
+    When ``matrix`` is given, cells holding observed positives are wrapped in
+    brackets (``[...]``) so the picture distinguishes "explained training
+    example" from "recommendation candidate", mirroring the gray/white cells
+    of Figure 3.
+    """
+    n_users = min(factors.n_users, max_users)
+    n_items = min(factors.n_items, max_items)
+    probabilities = factors.score_matrix(np.arange(n_users))[:, :n_items]
+    dense = matrix.toarray()[:n_users, :n_items] if matrix is not None else None
+
+    lines = []
+    header = "      " + " ".join(f"{item:>5d}" for item in range(n_items))
+    lines.append(header)
+    for user in range(n_users):
+        cells = []
+        for item in range(n_items):
+            value = probabilities[user, item]
+            text = f"{value * 100:4.0f}%" if as_percent else f"{value:5.2f}"
+            if dense is not None and dense[user, item] > 0:
+                text = f"[{text.strip()}]".rjust(5)
+            cells.append(text)
+        lines.append(f"{user:5d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_coclusters(
+    coclusters: Sequence[CoCluster],
+    matrix: Optional[InteractionMatrix] = None,
+    max_members: int = 8,
+) -> str:
+    """Describe each co-cluster by its strongest members (names when available).
+
+    Produces the kind of listing shown in the deployment screenshot: which
+    clients and which products make up each discovered buying pattern.
+    """
+    if max_members <= 0:
+        raise ConfigurationError(f"max_members must be positive, got {max_members}")
+    lines = []
+    for cocluster in coclusters:
+        if cocluster.is_empty:
+            continue
+        if matrix is not None:
+            users = [matrix.label_of_user(user) for user in cocluster.top_users(max_members)]
+            items = [matrix.label_of_item(item) for item in cocluster.top_items(max_members)]
+        else:
+            users = [f"user {user}" for user in cocluster.top_users(max_members)]
+            items = [f"item {item}" for item in cocluster.top_items(max_members)]
+        density = "n/a" if np.isnan(cocluster.density) else f"{cocluster.density:.2f}"
+        lines.append(
+            f"Co-cluster {cocluster.index}: {cocluster.n_users} users x "
+            f"{cocluster.n_items} items (density {density})"
+        )
+        lines.append(f"  users: {', '.join(users)}")
+        lines.append(f"  items: {', '.join(items)}")
+    if not lines:
+        return "(no non-empty co-clusters)"
+    return "\n".join(lines)

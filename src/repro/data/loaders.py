@@ -1,0 +1,180 @@
+"""Loaders for on-disk rating files.
+
+The paper binarises MovieLens and Netflix star ratings with the rule
+"ratings >= 3 are positive examples, everything else is ignored"
+(Section VII-A).  :func:`binarize_ratings` implements that rule;
+:func:`load_movielens_ratings` parses the standard ``ratings.dat`` /
+``u.data`` formats so that a user with the real files can run the exact
+paper pipeline; :func:`load_interactions_csv` handles generic
+``user,item[,rating]`` CSV exports such as a B2B purchase log.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.data.interactions import InteractionMatrix
+from repro.exceptions import DataError
+
+PathLike = Union[str, Path]
+
+RatingTriple = Tuple[str, str, float]
+
+
+def binarize_ratings(
+    ratings: Iterable[RatingTriple],
+    threshold: float = 3.0,
+) -> List[Tuple[str, str]]:
+    """Keep (user, item) pairs whose rating is at least ``threshold``.
+
+    This is the paper's convention: "only consider ratings greater than or
+    equal to 3 as positive examples and ignore all other ratings".
+    """
+    positives: List[Tuple[str, str]] = []
+    for user, item, rating in ratings:
+        if rating >= threshold:
+            positives.append((str(user), str(item)))
+    return positives
+
+
+def _index_pairs(
+    pairs: Sequence[Tuple[str, str]],
+) -> Tuple[List[Tuple[int, int]], List[str], List[str]]:
+    """Map raw string ids to dense indices, preserving first-seen order."""
+    user_index: Dict[str, int] = {}
+    item_index: Dict[str, int] = {}
+    indexed: List[Tuple[int, int]] = []
+    for user, item in pairs:
+        if user not in user_index:
+            user_index[user] = len(user_index)
+        if item not in item_index:
+            item_index[item] = len(item_index)
+        indexed.append((user_index[user], item_index[item]))
+    users = [user for user, _ in sorted(user_index.items(), key=lambda kv: kv[1])]
+    items = [item for item, _ in sorted(item_index.items(), key=lambda kv: kv[1])]
+    return indexed, users, items
+
+
+def interactions_from_ratings(
+    ratings: Iterable[RatingTriple],
+    threshold: float = 3.0,
+) -> InteractionMatrix:
+    """Build an :class:`InteractionMatrix` from explicit ratings.
+
+    Ratings below ``threshold`` are dropped (treated as unknown), matching
+    the paper's one-class conversion.  Raw user/item identifiers become the
+    matrix labels.
+    """
+    positives = binarize_ratings(ratings, threshold=threshold)
+    if not positives:
+        raise DataError("no positive examples remain after thresholding")
+    indexed, users, items = _index_pairs(positives)
+    return InteractionMatrix.from_pairs(
+        indexed, n_users=len(users), n_items=len(items), user_labels=users, item_labels=items
+    )
+
+
+def load_movielens_ratings(
+    path: PathLike,
+    threshold: float = 3.0,
+    separator: Optional[str] = None,
+) -> InteractionMatrix:
+    """Load a MovieLens-style ratings file and binarise it.
+
+    Supports the two common layouts:
+
+    * ``ratings.dat`` (MovieLens 1M): ``user::item::rating::timestamp``
+    * ``u.data`` (MovieLens 100K): tab-separated ``user item rating timestamp``
+
+    Parameters
+    ----------
+    path:
+        Path to the ratings file.
+    threshold:
+        Minimum rating treated as a positive example (paper uses 3).
+    separator:
+        Override the field separator; auto-detected (``::`` then tab then
+        comma) when omitted.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"ratings file not found: {file_path}")
+    triples: List[RatingTriple] = []
+    with open(file_path, "r", encoding="utf-8", errors="replace") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            fields = _split_rating_line(line, separator)
+            if len(fields) < 3:
+                raise DataError(
+                    f"line {line_number} of {file_path} has {len(fields)} fields, expected >= 3"
+                )
+            try:
+                rating = float(fields[2])
+            except ValueError as exc:
+                raise DataError(
+                    f"line {line_number} of {file_path}: rating {fields[2]!r} is not numeric"
+                ) from exc
+            triples.append((fields[0], fields[1], rating))
+    return interactions_from_ratings(triples, threshold=threshold)
+
+
+def _split_rating_line(line: str, separator: Optional[str]) -> List[str]:
+    """Split a ratings line with an explicit or auto-detected separator."""
+    if separator is not None:
+        return [field.strip() for field in line.split(separator)]
+    if "::" in line:
+        return [field.strip() for field in line.split("::")]
+    if "\t" in line:
+        return [field.strip() for field in line.split("\t")]
+    return [field.strip() for field in line.split(",")]
+
+
+def load_interactions_csv(
+    path: PathLike,
+    user_column: str = "user",
+    item_column: str = "item",
+    rating_column: Optional[str] = None,
+    threshold: float = 1.0,
+) -> InteractionMatrix:
+    """Load interactions from a CSV file with a header row.
+
+    When ``rating_column`` is ``None`` every row is a positive example (the
+    typical purchase-log export of a B2B system); otherwise ratings are
+    binarised with ``threshold``.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise DataError(f"interaction file not found: {file_path}")
+    triples: List[RatingTriple] = []
+    with open(file_path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataError(f"{file_path} has no header row")
+        missing = [
+            column
+            for column in (user_column, item_column)
+            if column not in reader.fieldnames
+        ]
+        if rating_column is not None and rating_column not in reader.fieldnames:
+            missing.append(rating_column)
+        if missing:
+            raise DataError(f"{file_path} is missing required columns: {missing}")
+        for row_number, row in enumerate(reader, start=2):
+            user = row[user_column]
+            item = row[item_column]
+            if rating_column is None:
+                rating = threshold
+            else:
+                try:
+                    rating = float(row[rating_column])
+                except (TypeError, ValueError) as exc:
+                    raise DataError(
+                        f"row {row_number} of {file_path}: rating "
+                        f"{row[rating_column]!r} is not numeric"
+                    ) from exc
+            triples.append((user, item, rating))
+    return interactions_from_ratings(triples, threshold=threshold)

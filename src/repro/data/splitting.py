@@ -1,0 +1,181 @@
+"""Train/test splitting for one-class evaluation.
+
+The paper's protocol (Section VII-B.2): split the positive examples into a
+training and a test set with a 75/25 ratio and average metrics over ten
+random instances.  :func:`train_test_split` implements the per-user variant
+of that split (each user's positives are split independently so every user
+keeps some training history), :func:`leave_k_out_split` holds out a fixed
+number of positives per user, and :func:`kfold_splits` produces the folds
+used for hyper-parameter cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.data.interactions import InteractionMatrix
+from repro.exceptions import DataError
+from repro.utils.rng import RandomStateLike, ensure_rng
+
+
+@dataclass
+class Split:
+    """A train/test partition of the positive examples.
+
+    Attributes
+    ----------
+    train:
+        Interaction matrix containing the training positives only.
+    test_items:
+        Mapping from user index to the array of that user's held-out items.
+        Users with no held-out items are absent.
+    """
+
+    train: InteractionMatrix
+    test_items: Dict[int, np.ndarray]
+
+    @property
+    def n_test_pairs(self) -> int:
+        """Total number of held-out positive pairs."""
+        return int(sum(len(items) for items in self.test_items.values()))
+
+    def test_pairs(self) -> List[Tuple[int, int]]:
+        """Held-out positives as a flat list of (user, item) pairs."""
+        pairs: List[Tuple[int, int]] = []
+        for user, items in sorted(self.test_items.items()):
+            pairs.extend((user, int(item)) for item in items)
+        return pairs
+
+
+def train_test_split(
+    matrix: InteractionMatrix,
+    test_fraction: float = 0.25,
+    min_train_positives: int = 1,
+    random_state: RandomStateLike = None,
+) -> Split:
+    """Per-user random split of positives into train and test sets.
+
+    Parameters
+    ----------
+    matrix:
+        The full interaction matrix.
+    test_fraction:
+        Fraction of each user's positives moved to the test set (paper: 0.25).
+    min_train_positives:
+        A user must retain at least this many training positives; users with
+        too few interactions contribute nothing to the test set.
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    Split
+        The training matrix (same shape as the input) and the per-user
+        held-out items.
+    """
+    if not 0 < test_fraction < 1:
+        raise DataError(f"test_fraction must lie in (0, 1), got {test_fraction}")
+    if min_train_positives < 0:
+        raise DataError("min_train_positives must be non-negative")
+    rng = ensure_rng(random_state)
+
+    removed: List[Tuple[int, int]] = []
+    test_items: Dict[int, np.ndarray] = {}
+    for user in range(matrix.n_users):
+        items = matrix.items_of_user(user)
+        if len(items) == 0:
+            continue
+        n_test = int(np.floor(test_fraction * len(items)))
+        n_test = min(n_test, len(items) - min_train_positives)
+        if n_test <= 0:
+            continue
+        chosen = rng.choice(items, size=n_test, replace=False)
+        chosen = np.sort(chosen)
+        test_items[user] = chosen
+        removed.extend((user, int(item)) for item in chosen)
+
+    if not removed:
+        raise DataError(
+            "the split produced no test examples; the matrix is too sparse for "
+            f"test_fraction={test_fraction}"
+        )
+    train = matrix.without_pairs(removed)
+    return Split(train=train, test_items=test_items)
+
+
+def leave_k_out_split(
+    matrix: InteractionMatrix,
+    k: int = 1,
+    min_train_positives: int = 1,
+    random_state: RandomStateLike = None,
+) -> Split:
+    """Hold out exactly ``k`` positives per eligible user.
+
+    Users with fewer than ``k + min_train_positives`` positives are skipped.
+    """
+    if k <= 0:
+        raise DataError(f"k must be positive, got {k}")
+    rng = ensure_rng(random_state)
+    removed: List[Tuple[int, int]] = []
+    test_items: Dict[int, np.ndarray] = {}
+    for user in range(matrix.n_users):
+        items = matrix.items_of_user(user)
+        if len(items) < k + min_train_positives:
+            continue
+        chosen = np.sort(rng.choice(items, size=k, replace=False))
+        test_items[user] = chosen
+        removed.extend((user, int(item)) for item in chosen)
+    if not removed:
+        raise DataError("leave-k-out produced no test examples")
+    train = matrix.without_pairs(removed)
+    return Split(train=train, test_items=test_items)
+
+
+def kfold_splits(
+    matrix: InteractionMatrix,
+    n_folds: int = 4,
+    random_state: RandomStateLike = None,
+) -> Iterator[Split]:
+    """Yield ``n_folds`` cross-validation splits over the positive pairs.
+
+    The positive pairs are partitioned globally into ``n_folds`` groups; each
+    fold's split uses one group as the test set.  Users whose entire history
+    falls into the test group keep one training positive (moved back) so the
+    training matrix never has empty rows that were non-empty originally.
+    """
+    if n_folds < 2:
+        raise DataError(f"n_folds must be at least 2, got {n_folds}")
+    rng = ensure_rng(random_state)
+    pairs = matrix.pairs()
+    if len(pairs) < n_folds:
+        raise DataError("not enough positive examples for the requested number of folds")
+    order = rng.permutation(len(pairs))
+    fold_of_pair = np.empty(len(pairs), dtype=np.int64)
+    for position, pair_index in enumerate(order):
+        fold_of_pair[pair_index] = position % n_folds
+
+    for fold in range(n_folds):
+        test_mask = fold_of_pair == fold
+        held: Dict[int, List[int]] = {}
+        for user, item in pairs[test_mask]:
+            held.setdefault(int(user), []).append(int(item))
+
+        # Guarantee at least one training positive per affected user.
+        removed: List[Tuple[int, int]] = []
+        test_items: Dict[int, np.ndarray] = {}
+        for user, items in held.items():
+            full_history = matrix.items_of_user(user)
+            items_kept = items
+            if len(items) >= len(full_history):
+                items_kept = items[:-1]
+            if not items_kept:
+                continue
+            test_items[user] = np.asarray(sorted(items_kept), dtype=np.int64)
+            removed.extend((user, item) for item in items_kept)
+        if not removed:
+            continue
+        train = matrix.without_pairs(removed)
+        yield Split(train=train, test_items=test_items)

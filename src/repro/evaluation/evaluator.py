@@ -1,0 +1,216 @@
+"""Evaluation protocols: score a fitted recommender against held-out positives.
+
+:func:`evaluate_recommender` implements the paper's protocol: for every test
+user, rank the unknown items of the *training* matrix, take the top ``M`` and
+compare against the user's held-out positives, then average recall@M, MAP@M
+(and companions) over users.  :func:`evaluate_curves` sweeps ``M`` to produce
+the Figure 5 curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.base import Recommender
+from repro.data.splitting import Split
+from repro.evaluation import metrics
+from repro.exceptions import EvaluationError
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated ranking metrics over the test users.
+
+    Attributes
+    ----------
+    m:
+        Cut-off used for every metric.
+    n_users:
+        Number of users that contributed to the averages.
+    recall, map, precision, ndcg, hit_rate:
+        Mean metric values over those users.
+    per_user:
+        Optional per-user recall/AP breakdown (populated when
+        ``keep_per_user=True``), useful for significance checks.
+    """
+
+    m: int
+    n_users: int
+    recall: float
+    map: float
+    precision: float
+    ndcg: float
+    hit_rate: float
+    per_user: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the aggregate metrics (for tables/JSON)."""
+        return {
+            "m": float(self.m),
+            "n_users": float(self.n_users),
+            "recall": self.recall,
+            "map": self.map,
+            "precision": self.precision,
+            "ndcg": self.ndcg,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def evaluate_recommender(
+    model: Recommender,
+    split: Split,
+    m: int = 50,
+    users: Optional[Iterable[int]] = None,
+    keep_per_user: bool = False,
+) -> EvaluationResult:
+    """Evaluate a fitted recommender on a train/test split.
+
+    Parameters
+    ----------
+    model:
+        A recommender already fitted on ``split.train``.
+    split:
+        The train/test partition produced by
+        :mod:`repro.data.splitting`.
+    m:
+        Recommendation-list length (the paper uses M=50 for Table I).
+    users:
+        Optional subset of test users to evaluate (defaults to every user
+        with held-out positives); the Table I benchmark subsamples users to
+        keep runtimes small.
+    keep_per_user:
+        When ``True``, the per-user recall/AP values are retained in the
+        result for downstream statistical analysis.
+
+    Returns
+    -------
+    EvaluationResult
+        Mean recall@M, MAP@M, precision@M, NDCG@M and hit-rate@M.
+    """
+    if m <= 0:
+        raise EvaluationError(f"m must be positive, got {m}")
+    if not model.is_fitted:
+        raise EvaluationError("the recommender must be fitted before evaluation")
+
+    if users is None:
+        eligible = sorted(split.test_items.keys())
+    else:
+        eligible = [user for user in users if user in split.test_items]
+    if not eligible:
+        raise EvaluationError("no test users with held-out positives to evaluate")
+
+    recalls: List[float] = []
+    average_precisions: List[float] = []
+    precisions: List[float] = []
+    ndcgs: List[float] = []
+    hits: List[float] = []
+    per_user: Dict[int, Dict[str, float]] = {}
+
+    for user in eligible:
+        relevant = split.test_items[user]
+        ranked = model.recommend(user, n_items=m, exclude_seen=True)
+        user_recall = metrics.recall_at_m(ranked, relevant, m)
+        user_ap = metrics.average_precision_at_m(ranked, relevant, m)
+        user_precision = metrics.precision_at_m(ranked, relevant, m)
+        user_ndcg = metrics.ndcg_at_m(ranked, relevant, m)
+        user_hit = metrics.hit_rate_at_m(ranked, relevant, m)
+        recalls.append(user_recall)
+        average_precisions.append(user_ap)
+        precisions.append(user_precision)
+        ndcgs.append(user_ndcg)
+        hits.append(user_hit)
+        if keep_per_user:
+            per_user[user] = {
+                "recall": user_recall,
+                "ap": user_ap,
+                "precision": user_precision,
+                "ndcg": user_ndcg,
+                "hit": user_hit,
+            }
+
+    return EvaluationResult(
+        m=m,
+        n_users=len(eligible),
+        recall=float(np.mean(recalls)),
+        map=float(np.mean(average_precisions)),
+        precision=float(np.mean(precisions)),
+        ndcg=float(np.mean(ndcgs)),
+        hit_rate=float(np.mean(hits)),
+        per_user=per_user,
+    )
+
+
+def evaluate_curves(
+    model: Recommender,
+    split: Split,
+    m_values: Sequence[int],
+    users: Optional[Iterable[int]] = None,
+) -> Dict[int, EvaluationResult]:
+    """Evaluate at several cut-offs (the Figure 5 recall@M / MAP@M curves).
+
+    The recommendation list is computed once per user at ``max(m_values)``
+    and truncated for the smaller cut-offs, so the sweep costs barely more
+    than a single evaluation.
+    """
+    if not m_values:
+        raise EvaluationError("m_values must not be empty")
+    m_sorted = sorted(set(int(m) for m in m_values))
+    if m_sorted[0] <= 0:
+        raise EvaluationError("all cut-offs must be positive")
+    max_m = m_sorted[-1]
+
+    if users is None:
+        eligible = sorted(split.test_items.keys())
+    else:
+        eligible = [user for user in users if user in split.test_items]
+    if not eligible:
+        raise EvaluationError("no test users with held-out positives to evaluate")
+
+    accumulators: Dict[int, Dict[str, List[float]]] = {
+        m: {"recall": [], "ap": [], "precision": [], "ndcg": [], "hit": []} for m in m_sorted
+    }
+    for user in eligible:
+        relevant = split.test_items[user]
+        ranked_full = model.recommend(user, n_items=max_m, exclude_seen=True)
+        for m in m_sorted:
+            ranked = ranked_full[:m]
+            accumulators[m]["recall"].append(metrics.recall_at_m(ranked, relevant, m))
+            accumulators[m]["ap"].append(metrics.average_precision_at_m(ranked, relevant, m))
+            accumulators[m]["precision"].append(metrics.precision_at_m(ranked, relevant, m))
+            accumulators[m]["ndcg"].append(metrics.ndcg_at_m(ranked, relevant, m))
+            accumulators[m]["hit"].append(metrics.hit_rate_at_m(ranked, relevant, m))
+
+    results: Dict[int, EvaluationResult] = {}
+    for m in m_sorted:
+        acc = accumulators[m]
+        results[m] = EvaluationResult(
+            m=m,
+            n_users=len(eligible),
+            recall=float(np.mean(acc["recall"])),
+            map=float(np.mean(acc["ap"])),
+            precision=float(np.mean(acc["precision"])),
+            ndcg=float(np.mean(acc["ndcg"])),
+            hit_rate=float(np.mean(acc["hit"])),
+        )
+    return results
+
+
+def compare_recommenders(
+    models: Mapping[str, Recommender],
+    split: Split,
+    m: int = 50,
+    users: Optional[Iterable[int]] = None,
+) -> Dict[str, EvaluationResult]:
+    """Evaluate several fitted recommenders on the same split.
+
+    Returns a mapping from model name to its :class:`EvaluationResult`; used
+    by the Table I benchmark to build the per-dataset comparison rows.
+    """
+    user_list = None if users is None else list(users)
+    return {
+        name: evaluate_recommender(model, split, m=m, users=user_list)
+        for name, model in models.items()
+    }

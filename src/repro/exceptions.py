@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class when they do not care about the specific failure
+mode.  The more specific subclasses mirror the major subsystems: data
+handling, model configuration / fitting, and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class DataError(ReproError):
+    """Raised when an interaction matrix or dataset is malformed.
+
+    Examples include: negative user/item indices, duplicate interactions
+    passed to a constructor that forbids them, or an empty matrix where a
+    non-empty one is required.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model or experiment is configured with invalid values.
+
+    Examples include: a non-positive number of co-clusters, a negative
+    regularisation strength, or line-search constants outside ``(0, 1)``.
+    """
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used for prediction before being fitted."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops without converging."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation protocol cannot be carried out.
+
+    Examples include: requesting recall@M for a user with no held-out
+    positives when the protocol forbids it, or a train/test split that
+    leaves no test users.
+    """

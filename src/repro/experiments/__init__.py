@@ -1,0 +1,39 @@
+"""Experiment harness: one module per paper table/figure, plus shared helpers.
+
+Each experiment module exposes a ``run_*`` function returning a plain result
+object and a ``format_*`` function rendering it next to the paper's reported
+numbers.  The ``benchmarks/`` directory wraps these functions in
+pytest-benchmark entries; the modules themselves stay importable from
+examples and tests.
+"""
+
+from repro.experiments.zoo import build_model_zoo, MODEL_NAMES
+from repro.experiments.paper_reference import (
+    TABLE1_PAPER,
+    FIGURE5_PAPER_SHAPE,
+    PAPER_CLAIMS,
+)
+from repro.experiments.toy import run_toy_example, run_community_comparison
+from repro.experiments.accuracy import run_table1, run_recall_curves
+from repro.experiments.parameters import run_parameter_study
+from repro.experiments.scalability import run_scalability_study
+from repro.experiments.backends import run_backend_comparison
+from repro.experiments.gridsearch import run_grid_search_experiment
+from repro.experiments.deployment import run_deployment_example
+
+__all__ = [
+    "build_model_zoo",
+    "MODEL_NAMES",
+    "TABLE1_PAPER",
+    "FIGURE5_PAPER_SHAPE",
+    "PAPER_CLAIMS",
+    "run_toy_example",
+    "run_community_comparison",
+    "run_table1",
+    "run_recall_curves",
+    "run_parameter_study",
+    "run_scalability_study",
+    "run_backend_comparison",
+    "run_grid_search_experiment",
+    "run_deployment_example",
+]

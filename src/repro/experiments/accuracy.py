@@ -1,0 +1,222 @@
+"""Accuracy experiments: Table I and the Figure 5 recall/MAP curves.
+
+``run_table1`` evaluates the six Table I algorithms on one of the paper's
+(stand-in) datasets with the 75/25 repeated-hold-out protocol and returns a
+comparison table.  ``run_recall_curves`` produces recall@M and MAP@M series
+over a sweep of M for the same algorithms on the MovieLens-like corpus
+(Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import dataset_by_name
+from repro.data.splitting import train_test_split
+from repro.evaluation.evaluator import evaluate_curves, evaluate_recommender
+from repro.experiments.paper_reference import TABLE1_PAPER
+from repro.experiments.zoo import MODEL_NAMES, build_model_zoo
+from repro.utils.rng import RandomStateLike, spawn_seeds
+from repro.utils.tables import format_table
+
+#: Per-dataset hyper-parameters used when the caller does not supply its own
+#: ``zoo_kwargs``.  The paper selects (K, lambda) per dataset by grid search;
+#: these values come from the same kind of search run on the synthetic
+#: stand-in corpora at benchmark scale (see benchmarks/bench_fig9_grid_search.py).
+DATASET_ZOO_DEFAULTS: Dict[str, dict] = {
+    "movielens": {"n_coclusters": 20, "regularization": 15.0},
+    "citeulike": {"n_coclusters": 25, "regularization": 10.0},
+    "netflix": {"n_coclusters": 30, "regularization": 15.0},
+    "b2b": {"n_coclusters": 12, "regularization": 5.0},
+}
+
+
+@dataclass
+class Table1Result:
+    """Measured MAP@M and recall@M for every algorithm on one dataset.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset key (``movielens``, ``citeulike`` or ``b2b``).
+    m:
+        Metric cut-off (50 in the paper).
+    metrics:
+        ``metrics[method]["recall"|"map"]`` — means over repetitions.
+    stds:
+        Matching standard deviations over repetitions.
+    n_repeats:
+        Number of random train/test instances averaged.
+    """
+
+    dataset: str
+    m: int
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    stds: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    n_repeats: int = 0
+
+    def ranking(self, metric: str = "recall") -> List[str]:
+        """Method names sorted by decreasing measured ``metric``."""
+        return sorted(self.metrics, key=lambda name: -self.metrics[name][metric])
+
+    def to_text(self) -> str:
+        """Render measured values next to the paper's Table I values."""
+        paper = TABLE1_PAPER.get(self.dataset, {})
+        rows = []
+        for name in self.metrics:
+            rows.append(
+                [
+                    name,
+                    self.metrics[name]["map"],
+                    paper.get("MAP@50", {}).get(name, float("nan")),
+                    self.metrics[name]["recall"],
+                    paper.get("recall@50", {}).get(name, float("nan")),
+                ]
+            )
+        header = [
+            "method",
+            f"MAP@{self.m} (measured)",
+            "MAP@50 (paper)",
+            f"recall@{self.m} (measured)",
+            "recall@50 (paper)",
+        ]
+        title = f"Table I — {self.dataset} (mean over {self.n_repeats} instances)"
+        return title + "\n" + format_table(header, rows)
+
+
+def run_table1(
+    dataset: str = "movielens",
+    m: int = 50,
+    n_repeats: int = 2,
+    scale: float = 0.5,
+    max_users: Optional[int] = 150,
+    methods: Optional[Sequence[str]] = None,
+    random_state: RandomStateLike = 0,
+    zoo_kwargs: Optional[dict] = None,
+) -> Table1Result:
+    """Run the Table I comparison on one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        ``"movielens"``, ``"citeulike"`` or ``"b2b"``.
+    m:
+        Metric cut-off.
+    n_repeats:
+        Number of 75/25 instances (the paper uses 10; 2-3 keeps the benchmark
+        affordable while still averaging out split noise).
+    scale:
+        Size multiplier applied to the synthetic corpus.
+    max_users:
+        Cap on evaluated test users per instance (None = all).
+    methods:
+        Subset of :data:`~repro.experiments.zoo.MODEL_NAMES` to run.
+    random_state:
+        Master seed.
+    zoo_kwargs:
+        Extra keyword arguments forwarded to
+        :func:`~repro.experiments.zoo.build_model_zoo`.
+    """
+    matrix, _spec = dataset_by_name(dataset, random_state=random_state, scale=scale)
+    if zoo_kwargs is None:
+        zoo_kwargs = DATASET_ZOO_DEFAULTS.get(dataset, {})
+    zoo = build_model_zoo(random_state=random_state, **zoo_kwargs)
+    selected = list(methods) if methods is not None else list(MODEL_NAMES)
+
+    seeds = spawn_seeds(random_state, 2 * n_repeats)
+    per_method: Dict[str, Dict[str, List[float]]] = {
+        name: {"recall": [], "map": []} for name in selected
+    }
+    for repeat in range(n_repeats):
+        split = train_test_split(matrix, test_fraction=0.25, random_state=seeds[2 * repeat])
+        users = _subsample_users(split, max_users, seeds[2 * repeat + 1])
+        for name in selected:
+            model = zoo[name]()
+            model.fit(split.train)
+            evaluation = evaluate_recommender(model, split, m=m, users=users)
+            per_method[name]["recall"].append(evaluation.recall)
+            per_method[name]["map"].append(evaluation.map)
+
+    result = Table1Result(dataset=dataset, m=m, n_repeats=n_repeats)
+    for name in selected:
+        result.metrics[name] = {
+            "recall": float(np.mean(per_method[name]["recall"])),
+            "map": float(np.mean(per_method[name]["map"])),
+        }
+        result.stds[name] = {
+            "recall": float(np.std(per_method[name]["recall"])),
+            "map": float(np.std(per_method[name]["map"])),
+        }
+    return result
+
+
+def _subsample_users(split, max_users: Optional[int], seed: int) -> Optional[List[int]]:
+    """Pick a reproducible subset of test users (None = use all)."""
+    if max_users is None:
+        return None
+    users = sorted(split.test_items.keys())
+    if len(users) <= max_users:
+        return users
+    rng = np.random.default_rng(seed)
+    return sorted(int(user) for user in rng.choice(users, size=max_users, replace=False))
+
+
+@dataclass
+class RecallCurvesResult:
+    """Recall@M and MAP@M series per method (Figure 5).
+
+    ``curves[method]["recall"]`` is aligned with :attr:`m_values`.
+    """
+
+    m_values: List[int]
+    curves: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render both panels of Figure 5 as tables."""
+        header = ["M"] + list(self.curves.keys())
+        recall_rows = []
+        map_rows = []
+        for index, m in enumerate(self.m_values):
+            recall_rows.append([m] + [self.curves[name]["recall"][index] for name in self.curves])
+            map_rows.append([m] + [self.curves[name]["map"][index] for name in self.curves])
+        return (
+            "Figure 5 (left): recall@M\n"
+            + format_table(header, recall_rows)
+            + "\n\nFigure 5 (right): MAP@M\n"
+            + format_table(header, map_rows)
+        )
+
+
+def run_recall_curves(
+    dataset: str = "movielens",
+    m_values: Sequence[int] = (5, 10, 20, 50, 100),
+    scale: float = 0.5,
+    max_users: Optional[int] = 150,
+    methods: Optional[Sequence[str]] = None,
+    random_state: RandomStateLike = 0,
+    zoo_kwargs: Optional[dict] = None,
+) -> RecallCurvesResult:
+    """Produce the Figure 5 recall@M / MAP@M curves for every method."""
+    matrix, _spec = dataset_by_name(dataset, random_state=random_state, scale=scale)
+    split = train_test_split(matrix, test_fraction=0.25, random_state=random_state)
+    seeds = spawn_seeds(random_state, 1)
+    users = _subsample_users(split, max_users, seeds[0])
+
+    if zoo_kwargs is None:
+        zoo_kwargs = DATASET_ZOO_DEFAULTS.get(dataset, {})
+    zoo = build_model_zoo(random_state=random_state, **zoo_kwargs)
+    selected = list(methods) if methods is not None else list(MODEL_NAMES)
+
+    result = RecallCurvesResult(m_values=[int(m) for m in sorted(set(m_values))])
+    for name in selected:
+        model = zoo[name]()
+        model.fit(split.train)
+        by_m = evaluate_curves(model, split, m_values=result.m_values, users=users)
+        result.curves[name] = {
+            "recall": [by_m[m].recall for m in result.m_values],
+            "map": [by_m[m].map for m in result.m_values],
+        }
+    return result

@@ -1,0 +1,145 @@
+"""Hyper-parameter study: Figure 6 (recall and co-cluster metrics vs K, lambda).
+
+For every (K, lambda) combination the experiment fits OCuLaR on a training
+split, measures recall@M on the held-out positives and computes the
+co-cluster statistics the paper plots: users per co-cluster, items per
+co-cluster and co-cluster density.  The paper's observations to reproduce:
+
+* lambda = 0 (no regularisation) and lambda very large both hurt recall;
+* larger K gives smaller, denser co-clusters;
+* a mid-range (K, lambda) region maximises recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coclusters import cocluster_statistics, extract_coclusters
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import dataset_by_name
+from repro.data.splitting import train_test_split
+from repro.evaluation.evaluator import evaluate_recommender
+from repro.utils.rng import RandomStateLike, spawn_seeds
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ParameterStudyPoint:
+    """Metrics for one (K, lambda) combination."""
+
+    n_coclusters: int
+    regularization: float
+    recall: float
+    map: float
+    mean_users_per_cocluster: float
+    mean_items_per_cocluster: float
+    mean_density: float
+    mean_user_memberships: float
+
+
+@dataclass
+class ParameterStudyResult:
+    """All (K, lambda) points of the Figure 6 sweep."""
+
+    dataset: str
+    m: int
+    points: List[ParameterStudyPoint] = field(default_factory=list)
+
+    def series_for_lambda(self, regularization: float) -> List[ParameterStudyPoint]:
+        """Points with the given lambda, sorted by K (one Figure 6 line)."""
+        selected = [
+            point for point in self.points if point.regularization == regularization
+        ]
+        return sorted(selected, key=lambda point: point.n_coclusters)
+
+    def best_point(self) -> ParameterStudyPoint:
+        """The combination with the highest recall."""
+        return max(self.points, key=lambda point: point.recall)
+
+    def lambdas(self) -> List[float]:
+        """Distinct regularisation values in the sweep."""
+        return sorted({point.regularization for point in self.points})
+
+    def to_text(self) -> str:
+        """Render the four Figure 6 panels as one table."""
+        header = [
+            "K",
+            "lambda",
+            f"recall@{self.m}",
+            "users/co-cluster",
+            "items/co-cluster",
+            "density",
+            "memberships/user",
+        ]
+        rows = [
+            [
+                point.n_coclusters,
+                point.regularization,
+                point.recall,
+                point.mean_users_per_cocluster,
+                point.mean_items_per_cocluster,
+                point.mean_density,
+                point.mean_user_memberships,
+            ]
+            for point in sorted(self.points, key=lambda p: (p.regularization, p.n_coclusters))
+        ]
+        return f"Figure 6 — parameter study ({self.dataset})\n" + format_table(header, rows)
+
+
+def run_parameter_study(
+    dataset: str = "movielens",
+    k_values: Sequence[int] = (5, 10, 20, 40, 80),
+    lambda_values: Sequence[float] = (0.0, 5.0, 30.0, 100.0),
+    m: int = 50,
+    scale: float = 0.4,
+    max_users: Optional[int] = 120,
+    max_iterations: int = 60,
+    random_state: RandomStateLike = 0,
+) -> ParameterStudyResult:
+    """Sweep (K, lambda) and record recall plus co-cluster statistics.
+
+    Parameters mirror :func:`repro.experiments.accuracy.run_table1`;
+    ``k_values`` and ``lambda_values`` define the sweep.
+    """
+    matrix, _spec = dataset_by_name(dataset, random_state=random_state, scale=scale)
+    split = train_test_split(matrix, test_fraction=0.25, random_state=random_state)
+    seeds = spawn_seeds(random_state, 1)
+    users = None
+    if max_users is not None:
+        all_users = sorted(split.test_items.keys())
+        if len(all_users) > max_users:
+            import numpy as np
+
+            rng = np.random.default_rng(seeds[0])
+            users = sorted(int(u) for u in rng.choice(all_users, size=max_users, replace=False))
+        else:
+            users = all_users
+
+    result = ParameterStudyResult(dataset=dataset, m=m)
+    for regularization in lambda_values:
+        for n_coclusters in k_values:
+            model = OCuLaR(
+                n_coclusters=int(n_coclusters),
+                regularization=float(regularization),
+                max_iterations=max_iterations,
+                random_state=random_state,
+            ).fit(split.train)
+            evaluation = evaluate_recommender(model, split, m=m, users=users)
+            coclusters = extract_coclusters(model.factors_, split.train)
+            stats = cocluster_statistics(
+                coclusters, n_users=matrix.n_users, n_items=matrix.n_items
+            )
+            result.points.append(
+                ParameterStudyPoint(
+                    n_coclusters=int(n_coclusters),
+                    regularization=float(regularization),
+                    recall=evaluation.recall,
+                    map=evaluation.map,
+                    mean_users_per_cocluster=stats.mean_users,
+                    mean_items_per_cocluster=stats.mean_items,
+                    mean_density=stats.mean_density,
+                    mean_user_memberships=stats.mean_user_memberships,
+                )
+            )
+    return result

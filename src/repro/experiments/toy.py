@@ -1,0 +1,186 @@
+"""Toy-example experiments: Figures 1, 2 and 3.
+
+``run_toy_example`` fits OCuLaR on the 12x12 overlapping co-cluster matrix
+and reports the probability grid, the held-out recommendations recovered and
+the rationale for the paper's headline recommendation (item 4 to user 6).
+``run_community_comparison`` runs the greedy-modularity and BIGCLAM
+comparators on the same matrix and counts how many of the three candidate
+recommendations their (co-)communities cover — the paper's Figure 2 point is
+that generic community detection recovers only one of the three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.community.bigclam import BigClam
+from repro.community.modularity import GreedyModularityCommunities
+from repro.core.explain import Explanation
+from repro.core.ocular import OCuLaR
+from repro.core.render import render_matrix, render_probability_matrix
+from repro.data.synthetic import PlantedCoClusters, make_paper_toy_example
+from repro.utils.rng import RandomStateLike
+
+
+@dataclass
+class ToyExampleResult:
+    """Outcome of fitting OCuLaR on the Figure 1/3 toy matrix.
+
+    Attributes
+    ----------
+    dataset:
+        The planted toy data (matrix, ground-truth co-clusters, holes).
+    headline_confidence:
+        Fitted ``P[r = 1]`` for the paper's headline pair (user 6, item 4).
+    headline_rank:
+        Rank of item 4 among user 6's unknown items (1 = top recommendation).
+    holes_recovered_at_1:
+        How many of the three held-out pairs are each user's top-1
+        recommendation.
+    explanation:
+        The generated rationale for (user 6, item 4).
+    matrix_text, probability_text:
+        ASCII renderings of the input matrix and the fitted probabilities.
+    """
+
+    dataset: PlantedCoClusters
+    headline_confidence: float
+    headline_rank: int
+    holes_recovered_at_1: int
+    explanation: Explanation
+    matrix_text: str
+    probability_text: str
+    model: OCuLaR = None
+
+
+HEADLINE_USER = 6
+HEADLINE_ITEM = 4
+
+
+def run_toy_example(
+    n_coclusters: int = 3,
+    regularization: float = 0.05,
+    max_iterations: int = 500,
+    n_restarts: int = 5,
+    random_state: RandomStateLike = 0,
+) -> ToyExampleResult:
+    """Fit OCuLaR on the paper's toy matrix and reproduce the Figure 3 output.
+
+    The likelihood is non-convex and the toy problem is tiny, so the fit is
+    repeated from ``n_restarts`` random initialisations and the solution with
+    the lowest objective is kept (the usual practice for K this small).
+    """
+    import warnings
+
+    dataset = make_paper_toy_example()
+    model: OCuLaR | None = None
+    base_seed = int(np.random.default_rng(
+        random_state if isinstance(random_state, (int, np.integer)) else None
+    ).integers(0, 2**31 - 1)) if not isinstance(random_state, (int, np.integer)) else int(random_state)
+    for restart in range(max(1, n_restarts)):
+        candidate = OCuLaR(
+            n_coclusters=n_coclusters,
+            regularization=regularization,
+            max_iterations=max_iterations,
+            random_state=base_seed + restart,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            candidate.fit(dataset.matrix)
+        if model is None or candidate.history_.final_objective < model.history_.final_objective:
+            model = candidate
+    assert model is not None
+
+    scores = model.score_user(HEADLINE_USER)
+    seen = set(dataset.matrix.items_of_user(HEADLINE_USER).tolist())
+    unknown_items = [item for item in range(dataset.matrix.n_items) if item not in seen]
+    order = sorted(unknown_items, key=lambda item: -scores[item])
+    headline_rank = order.index(HEADLINE_ITEM) + 1 if HEADLINE_ITEM in order else -1
+
+    holes_recovered = 0
+    for user, item in dataset.heldout_pairs:
+        top = model.recommend(user, n_items=1, exclude_seen=True)
+        if len(top) and int(top[0]) == item:
+            holes_recovered += 1
+
+    explanation = model.explain(HEADLINE_USER, HEADLINE_ITEM)
+    return ToyExampleResult(
+        dataset=dataset,
+        headline_confidence=model.predict_proba(HEADLINE_USER, HEADLINE_ITEM),
+        headline_rank=headline_rank,
+        holes_recovered_at_1=holes_recovered,
+        explanation=explanation,
+        matrix_text=render_matrix(dataset.matrix),
+        probability_text=render_probability_matrix(model.factors_, dataset.matrix, max_users=12, max_items=12),
+        model=model,
+    )
+
+
+@dataclass
+class CommunityComparisonResult:
+    """Outcome of the Figure 2 comparison on the toy matrix.
+
+    For each method, records how many of the held-out candidate
+    recommendations are *covered*: the pair (user, item) is covered when some
+    detected community/co-cluster contains both the user and the item.
+    """
+
+    heldout_pairs: List[Tuple[int, int]]
+    coverage: Dict[str, int] = field(default_factory=dict)
+    n_communities: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_candidates(self) -> int:
+        """Number of candidate recommendations planted in the toy matrix."""
+        return len(self.heldout_pairs)
+
+
+def _pairs_covered(
+    pairs: Sequence[Tuple[int, int]],
+    user_sets: Sequence[np.ndarray],
+    item_sets: Sequence[np.ndarray],
+) -> int:
+    """Count pairs contained in at least one (user-set, item-set) block."""
+    covered = 0
+    for user, item in pairs:
+        for users, items in zip(user_sets, item_sets):
+            if user in set(int(x) for x in users) and item in set(int(x) for x in items):
+                covered += 1
+                break
+    return covered
+
+
+def run_community_comparison(
+    n_communities: int = 3,
+    random_state: RandomStateLike = 0,
+) -> CommunityComparisonResult:
+    """Reproduce Figure 2: generic community detection misses the overlaps."""
+    dataset = make_paper_toy_example()
+    result = CommunityComparisonResult(heldout_pairs=list(dataset.heldout_pairs))
+
+    modularity = GreedyModularityCommunities().fit(dataset.matrix)
+    result.coverage["modularity"] = _pairs_covered(
+        dataset.heldout_pairs, modularity.user_communities(), modularity.item_communities()
+    )
+    result.n_communities["modularity"] = modularity.n_communities
+
+    bigclam = BigClam(
+        n_communities=n_communities, max_iterations=150, random_state=random_state
+    ).fit(dataset.matrix)
+    result.coverage["bigclam"] = _pairs_covered(
+        dataset.heldout_pairs, bigclam.user_communities(), bigclam.item_communities()
+    )
+    result.n_communities["bigclam"] = len(bigclam.communities())
+
+    toy = run_toy_example(n_coclusters=n_communities, random_state=random_state)
+    # OCuLaR produces a ranked recommendation list, so its candidates are the
+    # top-1 recommendations rather than bare community membership — this is
+    # exactly the paper's point about community detection not being directly
+    # applicable to OCCF.
+    result.coverage["ocular"] = toy.holes_recovered_at_1
+    coclusters = toy.model.coclusters(membership_threshold=0.5)
+    result.n_communities["ocular"] = sum(1 for c in coclusters if not c.is_empty)
+    return result

@@ -1,0 +1,5 @@
+"""Parallel execution helpers (stand-in for the paper's Spark/GPU grid search)."""
+
+from repro.parallel.executor import SerialExecutor, ProcessExecutor, ThreadExecutor
+
+__all__ = ["SerialExecutor", "ProcessExecutor", "ThreadExecutor"]

@@ -1,0 +1,57 @@
+"""Random-number-generator helpers.
+
+Every stochastic component of the library accepts a ``random_state`` argument
+that may be ``None``, an integer seed, or a fully constructed
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalises these three
+forms into a ``Generator`` so downstream code never has to branch on the
+type of the seed again.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomStateLike = Union[None, int, np.random.Generator, np.random.RandomState]
+
+
+def ensure_rng(random_state: RandomStateLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for non-deterministic behaviour, an ``int`` seed for
+        reproducible behaviour, or an already-constructed generator which is
+        returned unchanged.  Legacy :class:`numpy.random.RandomState`
+        instances are wrapped by drawing a fresh seed from them.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator usable by all library components.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.RandomState):
+        seed = random_state.randint(0, 2**31 - 1)
+        return np.random.default_rng(seed)
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, numpy.random.Generator or "
+        f"numpy.random.RandomState, got {type(random_state).__name__}"
+    )
+
+
+def spawn_seeds(random_state: RandomStateLike, count: int) -> list[int]:
+    """Draw ``count`` independent integer seeds from ``random_state``.
+
+    Useful when an experiment needs one deterministic seed per repetition
+    (e.g. the ten train/test instances used for Table I).
+    """
+    rng = ensure_rng(random_state)
+    return [int(seed) for seed in rng.integers(0, 2**31 - 1, size=count)]

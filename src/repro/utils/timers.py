@@ -1,0 +1,71 @@
+"""Timing utilities used by the scalability experiments (Figures 7 and 8).
+
+The paper reports per-iteration running time and likelihood-versus-time
+trajectories.  :class:`Timer` measures a single block of code;
+:class:`TimingLog` accumulates named measurements over the course of a
+training run so the benchmark harness can reconstruct the trajectories.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Timer:
+    """Context manager measuring wall-clock time of a block.
+
+    Example
+    -------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float = 0.0
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class TimingLog:
+    """Accumulates named wall-clock measurements.
+
+    Each call to :meth:`record` appends an observation under a name; the
+    per-name lists preserve insertion order so they can be interpreted as a
+    time series (e.g. seconds per training sweep).
+    """
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Append ``seconds`` to the series called ``name``."""
+        self.records.setdefault(name, []).append(float(seconds))
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated for ``name`` (0.0 when never recorded)."""
+        return float(sum(self.records.get(name, [])))
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per observation for ``name`` (0.0 when never recorded)."""
+        series = self.records.get(name, [])
+        if not series:
+            return 0.0
+        return float(sum(series) / len(series))
+
+    def count(self, name: str) -> int:
+        """Number of observations recorded for ``name``."""
+        return len(self.records.get(name, []))
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Return a copy of the raw per-name series."""
+        return {name: list(series) for name, series in self.records.items()}

@@ -1,0 +1,81 @@
+"""Light-weight argument validation helpers.
+
+These helpers raise :class:`repro.exceptions.ConfigurationError` with a
+message that names the offending parameter, which keeps the constructors of
+the estimators small and their error messages consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative integer, got {value!r}")
+    return int(value)
+
+
+def check_non_negative_float(value: Any, name: str) -> float:
+    """Validate that ``value`` is a finite float greater than or equal to zero."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a non-negative number, got {value!r}") from exc
+    if not np.isfinite(result) or result < 0:
+        raise ConfigurationError(f"{name} must be a non-negative number, got {value!r}")
+    return result
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Validate that ``value`` is a finite float strictly greater than zero."""
+    result = check_non_negative_float(value, name)
+    if result == 0:
+        raise ConfigurationError(f"{name} must be strictly positive, got {value!r}")
+    return result
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    result = check_non_negative_float(value, name)
+    if result > 1:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return result
+
+
+def check_unit_interval_open(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the open interval (0, 1).
+
+    The Armijo line-search constants ``sigma`` and ``beta`` of the paper are
+    required to lie strictly inside the unit interval.
+    """
+    result = check_non_negative_float(value, name)
+    if result <= 0 or result >= 1:
+        raise ConfigurationError(f"{name} must lie in the open interval (0, 1), got {value!r}")
+    return result
+
+
+def check_array_2d(array: Any, name: str) -> np.ndarray:
+    """Validate that ``array`` is a finite two-dimensional float array."""
+    result = np.asarray(array, dtype=float)
+    if result.ndim != 2:
+        raise ConfigurationError(f"{name} must be two-dimensional, got shape {result.shape}")
+    if not np.all(np.isfinite(result)):
+        raise ConfigurationError(f"{name} must contain only finite values")
+    return result

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures that require fitting a model are session-scoped so the many tests
+that only inspect a fitted model do not each pay for training.  All fixtures
+use fixed seeds; the suite is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import make_b2b, make_movielens_like
+from repro.data.interactions import InteractionMatrix
+from repro.data.splitting import train_test_split
+from repro.data.synthetic import make_paper_toy_example, make_planted_coclusters
+
+
+@pytest.fixture(autouse=True)
+def _silence_convergence_warnings():
+    """Tests use tiny iteration budgets; convergence warnings are expected."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+@pytest.fixture(scope="session")
+def toy_dataset():
+    """The paper's 12x12 toy example (three overlapping co-clusters)."""
+    return make_paper_toy_example()
+
+
+@pytest.fixture(scope="session")
+def small_matrix():
+    """A small deterministic interaction matrix with two obvious blocks."""
+    dense = np.zeros((8, 6))
+    dense[0:4, 0:3] = 1.0
+    dense[4:8, 3:6] = 1.0
+    dense[0, 5] = 1.0  # one cross-block interaction
+    return InteractionMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="session")
+def planted():
+    """Planted overlapping co-clusters with held-out positives."""
+    return make_planted_coclusters(
+        n_users=80,
+        n_items=50,
+        n_coclusters=3,
+        users_per_cocluster=25,
+        items_per_cocluster=15,
+        within_density=0.9,
+        background_density=0.01,
+        holdout_fraction=0.1,
+        random_state=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def movielens_small():
+    """A small MovieLens-like corpus plus a train/test split."""
+    matrix, spec = make_movielens_like(n_users=120, n_items=80, random_state=3)
+    split = train_test_split(matrix, test_fraction=0.25, random_state=3)
+    return matrix, spec, split
+
+
+@pytest.fixture(scope="session")
+def b2b_small():
+    """A small named B2B corpus (for explanation / deployment tests)."""
+    return make_b2b(n_clients=80, n_products=20, random_state=5)
+
+
+@pytest.fixture(scope="session")
+def fitted_toy_model(toy_dataset):
+    """OCuLaR fitted on the toy matrix (K = 3, light regularisation)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return OCuLaR(
+            n_coclusters=3, regularization=0.05, max_iterations=400, random_state=2
+        ).fit(toy_dataset.matrix)
+
+
+@pytest.fixture(scope="session")
+def fitted_movielens_model(movielens_small):
+    """OCuLaR fitted on the small MovieLens-like training split."""
+    _, _, split = movielens_small
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return OCuLaR(
+            n_coclusters=12, regularization=8.0, max_iterations=60, random_state=0
+        ).fit(split.train)

@@ -1,0 +1,150 @@
+"""Tests for the compute backends (reference vs vectorized sweeps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.backends import (
+    ReferenceBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+)
+from repro.core.objective import full_objective
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def sweep_problem():
+    """A reproducible item-sweep problem: rows = items, cols = users."""
+    rng = np.random.default_rng(1)
+    dense = (rng.random((12, 20)) < 0.25).astype(float)  # items x users
+    matrix = sp.csr_matrix(dense)
+    row_factors = rng.uniform(0.05, 0.8, size=(12, 4))
+    col_factors = rng.uniform(0.05, 0.8, size=(20, 4))
+    return matrix, row_factors, col_factors
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert set(available_backends()) == {"reference", "vectorized"}
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+        assert isinstance(get_backend("vectorized"), VectorizedBackend)
+
+    def test_get_backend_passthrough_instance(self):
+        backend = VectorizedBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("cuda")
+
+
+@pytest.mark.parametrize("backend_name", ["reference", "vectorized"])
+class TestSweepBehaviour:
+    def test_factors_stay_non_negative(self, backend_name, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        backend = get_backend(backend_name)
+        updated, _ = backend.sweep(matrix, row_factors, col_factors, regularization=0.5)
+        assert (updated >= 0).all()
+
+    def test_input_factors_not_mutated(self, backend_name, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        original = row_factors.copy()
+        get_backend(backend_name).sweep(matrix, row_factors, col_factors, regularization=0.5)
+        np.testing.assert_array_equal(row_factors, original)
+
+    def test_sweep_does_not_increase_block_objective(self, backend_name, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        backend = get_backend(backend_name)
+        # The block objective here is the full objective of the transposed
+        # problem with the column side held fixed.
+        before = full_objective(matrix, row_factors, col_factors, 0.5)
+        updated, _ = backend.sweep(matrix, row_factors, col_factors, regularization=0.5)
+        after = full_objective(matrix, updated, col_factors, 0.5)
+        assert after <= before + 1e-9
+
+    def test_stats_fields(self, backend_name, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        _, stats = get_backend(backend_name).sweep(
+            matrix, row_factors, col_factors, regularization=0.5
+        )
+        assert stats.n_rows == matrix.shape[0]
+        assert 0 <= stats.n_accepted <= stats.n_rows
+        assert stats.n_backtracks >= 0
+        assert 0.0 <= stats.acceptance_rate <= 1.0
+
+    def test_rows_without_positives_shrink(self, backend_name):
+        # A row with no positive entries has gradient = unknown_sum + 2*lam*f,
+        # so a projected step must not increase it.
+        matrix = sp.csr_matrix(np.array([[1, 1, 0], [0, 0, 0]], dtype=float))
+        row_factors = np.array([[0.5, 0.5], [0.8, 0.8]])
+        col_factors = np.array([[0.4, 0.1], [0.2, 0.3], [0.1, 0.1]])
+        updated, _ = get_backend(backend_name).sweep(
+            matrix, row_factors, col_factors, regularization=0.1
+        )
+        assert np.all(updated[1] <= row_factors[1] + 1e-12)
+
+    def test_weighted_sweep_runs(self, backend_name, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        col_weights = np.linspace(0.5, 2.0, matrix.shape[1])
+        updated, _ = get_backend(backend_name).sweep(
+            matrix,
+            row_factors,
+            col_factors,
+            regularization=0.5,
+            col_positive_weights=col_weights,
+        )
+        assert updated.shape == row_factors.shape
+
+
+class TestBackendEquivalence:
+    """The two backends implement the same mathematics."""
+
+    def test_single_sweep_results_match(self, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        reference, _ = ReferenceBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.3
+        )
+        vectorized, _ = VectorizedBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.3
+        )
+        np.testing.assert_allclose(reference, vectorized, rtol=1e-8, atol=1e-10)
+
+    def test_weighted_sweep_results_match(self, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        col_weights = np.linspace(0.2, 3.0, matrix.shape[1])
+        row_weights = np.linspace(0.5, 1.5, matrix.shape[0])
+        kwargs = dict(
+            regularization=0.3,
+            col_positive_weights=col_weights,
+            row_positive_weights=row_weights,
+        )
+        reference, _ = ReferenceBackend().sweep(matrix, row_factors, col_factors, **kwargs)
+        vectorized, _ = VectorizedBackend().sweep(matrix, row_factors, col_factors, **kwargs)
+        np.testing.assert_allclose(reference, vectorized, rtol=1e-8, atol=1e-10)
+
+    def test_sweep_stats_match(self, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        _, ref_stats = ReferenceBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.3
+        )
+        _, vec_stats = VectorizedBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.3
+        )
+        assert ref_stats.n_rows == vec_stats.n_rows
+        assert ref_stats.n_accepted == vec_stats.n_accepted
+
+    def test_equivalence_with_zero_regularization(self, sweep_problem):
+        matrix, row_factors, col_factors = sweep_problem
+        reference, _ = ReferenceBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.0
+        )
+        vectorized, _ = VectorizedBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.0
+        )
+        np.testing.assert_allclose(reference, vectorized, rtol=1e-8, atol=1e-10)

@@ -1,0 +1,198 @@
+"""Tests for the OCuLaR recommender (fitting, scoring, recommending)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ocular import OCuLaR
+from repro.data.interactions import InteractionMatrix
+from repro.data.synthetic import make_planted_coclusters, membership_recovery_score
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+class TestConfiguration:
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            OCuLaR(n_coclusters=0)
+        with pytest.raises(ConfigurationError):
+            OCuLaR(regularization=-1.0)
+        with pytest.raises(ConfigurationError):
+            OCuLaR(sigma=1.5)
+        with pytest.raises(ConfigurationError):
+            OCuLaR(user_weighting="absolute")
+
+    def test_get_params_roundtrip(self):
+        model = OCuLaR(n_coclusters=7, regularization=3.0, backend="reference")
+        params = model.get_params()
+        assert params["n_coclusters"] == 7
+        assert params["regularization"] == 3.0
+        assert params["backend"] == "reference"
+        rebuilt = OCuLaR(**{k: v for k, v in params.items()})
+        assert rebuilt.get_params() == params
+
+
+class TestUnfittedBehaviour:
+    def test_prediction_before_fit_raises(self):
+        model = OCuLaR()
+        with pytest.raises(NotFittedError):
+            model.score_user(0)
+        with pytest.raises(NotFittedError):
+            model.recommend(0)
+        with pytest.raises(NotFittedError):
+            model.predict_proba(0, 0)
+        with pytest.raises(NotFittedError):
+            model.coclusters()
+        assert not model.is_fitted
+
+
+class TestFitting:
+    def test_fit_returns_self_and_sets_state(self, toy_dataset):
+        model = OCuLaR(n_coclusters=3, regularization=0.05, max_iterations=50, random_state=0)
+        assert model.fit(toy_dataset.matrix) is model
+        assert model.is_fitted
+        assert model.factors_ is not None
+        assert model.history_ is not None
+        assert model.user_factors_.shape == (12, 3)
+        assert model.item_factors_.shape == (12, 3)
+
+    def test_factors_non_negative(self, fitted_toy_model):
+        assert (fitted_toy_model.user_factors_ >= 0).all()
+        assert (fitted_toy_model.item_factors_ >= 0).all()
+
+    def test_training_objective_decreases(self, fitted_toy_model):
+        values = fitted_toy_model.history_.objective_values
+        assert values[-1] < values[0]
+
+    def test_deterministic_given_seed(self, toy_dataset):
+        first = OCuLaR(n_coclusters=3, max_iterations=30, random_state=5).fit(toy_dataset.matrix)
+        second = OCuLaR(n_coclusters=3, max_iterations=30, random_state=5).fit(toy_dataset.matrix)
+        np.testing.assert_array_equal(first.user_factors_, second.user_factors_)
+
+    def test_different_seeds_give_different_factors(self, toy_dataset):
+        first = OCuLaR(n_coclusters=3, max_iterations=10, random_state=1).fit(toy_dataset.matrix)
+        second = OCuLaR(n_coclusters=3, max_iterations=10, random_state=2).fit(toy_dataset.matrix)
+        assert not np.allclose(first.user_factors_, second.user_factors_)
+
+
+class TestScoring:
+    def test_scores_are_probabilities(self, fitted_toy_model):
+        scores = fitted_toy_model.score_user(6)
+        assert scores.shape == (12,)
+        assert np.all(scores >= 0) and np.all(scores < 1)
+
+    def test_score_users_matches_score_user(self, fitted_toy_model):
+        batch = fitted_toy_model.score_users([0, 6, 7])
+        for row, user in zip(batch, (0, 6, 7)):
+            np.testing.assert_allclose(row, fitted_toy_model.score_user(user))
+
+    def test_score_users_empty(self, fitted_toy_model):
+        assert fitted_toy_model.score_users([]).shape == (0, 12)
+
+    def test_predict_proba_consistent_with_score(self, fitted_toy_model):
+        assert fitted_toy_model.predict_proba(6, 4) == pytest.approx(
+            float(fitted_toy_model.score_user(6)[4])
+        )
+
+    def test_observed_positives_get_high_probability(self, toy_dataset, fitted_toy_model):
+        probabilities = [
+            fitted_toy_model.predict_proba(user, item)
+            for user, item in toy_dataset.matrix.iter_pairs()
+        ]
+        assert float(np.mean(probabilities)) > 0.6
+
+
+class TestRecommendation:
+    def test_recommend_excludes_seen_by_default(self, toy_dataset, fitted_toy_model):
+        seen = set(toy_dataset.matrix.items_of_user(6).tolist())
+        recommended = fitted_toy_model.recommend(6, n_items=5)
+        assert not (set(recommended.tolist()) & seen)
+
+    def test_recommend_can_include_seen(self, fitted_toy_model):
+        ranked = fitted_toy_model.recommend(6, n_items=12, exclude_seen=False)
+        assert len(ranked) == 12
+
+    def test_recommend_respects_ranking(self, fitted_toy_model):
+        ranked = fitted_toy_model.recommend(6, n_items=4)
+        scores = fitted_toy_model.score_user(6)
+        ranked_scores = scores[ranked]
+        assert all(
+            earlier >= later for earlier, later in zip(ranked_scores, ranked_scores[1:])
+        )
+
+    def test_headline_toy_recommendation(self, fitted_toy_model):
+        # The paper's flagship example: item 4 is user 6's top recommendation.
+        top = fitted_toy_model.recommend(6, n_items=1)
+        assert int(top[0]) == 4
+
+    def test_recommend_many(self, fitted_toy_model):
+        reports = fitted_toy_model.recommend_many([0, 6], n_items=3)
+        assert set(reports.keys()) == {0, 6}
+        assert all(len(items) == 3 for items in reports.values())
+
+
+class TestStructureRecovery:
+    """OCuLaR should recover planted overlapping co-clusters."""
+
+    def test_recovers_planted_user_memberships(self):
+        planted = make_planted_coclusters(
+            n_users=90,
+            n_items=60,
+            n_coclusters=3,
+            users_per_cocluster=30,
+            items_per_cocluster=20,
+            within_density=0.95,
+            background_density=0.0,
+            random_state=0,
+        )
+        model = OCuLaR(
+            n_coclusters=3, regularization=0.5, max_iterations=150, random_state=1
+        ).fit(planted.matrix)
+        coclusters = model.coclusters(membership_threshold=0.5)
+        score = membership_recovery_score(
+            planted.user_memberships,
+            [cocluster.users for cocluster in coclusters],
+            universe=planted.matrix.n_users,
+        )
+        assert score > 0.6
+
+    def test_heldout_positives_rank_above_random_unknowns(self):
+        planted = make_planted_coclusters(
+            n_users=80,
+            n_items=50,
+            n_coclusters=3,
+            users_per_cocluster=25,
+            items_per_cocluster=15,
+            within_density=0.9,
+            background_density=0.01,
+            holdout_fraction=0.1,
+            random_state=3,
+        )
+        model = OCuLaR(
+            n_coclusters=4, regularization=1.0, max_iterations=100, random_state=0
+        ).fit(planted.matrix)
+        rng = np.random.default_rng(0)
+        heldout_scores, random_scores = [], []
+        for user, item in planted.heldout_pairs[:100]:
+            heldout_scores.append(model.predict_proba(user, item))
+            random_item = int(rng.integers(0, planted.matrix.n_items))
+            if not planted.matrix.contains(user, random_item):
+                random_scores.append(model.predict_proba(user, random_item))
+        assert np.mean(heldout_scores) > np.mean(random_scores)
+
+
+class TestBackendsAndWeighting:
+    def test_reference_and_vectorized_backends_agree(self, toy_dataset):
+        shared = dict(n_coclusters=3, regularization=0.1, max_iterations=20, random_state=0)
+        reference = OCuLaR(backend="reference", **shared).fit(toy_dataset.matrix)
+        vectorized = OCuLaR(backend="vectorized", **shared).fit(toy_dataset.matrix)
+        np.testing.assert_allclose(
+            reference.user_factors_, vectorized.user_factors_, rtol=1e-6, atol=1e-8
+        )
+
+    def test_relative_weighting_changes_solution(self, toy_dataset):
+        plain = OCuLaR(n_coclusters=3, max_iterations=30, random_state=0).fit(toy_dataset.matrix)
+        weighted = OCuLaR(
+            n_coclusters=3, max_iterations=30, random_state=0, user_weighting="relative"
+        ).fit(toy_dataset.matrix)
+        assert not np.allclose(plain.user_factors_, weighted.user_factors_)

@@ -1,0 +1,144 @@
+"""Tests for the block-coordinate trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.init import initialize_factors
+from repro.core.objective import full_objective
+from repro.core.optimizer import BlockCoordinateTrainer, TrainingHistory
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def training_problem():
+    rng = np.random.default_rng(4)
+    dense = (rng.random((30, 20)) < 0.2).astype(float)
+    dense[0, 0] = 1.0
+    matrix = sp.csr_matrix(dense)
+    user_factors, item_factors = initialize_factors(matrix, 5, random_state=4)
+    return matrix, user_factors, item_factors
+
+
+class TestConstructorValidation:
+    def test_rejects_negative_regularization(self):
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(regularization=-1.0)
+
+    def test_rejects_bad_sigma_beta(self):
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(beta=1.0)
+
+    def test_rejects_non_positive_iterations(self):
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(max_iterations=0)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(backend="gpu")
+
+
+class TestTraining:
+    def test_objective_monotonically_non_increasing(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(regularization=1.0, max_iterations=20, tolerance=0.0)
+        _, _, history = trainer.train(matrix, user_factors, item_factors)
+        values = history.objective_values
+        assert all(later <= earlier + 1e-8 for earlier, later in zip(values, values[1:]))
+
+    def test_factors_remain_non_negative(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(regularization=1.0, max_iterations=10)
+        fitted_users, fitted_items, _ = trainer.train(matrix, user_factors, item_factors)
+        assert (fitted_users >= 0).all()
+        assert (fitted_items >= 0).all()
+
+    def test_inputs_not_modified(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        user_copy, item_copy = user_factors.copy(), item_factors.copy()
+        BlockCoordinateTrainer(max_iterations=3).train(matrix, user_factors, item_factors)
+        np.testing.assert_array_equal(user_factors, user_copy)
+        np.testing.assert_array_equal(item_factors, item_copy)
+
+    def test_history_bookkeeping(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=5, tolerance=0.0)
+        _, _, history = trainer.train(matrix, user_factors, item_factors)
+        assert isinstance(history, TrainingHistory)
+        assert history.n_iterations == 5
+        assert len(history.objective_values) == 6  # initial value + one per iteration
+        assert len(history.log_likelihoods) == 6
+        assert len(history.iteration_seconds) == 5
+        assert len(history.elapsed_seconds) == 5
+        assert history.final_objective == history.objective_values[-1]
+        assert history.mean_seconds_per_iteration > 0
+
+    def test_convergence_flag_set_when_tolerance_met(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(regularization=1.0, max_iterations=200, tolerance=1e-3)
+        _, _, history = trainer.train(matrix, user_factors, item_factors)
+        assert history.converged
+        assert history.n_iterations < 200
+
+    def test_warns_when_budget_exhausted(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=1, tolerance=0.0)
+        with pytest.warns(UserWarning):
+            trainer.train(matrix, user_factors, item_factors)
+
+    def test_callback_can_stop_early(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=50, tolerance=0.0)
+        _, _, history = trainer.train(
+            matrix, user_factors, item_factors, callback=lambda it, hist: it >= 2
+        )
+        assert history.n_iterations == 2
+
+    def test_backends_produce_identical_training(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        results = {}
+        for backend in ("reference", "vectorized"):
+            trainer = BlockCoordinateTrainer(
+                regularization=1.0, max_iterations=5, tolerance=0.0, backend=backend
+            )
+            fitted_users, fitted_items, history = trainer.train(
+                matrix, user_factors, item_factors
+            )
+            results[backend] = (fitted_users, fitted_items, history.objective_values)
+        np.testing.assert_allclose(
+            results["reference"][0], results["vectorized"][0], rtol=1e-7, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            results["reference"][2], results["vectorized"][2], rtol=1e-7
+        )
+
+    def test_shape_mismatch_raises(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            trainer.train(matrix, user_factors[:-1], item_factors)
+        with pytest.raises(ConfigurationError):
+            trainer.train(matrix, user_factors, item_factors[:-1])
+        with pytest.raises(ConfigurationError):
+            trainer.train(matrix, user_factors, item_factors, user_weights=np.ones(3))
+
+    def test_training_reduces_objective_substantially(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        initial = full_objective(matrix, user_factors, item_factors, 1.0)
+        trainer = BlockCoordinateTrainer(regularization=1.0, max_iterations=30, tolerance=0.0)
+        _, _, history = trainer.train(matrix, user_factors, item_factors)
+        assert history.final_objective < initial * 0.9
+
+    def test_weighted_training_monotone(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        weights = np.linspace(0.5, 4.0, matrix.shape[0])
+        trainer = BlockCoordinateTrainer(regularization=1.0, max_iterations=10, tolerance=0.0)
+        _, _, history = trainer.train(
+            matrix, user_factors, item_factors, user_weights=weights
+        )
+        values = history.objective_values
+        assert all(later <= earlier + 1e-8 for earlier, later in zip(values, values[1:]))

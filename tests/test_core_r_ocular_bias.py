@@ -1,0 +1,121 @@
+"""Tests for R-OCuLaR (relative weighting) and the bias-extended model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bias import BiasedOCuLaR
+from repro.core.ocular import OCuLaR
+from repro.core.r_ocular import ROCuLaR
+from repro.data.synthetic import make_planted_coclusters
+
+
+class TestROCuLaR:
+    def test_is_ocular_with_relative_weighting(self):
+        model = ROCuLaR(n_coclusters=4)
+        assert isinstance(model, OCuLaR)
+        assert model.user_weighting == "relative"
+
+    def test_fit_and_recommend(self, toy_dataset):
+        model = ROCuLaR(
+            n_coclusters=3, regularization=0.05, max_iterations=100, random_state=0
+        ).fit(toy_dataset.matrix)
+        assert model.is_fitted
+        scores = model.score_user(6)
+        assert np.all(scores >= 0) and np.all(scores < 1)
+        assert len(model.recommend(6, n_items=3)) == 3
+
+    def test_objective_decreases(self, toy_dataset):
+        model = ROCuLaR(n_coclusters=3, max_iterations=40, random_state=0).fit(toy_dataset.matrix)
+        values = model.history_.objective_values
+        assert values[-1] < values[0]
+        assert all(later <= earlier + 1e-8 for earlier, later in zip(values, values[1:]))
+
+    def test_same_complexity_interface_as_ocular(self):
+        # The paper notes R-OCuLaR has exactly the same complexity/implementation;
+        # its constructor exposes the same knobs minus the weighting choice.
+        ocular_params = set(OCuLaR().get_params())
+        r_params = set(ROCuLaR().get_params())
+        assert r_params == ocular_params
+
+    def test_upweights_light_users(self):
+        # A user with very few positives should see their positives explained
+        # at least as well under R-OCuLaR as under plain OCuLaR.
+        planted = make_planted_coclusters(
+            n_users=50,
+            n_items=40,
+            n_coclusters=2,
+            users_per_cocluster=25,
+            items_per_cocluster=15,
+            within_density=0.9,
+            background_density=0.0,
+            random_state=0,
+        )
+        matrix = planted.matrix
+        degrees = matrix.user_degrees()
+        active_users = np.flatnonzero(degrees > 0)
+        order = active_users[np.argsort(degrees[active_users])]
+        light_users = [int(u) for u in order[: max(3, len(order) // 10)]]
+        shared = dict(n_coclusters=2, regularization=1.0, max_iterations=80, random_state=0)
+        plain = OCuLaR(**shared).fit(matrix)
+        relative = ROCuLaR(**shared).fit(matrix)
+
+        def mean_positive_probability(model):
+            values = []
+            for user in light_users:
+                for item in matrix.items_of_user(user):
+                    values.append(model.predict_proba(user, int(item)))
+            return float(np.mean(values))
+
+        assert mean_positive_probability(relative) >= mean_positive_probability(plain) - 0.05
+
+
+class TestBiasedOCuLaR:
+    def test_fit_produces_biases_and_clean_factors(self, toy_dataset):
+        model = BiasedOCuLaR(
+            n_coclusters=3, regularization=0.1, max_iterations=30, random_state=0
+        ).fit(toy_dataset.matrix)
+        assert model.user_biases_ is not None and model.user_biases_.shape == (12,)
+        assert model.item_biases_ is not None and model.item_biases_.shape == (12,)
+        assert (model.user_biases_ >= 0).all()
+        assert (model.item_biases_ >= 0).all()
+        # The exposed co-cluster factors exclude the auxiliary bias columns.
+        assert model.user_factors_.shape == (12, 3)
+        assert model.item_factors_.shape == (12, 3)
+
+    def test_scores_include_bias_and_stay_probabilities(self, toy_dataset):
+        model = BiasedOCuLaR(n_coclusters=3, max_iterations=20, random_state=0).fit(
+            toy_dataset.matrix
+        )
+        scores = model.score_user(6)
+        assert np.all(scores >= 0) and np.all(scores < 1)
+        assert model.predict_proba(6, 4) == pytest.approx(float(scores[4]))
+
+    def test_popular_items_receive_larger_bias(self):
+        planted = make_planted_coclusters(
+            n_users=60,
+            n_items=30,
+            n_coclusters=2,
+            users_per_cocluster=30,
+            items_per_cocluster=10,
+            within_density=0.8,
+            background_density=0.05,
+            random_state=1,
+        )
+        model = BiasedOCuLaR(n_coclusters=2, max_iterations=30, random_state=0).fit(
+            planted.matrix
+        )
+        degrees = planted.matrix.item_degrees()
+        popular = degrees >= np.percentile(degrees, 75)
+        unpopular = degrees <= np.percentile(degrees, 25)
+        assert model.item_biases_[popular].mean() >= model.item_biases_[unpopular].mean() - 1e-6
+
+    def test_recommendations_still_work(self, toy_dataset):
+        model = BiasedOCuLaR(n_coclusters=3, max_iterations=20, random_state=0).fit(
+            toy_dataset.matrix
+        )
+        ranked = model.recommend(6, n_items=3)
+        assert len(ranked) == 3
+        seen = set(toy_dataset.matrix.items_of_user(6).tolist())
+        assert not (set(int(i) for i in ranked) & seen)

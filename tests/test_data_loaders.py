@@ -1,0 +1,120 @@
+"""Tests for repro.data.loaders (ratings files and CSV purchase logs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.loaders import (
+    binarize_ratings,
+    interactions_from_ratings,
+    load_interactions_csv,
+    load_movielens_ratings,
+)
+from repro.exceptions import DataError
+
+
+class TestBinarizeRatings:
+    def test_threshold_rule_matches_paper(self):
+        ratings = [("u1", "i1", 5.0), ("u1", "i2", 2.0), ("u2", "i1", 3.0)]
+        positives = binarize_ratings(ratings, threshold=3.0)
+        assert ("u1", "i1") in positives
+        assert ("u2", "i1") in positives
+        assert ("u1", "i2") not in positives
+
+    def test_custom_threshold(self):
+        ratings = [("u", "i", 4.0)]
+        assert binarize_ratings(ratings, threshold=4.5) == []
+
+
+class TestInteractionsFromRatings:
+    def test_builds_matrix_with_labels(self):
+        ratings = [("alice", "book", 5.0), ("bob", "film", 4.0), ("alice", "film", 1.0)]
+        matrix = interactions_from_ratings(ratings, threshold=3.0)
+        assert matrix.shape == (2, 2)
+        assert matrix.label_of_user(0) == "alice"
+        assert matrix.contains(0, 0)
+        assert not matrix.contains(0, 1)  # alice/film was below threshold
+
+    def test_all_below_threshold_raises(self):
+        with pytest.raises(DataError):
+            interactions_from_ratings([("u", "i", 1.0)], threshold=3.0)
+
+
+class TestLoadMovielensRatings:
+    def test_double_colon_format(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5::978300760\n1::20::2::978300761\n2::10::4::978300762\n")
+        matrix = load_movielens_ratings(path)
+        assert matrix.shape == (2, 1)  # item 20 dropped (rating 2 < 3)
+        assert matrix.nnz == 2
+
+    def test_tab_format(self, tmp_path):
+        path = tmp_path / "u.data"
+        path.write_text("1\t10\t4\t881250949\n2\t10\t3\t881250950\n")
+        matrix = load_movielens_ratings(path)
+        assert matrix.nnz == 2
+
+    def test_explicit_separator(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("1,10,5\n2,11,4\n")
+        matrix = load_movielens_ratings(path, separator=",")
+        assert matrix.shape == (2, 2)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_movielens_ratings(tmp_path / "missing.dat")
+
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1::10::5\nnot a rating line\n")
+        with pytest.raises(DataError, match="line 2"):
+            load_movielens_ratings(path)
+
+    def test_non_numeric_rating_raises(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("1::10::five::0\n")
+        with pytest.raises(DataError, match="not numeric"):
+            load_movielens_ratings(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5::0\n\n2::10::5::0\n")
+        assert load_movielens_ratings(path).nnz == 2
+
+
+class TestLoadInteractionsCsv:
+    def test_purchase_log_without_ratings(self, tmp_path):
+        path = tmp_path / "purchases.csv"
+        path.write_text("user,item\nacme,cloud\nacme,storage\nglobex,cloud\n")
+        matrix = load_interactions_csv(path)
+        assert matrix.shape == (2, 2)
+        assert matrix.nnz == 3
+        assert matrix.label_of_user(0) == "acme"
+
+    def test_with_rating_column_and_threshold(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("user,item,stars\nu1,i1,5\nu1,i2,1\n")
+        matrix = load_interactions_csv(path, rating_column="stars", threshold=3.0)
+        assert matrix.nnz == 1
+
+    def test_custom_column_names(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("client,product\nc1,p1\n")
+        matrix = load_interactions_csv(path, user_column="client", item_column="product")
+        assert matrix.nnz == 1
+
+    def test_missing_column_raises(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DataError, match="missing required columns"):
+            load_interactions_csv(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_interactions_csv(tmp_path / "nope.csv")
+
+    def test_bad_rating_value_raises(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("user,item,stars\nu,i,high\n")
+        with pytest.raises(DataError, match="not numeric"):
+            load_interactions_csv(path, rating_column="stars")

@@ -1,0 +1,106 @@
+"""Tests for repro.data.splitting (hold-out and k-fold protocols)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.interactions import InteractionMatrix
+from repro.data.splitting import kfold_splits, leave_k_out_split, train_test_split
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def dense_matrix() -> InteractionMatrix:
+    rng = np.random.default_rng(0)
+    dense = (rng.random((40, 30)) < 0.3).astype(float)
+    dense[dense.sum(axis=1) == 0, 0] = 1.0  # no empty users
+    return InteractionMatrix(dense)
+
+
+class TestTrainTestSplit:
+    def test_preserves_shape_and_partitions_positives(self, dense_matrix):
+        split = train_test_split(dense_matrix, test_fraction=0.25, random_state=0)
+        assert split.train.shape == dense_matrix.shape
+        assert split.train.nnz + split.n_test_pairs == dense_matrix.nnz
+
+    def test_test_pairs_absent_from_train_and_present_in_full(self, dense_matrix):
+        split = train_test_split(dense_matrix, test_fraction=0.25, random_state=0)
+        for user, item in split.test_pairs():
+            assert not split.train.contains(user, item)
+            assert dense_matrix.contains(user, item)
+
+    def test_every_test_user_keeps_training_history(self, dense_matrix):
+        split = train_test_split(
+            dense_matrix, test_fraction=0.25, min_train_positives=1, random_state=1
+        )
+        train_degrees = split.train.user_degrees()
+        for user in split.test_items:
+            assert train_degrees[user] >= 1
+
+    def test_fraction_approximately_respected(self, dense_matrix):
+        split = train_test_split(dense_matrix, test_fraction=0.25, random_state=2)
+        ratio = split.n_test_pairs / dense_matrix.nnz
+        assert 0.10 <= ratio <= 0.30
+
+    def test_deterministic_given_seed(self, dense_matrix):
+        first = train_test_split(dense_matrix, random_state=3)
+        second = train_test_split(dense_matrix, random_state=3)
+        assert first.test_pairs() == second.test_pairs()
+
+    def test_invalid_fraction_raises(self, dense_matrix):
+        for bad in (0.0, 1.0, -0.2):
+            with pytest.raises(DataError):
+                train_test_split(dense_matrix, test_fraction=bad)
+
+    def test_too_sparse_matrix_raises(self):
+        matrix = InteractionMatrix(np.eye(4))  # one positive per user
+        with pytest.raises(DataError):
+            train_test_split(matrix, test_fraction=0.25)
+
+
+class TestLeaveKOut:
+    def test_exactly_k_per_eligible_user(self, dense_matrix):
+        split = leave_k_out_split(dense_matrix, k=2, random_state=0)
+        for user, items in split.test_items.items():
+            assert len(items) == 2
+            assert dense_matrix.user_degrees()[user] >= 3
+
+    def test_k_must_be_positive(self, dense_matrix):
+        with pytest.raises(DataError):
+            leave_k_out_split(dense_matrix, k=0)
+
+    def test_raises_when_nothing_to_hold_out(self):
+        matrix = InteractionMatrix(np.eye(3))
+        with pytest.raises(DataError):
+            leave_k_out_split(matrix, k=1, min_train_positives=1)
+
+
+class TestKFold:
+    def test_yields_requested_folds(self, dense_matrix):
+        folds = list(kfold_splits(dense_matrix, n_folds=4, random_state=0))
+        assert len(folds) == 4
+
+    def test_each_fold_is_valid_split(self, dense_matrix):
+        for split in kfold_splits(dense_matrix, n_folds=3, random_state=1):
+            assert split.n_test_pairs > 0
+            for user, item in split.test_pairs():
+                assert not split.train.contains(user, item)
+                assert dense_matrix.contains(user, item)
+
+    def test_test_sets_are_disjoint_across_folds(self, dense_matrix):
+        seen = set()
+        for split in kfold_splits(dense_matrix, n_folds=3, random_state=2):
+            pairs = set(split.test_pairs())
+            assert not (pairs & seen)
+            seen |= pairs
+
+    def test_users_keep_at_least_one_training_positive(self, dense_matrix):
+        for split in kfold_splits(dense_matrix, n_folds=4, random_state=3):
+            degrees = split.train.user_degrees()
+            for user in split.test_items:
+                assert degrees[user] >= 1
+
+    def test_requires_two_folds(self, dense_matrix):
+        with pytest.raises(DataError):
+            list(kfold_splits(dense_matrix, n_folds=1))

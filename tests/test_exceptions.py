@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceWarning,
+    DataError,
+    EvaluationError,
+    NotFittedError,
+    ReproError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (DataError, ConfigurationError, NotFittedError, EvaluationError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_repro_error_derives_from_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_convergence_warning_is_a_warning_not_an_error():
+    assert issubclass(ConvergenceWarning, UserWarning)
+    assert not issubclass(ConvergenceWarning, ReproError)
+
+
+def test_errors_can_be_raised_and_caught_as_base():
+    with pytest.raises(ReproError):
+        raise DataError("bad data")
+    with pytest.raises(ReproError):
+        raise ConfigurationError("bad config")
+
+
+def test_error_message_is_preserved():
+    error = NotFittedError("model not fitted")
+    assert "model not fitted" in str(error)

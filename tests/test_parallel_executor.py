@@ -1,0 +1,59 @@
+"""Tests for the parallel executors."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
+
+
+def square(value: int) -> int:
+    """Module-level helper (picklable for the process pool)."""
+    return value * value
+
+
+def add(left: int, right: int) -> int:
+    """Module-level helper (picklable for the process pool)."""
+    return left + right
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        assert SerialExecutor().map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_starmap(self):
+        assert SerialExecutor().starmap(add, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_shutdown_is_noop(self):
+        SerialExecutor().shutdown()
+
+
+class TestThreadExecutor:
+    def test_map_matches_serial(self):
+        with ThreadExecutor(max_workers=3) as executor:
+            assert executor.map(square, range(6)) == [square(v) for v in range(6)]
+
+    def test_starmap(self):
+        with ThreadExecutor(max_workers=2) as executor:
+            assert executor.starmap(add, [(1, 1), (2, 2), (3, 3)]) == [2, 4, 6]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ThreadExecutor(max_workers=0)
+
+
+class TestProcessExecutor:
+    def test_map_matches_serial(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            assert executor.map(square, [2, 3, 4]) == [4, 9, 16]
+
+    def test_starmap(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            assert executor.starmap(add, [(10, 5), (1, 1)]) == [15, 2]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(max_workers=-1)

@@ -1,0 +1,98 @@
+"""Property-based tests for the data substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.interactions import InteractionMatrix
+from repro.data.splitting import train_test_split
+from repro.exceptions import DataError
+
+
+@st.composite
+def binary_matrices(draw, min_side=2, max_side=12):
+    """Random dense binary matrices (possibly with empty rows/columns)."""
+    n_users = draw(st.integers(min_value=min_side, max_value=max_side))
+    n_items = draw(st.integers(min_value=min_side, max_value=max_side))
+    dense = draw(
+        hnp.arrays(
+            np.int8,
+            shape=(n_users, n_items),
+            elements=st.integers(min_value=0, max_value=1),
+        )
+    )
+    return dense.astype(float)
+
+
+@given(binary_matrices())
+@settings(max_examples=60, deadline=None)
+def test_interaction_matrix_preserves_positives(dense):
+    matrix = InteractionMatrix(dense)
+    np.testing.assert_array_equal(matrix.toarray(), dense)
+    assert matrix.nnz == int(dense.sum())
+
+
+@given(binary_matrices())
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_equal_nnz(dense):
+    matrix = InteractionMatrix(dense)
+    assert matrix.user_degrees().sum() == matrix.nnz
+    assert matrix.item_degrees().sum() == matrix.nnz
+
+
+@given(binary_matrices())
+@settings(max_examples=60, deadline=None)
+def test_pairs_match_dense_positions(dense):
+    matrix = InteractionMatrix(dense)
+    for user, item in matrix.iter_pairs():
+        assert dense[user, item] == 1.0
+
+
+@given(binary_matrices(), st.floats(min_value=0.1, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_subsample_is_subset_with_expected_size(dense, fraction):
+    assume(dense.sum() >= 1)
+    matrix = InteractionMatrix(dense)
+    sub = matrix.subsample(fraction, random_state=0)
+    original = {tuple(pair) for pair in matrix.pairs()}
+    assert all(tuple(pair) in original for pair in sub.pairs())
+    expected = max(1, int(round(fraction * matrix.nnz)))
+    assert sub.nnz == expected
+
+
+@given(binary_matrices())
+@settings(max_examples=60, deadline=None)
+def test_without_pairs_removes_exactly_those_pairs(dense):
+    assume(dense.sum() >= 2)
+    matrix = InteractionMatrix(dense)
+    pairs = [tuple(pair) for pair in matrix.pairs()[:2]]
+    reduced = matrix.without_pairs(pairs)
+    assert reduced.nnz == matrix.nnz - len(set(pairs))
+    for user, item in pairs:
+        assert not reduced.contains(user, item)
+
+
+@given(binary_matrices(min_side=4, max_side=15), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_train_test_split_partitions_positives(dense, seed):
+    # Need enough interactions per user for a split to exist at all.
+    assume(dense.sum() >= 8)
+    assume((dense.sum(axis=1) >= 4).any())
+    matrix = InteractionMatrix(dense)
+    try:
+        split = train_test_split(matrix, test_fraction=0.25, random_state=seed)
+    except DataError:
+        # Legitimately impossible for this draw (too few positives per user).
+        return
+    assert split.train.nnz + split.n_test_pairs == matrix.nnz
+    for user, item in split.test_pairs():
+        assert matrix.contains(user, item)
+        assert not split.train.contains(user, item)
+    # No user lost their entire training history.
+    degrees_before = matrix.user_degrees()
+    degrees_after = split.train.user_degrees()
+    for user in split.test_items:
+        assert degrees_after[user] >= 1 or degrees_before[user] == 0

@@ -1,0 +1,99 @@
+"""Property-based tests for the ranking metrics (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    average_precision_at_m,
+    hit_rate_at_m,
+    ndcg_at_m,
+    precision_at_m,
+    recall_at_m,
+)
+
+N_ITEMS = 30
+
+
+@st.composite
+def ranking_and_relevant(draw):
+    """A ranked list without duplicates plus a non-empty relevant set."""
+    catalogue = list(range(N_ITEMS))
+    ranked = draw(
+        st.lists(st.sampled_from(catalogue), min_size=1, max_size=15, unique=True)
+    )
+    relevant = draw(
+        st.sets(st.sampled_from(catalogue), min_size=1, max_size=10)
+    )
+    m = draw(st.integers(min_value=1, max_value=20))
+    return ranked, relevant, m
+
+
+@given(ranking_and_relevant())
+@settings(max_examples=60, deadline=None)
+def test_all_metrics_lie_in_unit_interval(case):
+    ranked, relevant, m = case
+    assert 0.0 <= recall_at_m(ranked, relevant, m) <= 1.0
+    assert 0.0 <= precision_at_m(ranked, relevant, m) <= 1.0
+    assert 0.0 <= average_precision_at_m(ranked, relevant, m) <= 1.0
+    assert 0.0 <= ndcg_at_m(ranked, relevant, m) <= 1.0
+    assert hit_rate_at_m(ranked, relevant, m) in (0.0, 1.0)
+
+
+@given(ranking_and_relevant())
+@settings(max_examples=60, deadline=None)
+def test_recall_monotone_in_m(case):
+    ranked, relevant, m = case
+    if m < 2:
+        return
+    assert recall_at_m(ranked, relevant, m) >= recall_at_m(ranked, relevant, m - 1) - 1e-12
+
+
+@given(ranking_and_relevant())
+@settings(max_examples=60, deadline=None)
+def test_hit_rate_is_indicator_of_positive_recall(case):
+    ranked, relevant, m = case
+    recall = recall_at_m(ranked, relevant, m)
+    hit = hit_rate_at_m(ranked, relevant, m)
+    assert (recall > 0) == (hit == 1.0)
+
+
+@given(ranking_and_relevant())
+@settings(max_examples=60, deadline=None)
+def test_metrics_ignore_items_beyond_cutoff(case):
+    ranked, relevant, m = case
+    truncated = ranked[:m]
+    assert recall_at_m(ranked, relevant, m) == recall_at_m(truncated, relevant, m)
+    assert average_precision_at_m(ranked, relevant, m) == average_precision_at_m(
+        truncated, relevant, m
+    )
+
+
+@given(ranking_and_relevant())
+@settings(max_examples=60, deadline=None)
+def test_perfect_prefix_ranking_maximises_ap(case):
+    """Placing all relevant items first yields AP@M = 1 (given enough slots)."""
+    _, relevant, _ = case
+    relevant_list = sorted(relevant)
+    filler = [item for item in range(N_ITEMS) if item not in relevant][: N_ITEMS // 2]
+    perfect = relevant_list + filler
+    m = max(len(relevant_list), 1)
+    assert average_precision_at_m(perfect, relevant, m) == 1.0
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=N_ITEMS - 1), min_size=1, max_size=10),
+    st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_reversed_ranking_never_improves_ap(relevant, m):
+    """Moving a relevant item earlier never lowers average precision."""
+    relevant_list = sorted(relevant)
+    others = [item for item in range(N_ITEMS) if item not in relevant]
+    worst = others[:10] + relevant_list
+    best = relevant_list + others[:10]
+    assert average_precision_at_m(best, relevant, m) >= average_precision_at_m(
+        worst, relevant, m
+    )

@@ -1,0 +1,123 @@
+"""Property-based tests for the OCuLaR objective and backends (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.backends import ReferenceBackend, VectorizedBackend
+from repro.core.objective import (
+    full_objective,
+    gradient_ratio,
+    relative_user_weights,
+    row_gradient,
+    row_objective,
+    safe_log1mexp,
+)
+
+
+@st.composite
+def factor_problem(draw):
+    """A random small one-class problem with non-negative factors."""
+    n_users = draw(st.integers(min_value=2, max_value=8))
+    n_items = draw(st.integers(min_value=2, max_value=8))
+    n_coclusters = draw(st.integers(min_value=1, max_value=4))
+    density_seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(density_seed)
+    dense = (rng.random((n_users, n_items)) < 0.4).astype(float)
+    user_factors = rng.uniform(0.0, 1.5, size=(n_users, n_coclusters))
+    item_factors = rng.uniform(0.0, 1.5, size=(n_items, n_coclusters))
+    return sp.csr_matrix(dense), user_factors, item_factors
+
+
+@given(hnp.arrays(np.float64, shape=st.integers(1, 20), elements=st.floats(0.0, 50.0)))
+@settings(max_examples=60, deadline=None)
+def test_safe_log1mexp_always_finite_and_non_positive(affinities):
+    values = safe_log1mexp(affinities)
+    assert np.all(np.isfinite(values))
+    assert np.all(values <= 0.0)
+
+
+@given(hnp.arrays(np.float64, shape=st.integers(1, 20), elements=st.floats(0.0, 50.0)))
+@settings(max_examples=60, deadline=None)
+def test_gradient_ratio_always_finite_and_non_negative(affinities):
+    values = gradient_ratio(affinities)
+    assert np.all(np.isfinite(values))
+    assert np.all(values >= 0.0)
+
+
+@given(factor_problem())
+@settings(max_examples=40, deadline=None)
+def test_full_objective_finite_and_penalty_monotone(problem):
+    matrix, user_factors, item_factors = problem
+    base = full_objective(matrix, user_factors, item_factors, 0.0)
+    regularised = full_objective(matrix, user_factors, item_factors, 2.0)
+    assert np.isfinite(base) and np.isfinite(regularised)
+    assert regularised >= base
+
+
+@given(factor_problem())
+@settings(max_examples=40, deadline=None)
+def test_relative_weights_non_negative_and_finite(problem):
+    matrix, _, _ = problem
+    weights = relative_user_weights(matrix)
+    assert weights.shape == (matrix.shape[0],)
+    # w_u = #unknowns / #positives is zero only for users who already own the
+    # whole catalogue, and must always be finite.
+    assert np.all(weights >= 0)
+    assert np.all(np.isfinite(weights))
+    degrees = np.diff(matrix.indptr)
+    saturated = degrees == matrix.shape[1]
+    assert np.all(weights[~saturated & (degrees > 0)] > 0)
+
+
+@given(factor_problem())
+@settings(max_examples=30, deadline=None)
+def test_backends_agree_on_random_problems(problem):
+    """The reference and vectorized sweeps are interchangeable."""
+    matrix, user_factors, item_factors = problem
+    kwargs = dict(regularization=0.5, sigma=0.1, beta=0.5, max_backtracks=10)
+    reference, _ = ReferenceBackend().sweep(matrix, user_factors, item_factors, **kwargs)
+    vectorized, _ = VectorizedBackend().sweep(matrix, user_factors, item_factors, **kwargs)
+    np.testing.assert_allclose(reference, vectorized, rtol=1e-7, atol=1e-9)
+
+
+@given(factor_problem())
+@settings(max_examples=30, deadline=None)
+def test_sweep_never_increases_objective(problem):
+    """A single projected-gradient sweep is a descent step for the block."""
+    matrix, user_factors, item_factors = problem
+    before = full_objective(matrix, user_factors, item_factors, 0.5)
+    updated, _ = VectorizedBackend().sweep(
+        matrix, user_factors, item_factors, regularization=0.5
+    )
+    after = full_objective(matrix, updated, item_factors, 0.5)
+    assert after <= before + 1e-8
+
+
+@given(factor_problem(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_row_gradient_is_gradient_of_row_objective(problem, row_seed):
+    matrix, user_factors, item_factors = problem
+    matrix_t = sp.csr_matrix(matrix.T)
+    item = row_seed % matrix.shape[1]
+    users = matrix_t.indices[matrix_t.indptr[item] : matrix_t.indptr[item + 1]]
+    positive = user_factors[users]
+    unknown = user_factors.sum(axis=0) - positive.sum(axis=0)
+    factor = item_factors[item] + 0.05  # keep away from the log singularity
+    lam = 0.3
+
+    analytic = row_gradient(factor, positive, None, unknown, lam)
+    epsilon = 1e-6
+    for index in range(len(factor)):
+        plus, minus = factor.copy(), factor.copy()
+        plus[index] += epsilon
+        minus[index] -= epsilon
+        numeric = (
+            row_objective(plus, positive, None, unknown, lam)
+            - row_objective(minus, positive, None, unknown, lam)
+        ) / (2 * epsilon)
+        np.testing.assert_allclose(analytic[index], numeric, rtol=5e-3, atol=1e-5)

@@ -1,0 +1,58 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_seeds
+
+
+def test_ensure_rng_none_returns_generator():
+    rng = ensure_rng(None)
+    assert isinstance(rng, np.random.Generator)
+
+
+def test_ensure_rng_int_is_deterministic():
+    first = ensure_rng(42).integers(0, 1000, size=5)
+    second = ensure_rng(42).integers(0, 1000, size=5)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_ensure_rng_different_seeds_differ():
+    first = ensure_rng(1).integers(0, 10**6, size=10)
+    second = ensure_rng(2).integers(0, 10**6, size=10)
+    assert not np.array_equal(first, second)
+
+
+def test_ensure_rng_passes_through_generator():
+    generator = np.random.default_rng(0)
+    assert ensure_rng(generator) is generator
+
+
+def test_ensure_rng_accepts_legacy_random_state():
+    legacy = np.random.RandomState(0)
+    rng = ensure_rng(legacy)
+    assert isinstance(rng, np.random.Generator)
+
+
+def test_ensure_rng_rejects_strings():
+    with pytest.raises(TypeError):
+        ensure_rng("not a seed")
+
+
+def test_ensure_rng_accepts_numpy_integer():
+    rng = ensure_rng(np.int64(7))
+    assert isinstance(rng, np.random.Generator)
+
+
+def test_spawn_seeds_deterministic_and_distinct():
+    seeds_a = spawn_seeds(123, 10)
+    seeds_b = spawn_seeds(123, 10)
+    assert seeds_a == seeds_b
+    assert len(set(seeds_a)) == len(seeds_a)
+
+
+def test_spawn_seeds_count():
+    assert len(spawn_seeds(0, 4)) == 4
+    assert spawn_seeds(0, 0) == []

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.timers and repro.utils.tables."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+from repro.utils.timers import Timer, TimingLog
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestTimingLog:
+    def test_record_and_total(self):
+        log = TimingLog()
+        log.record("sweep", 0.5)
+        log.record("sweep", 1.5)
+        assert log.total("sweep") == pytest.approx(2.0)
+        assert log.mean("sweep") == pytest.approx(1.0)
+        assert log.count("sweep") == 2
+
+    def test_unknown_name_defaults(self):
+        log = TimingLog()
+        assert log.total("missing") == 0.0
+        assert log.mean("missing") == 0.0
+        assert log.count("missing") == 0
+
+    def test_as_dict_is_a_copy(self):
+        log = TimingLog()
+        log.record("a", 1.0)
+        snapshot = log.as_dict()
+        snapshot["a"].append(99.0)
+        assert log.records["a"] == [1.0]
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["alpha", 1.23456], ["b", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.2346" in text  # default precision 4
+
+    def test_precision_control(self):
+        text = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in text and "1.2346" not in text
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_handles_bool_and_str(self):
+        text = format_table(["flag", "label"], [[True, "yes"]])
+        assert "True" in text and "yes" in text
+
+
+class TestFormatSeries:
+    def test_includes_name_and_pairs(self):
+        text = format_series("curve", [1, 2], [0.1, 0.2])
+        assert text.startswith("curve")
+        assert "0.1000" in text and "0.2000" in text
