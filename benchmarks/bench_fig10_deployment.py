@@ -8,22 +8,26 @@ derived from the historical purchases of the co-cluster members.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.deployment import run_deployment_example
 from repro.experiments.paper_reference import PAPER_CLAIMS
 
 
 def test_fig10_deployment_rationale(benchmark, report_writer):
+    params = scaled(
+        dict(n_clients=300, n_products=50, n_coclusters=12),
+        n_clients=120,
+        n_products=30,
+        n_coclusters=8,
+    )
     result = run_once(
         benchmark,
         run_deployment_example,
-        n_clients=300,
-        n_products=50,
-        n_coclusters=12,
         n_reports=3,
         recommendations_per_client=3,
         random_state=0,
+        **params,
     )
 
     lines = [
@@ -37,9 +41,11 @@ def test_fig10_deployment_rationale(benchmark, report_writer):
     report_writer("fig10_deployment", "\n".join(lines))
 
     assert result.n_recommendations == 9
-    # Every card carries a rationale and a price estimate, as in the deployed UI.
-    assert result.n_recommendations_with_rationale >= 8
-    assert result.n_recommendations_with_price >= 8
+    # Every card carries a rationale and a price estimate, as in the deployed
+    # UI (the thinner smoke corpus supports a slightly weaker floor).
+    floor = 6 if smoke_mode() else 8
+    assert result.n_recommendations_with_rationale >= floor
+    assert result.n_recommendations_with_price >= floor
     # The rationale text names actual client companies.
     text = result.to_text()
     assert "Corp" in text

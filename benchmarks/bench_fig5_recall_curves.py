@@ -7,23 +7,25 @@ range of list lengths M.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.accuracy import run_recall_curves
 from repro.experiments.paper_reference import FIGURE5_PAPER_SHAPE
 
-M_VALUES = (5, 10, 20, 50, 100)
-
 
 def test_fig5_recall_curves(benchmark, report_writer):
+    params = scaled(
+        dict(m_values=(5, 10, 20, 50, 100), scale=0.5, max_users=120),
+        m_values=(5, 20, 50),
+        scale=0.25,
+        max_users=40,
+    )
     result = run_once(
         benchmark,
         run_recall_curves,
         dataset="movielens",
-        m_values=M_VALUES,
-        scale=0.5,
-        max_users=120,
         random_state=0,
+        **params,
     )
 
     lines = [
@@ -33,9 +35,16 @@ def test_fig5_recall_curves(benchmark, report_writer):
     ]
     report_writer("fig5_recall_curves", "\n".join(lines))
 
+    # Recall curves are monotone in M for every method (holds at any scale).
+    for name, curves in result.curves.items():
+        recalls = curves["recall"]
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(recalls, recalls[1:]))
+
+    if smoke_mode():
+        return
+
     # Shape assertions: the best OCuLaR variant matches or beats every
-    # baseline at the paper's headline cut-off (M = 50), and recall curves
-    # are monotone in M for every method.
+    # baseline at the paper's headline cut-off (M = 50).
     index_50 = result.m_values.index(50)
     ocular_recall = max(
         result.curves["OCuLaR"]["recall"][index_50],
@@ -43,6 +52,3 @@ def test_fig5_recall_curves(benchmark, report_writer):
     )
     for name in ("wALS", "BPR", "user-based", "item-based"):
         assert ocular_recall >= result.curves[name]["recall"][index_50] - 0.02
-    for name, curves in result.curves.items():
-        recalls = curves["recall"]
-        assert all(later >= earlier - 1e-9 for earlier, later in zip(recalls, recalls[1:]))

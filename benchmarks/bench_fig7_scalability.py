@@ -9,26 +9,29 @@ asserts the fit explains the data (R^2 high) — i.e. no super-linear blow-up.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.paper_reference import PAPER_CLAIMS
 from repro.experiments.scalability import run_scalability_study
 
-FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
-K_VALUES = (10, 50, 100)
-
 
 def test_fig7_linear_scalability(benchmark, report_writer):
-    result = run_once(
-        benchmark,
-        run_scalability_study,
-        fractions=FRACTIONS,
-        k_values=K_VALUES,
-        n_iterations=3,
-        n_users=1500,
-        n_items=500,
-        random_state=0,
+    params = scaled(
+        dict(
+            fractions=(0.2, 0.4, 0.6, 0.8, 1.0),
+            k_values=(10, 50, 100),
+            n_iterations=3,
+            n_users=1500,
+            n_items=500,
+        ),
+        fractions=(0.5, 1.0),
+        k_values=(5, 10),
+        n_iterations=1,
+        n_users=200,
+        n_items=80,
     )
+    k_values = params["k_values"]
+    result = run_once(benchmark, run_scalability_study, random_state=0, **params)
 
     lines = [
         result.to_text(),
@@ -37,18 +40,24 @@ def test_fig7_linear_scalability(benchmark, report_writer):
     ]
     report_writer("fig7_scalability", "\n".join(lines))
 
+    if smoke_mode():
+        # Tiny corpora cannot support timing-shape assertions; the smoke run
+        # guards the experiment code path end to end.
+        assert all(result.series_for_k(k) for k in k_values)
+        return
+
     # Linear in nnz: the straight-line fit explains the timing for every K.
-    for k in K_VALUES:
+    for k in k_values:
         assert result.linearity_r2(k) > 0.7, f"scaling in nnz not linear for K={k}"
 
     # Monotone in nnz: the full corpus costs more per iteration than 20% of it.
-    for k in K_VALUES:
+    for k in k_values:
         series = result.series_for_k(k)
         assert series[-1].seconds_per_iteration > series[0].seconds_per_iteration
 
     # Roughly linear (certainly monotone) in K at the full corpus size.
     full = {
-        k: result.series_for_k(k)[-1].seconds_per_iteration for k in K_VALUES
+        k: result.series_for_k(k)[-1].seconds_per_iteration for k in k_values
     }
     assert full[50] > full[10]
     assert full[100] > full[50]

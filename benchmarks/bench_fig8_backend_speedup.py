@@ -11,22 +11,21 @@ least several times faster per iteration.
 from __future__ import annotations
 
 import numpy as np
-from conftest import run_once
+from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.backends import run_backend_comparison
 from repro.experiments.paper_reference import PAPER_CLAIMS
 
 
 def test_fig8_backend_speedup(benchmark, report_writer):
-    result = run_once(
-        benchmark,
-        run_backend_comparison,
-        n_users=1200,
-        n_items=400,
-        n_coclusters=30,
-        n_iterations=4,
-        random_state=0,
+    params = scaled(
+        dict(n_users=1200, n_items=400, n_coclusters=30, n_iterations=4),
+        n_users=150,
+        n_items=60,
+        n_coclusters=8,
+        n_iterations=2,
     )
+    result = run_once(benchmark, run_backend_comparison, random_state=0, **params)
 
     speedup = result.speedup_per_iteration()
     to_target = result.speedup_to_target()
@@ -48,5 +47,6 @@ def test_fig8_backend_speedup(benchmark, report_writer):
         result.trajectories["vectorized"].log_likelihoods,
         rtol=1e-6,
     )
-    # Clear constant-factor speed-up.
-    assert speedup > 2.0
+    # Clear constant-factor speed-up (the gap narrows on the smoke corpus,
+    # where per-iteration fixed costs dominate).
+    assert speedup > (1.0 if smoke_mode() else 2.0)

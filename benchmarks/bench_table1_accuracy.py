@@ -12,7 +12,7 @@ the best OCuLaR variant ranks in the top two by recall and by MAP.
 from __future__ import annotations
 
 import pytest
-from conftest import run_once
+from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.accuracy import run_table1
 
@@ -31,7 +31,7 @@ def _ocular_rank(result, metric: str) -> int:
 
 @pytest.mark.parametrize("dataset", ["movielens", "citeulike", "b2b"])
 def test_table1(benchmark, report_writer, dataset):
-    config = CONFIGS[dataset]
+    config = scaled(CONFIGS[dataset], scale=0.25, n_repeats=1, max_users=40)
     result = run_once(benchmark, run_table1, dataset=dataset, random_state=0, **config)
 
     lines = [
@@ -42,6 +42,14 @@ def test_table1(benchmark, report_writer, dataset):
         "paper shape: the OCuLaR variants are best or second best on every dataset",
     ]
     report_writer(f"table1_{dataset}", "\n".join(lines))
+
+    if smoke_mode():
+        # The tiny smoke corpora cannot support ordering claims; just require
+        # every method to have produced finite metrics.
+        assert set(result.metrics) and all(
+            values["recall"] >= 0 for values in result.metrics.values()
+        )
+        return
 
     # Shape assertions: an OCuLaR variant in the top 2 by at least one of the
     # two reported metrics (the paper's Table I has exactly this property,

@@ -10,16 +10,69 @@ assembled from the files.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Smoke mode
+----------
+CI runs the whole harness on every push to guard the figure scripts against
+import rot, so each benchmark also has a fast configuration.  Activate it
+with either::
+
+    REPRO_BENCH_SMOKE=1 pytest benchmarks/
+    pytest benchmarks/ --smoke
+
+In smoke mode every benchmark swaps its full-size parameters for tiny ones
+via :func:`scaled` and skips the statistical shape assertions (tiny corpora
+cannot support them) while keeping the structural ones, so the full
+experiment code path still executes end to end in seconds.
 """
 
 from __future__ import annotations
 
+import os
 import warnings
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Environment variable that switches the harness into smoke mode.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+_smoke_option = False
+
+
+def pytest_addoption(parser):
+    """Register ``--smoke`` (equivalent to ``REPRO_BENCH_SMOKE=1``)."""
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run every benchmark with tiny parameters (seconds, for CI)",
+    )
+
+
+def pytest_configure(config):
+    global _smoke_option
+    _smoke_option = bool(config.getoption("--smoke", default=False))
+
+
+def smoke_mode() -> bool:
+    """Whether the harness runs in the fast CI configuration."""
+    return _smoke_option or bool(os.environ.get(SMOKE_ENV))
+
+
+def scaled(full: dict, **smoke_overrides) -> dict:
+    """Benchmark parameters: ``full`` normally, with overrides in smoke mode.
+
+    Usage::
+
+        params = scaled(dict(n_users=1500, n_iterations=3), n_users=150)
+    """
+    params = dict(full)
+    if smoke_mode():
+        params.update(smoke_overrides)
+    return params
 
 
 @pytest.fixture(autouse=True)

@@ -1,10 +1,11 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``.  This file exists so that
-``pip install -e .`` works in offline environments whose setuptools lacks the
-``wheel`` package required by PEP 660 editable installs: without a
-``[build-system]`` table pip falls back to the legacy ``setup.py develop``
-code path, which has no such dependency.
+The project metadata lives in ``pyproject.toml`` (PEP 621); normal installs
+go through ``pip install -e '.[test,bench]'``.  This file exists for fully
+offline environments whose setuptools cannot satisfy a PEP 517/660 build
+(e.g. no ``wheel`` package and no network for the isolated build env):
+there, ``python setup.py develop`` still provides an editable install, and
+``PYTHONPATH=src`` works with no install at all.
 """
 
 from setuptools import setup

@@ -113,11 +113,16 @@ class Recommender(abc.ABC):
         n_items: int = 10,
         exclude_seen: bool = True,
     ) -> dict[int, np.ndarray]:
-        """Top-M lists for several users, as a mapping user -> item indices."""
-        return {
-            int(user): self.recommend(user, n_items=n_items, exclude_seen=exclude_seen)
-            for user in users
-        }
+        """Top-M lists for several users, as a mapping user -> item indices.
+
+        Routed through the chunked :class:`~repro.serving.engine.TopNEngine`
+        (one scoring call per chunk instead of one per user); the rankings
+        are identical to calling :meth:`recommend` per user.
+        """
+        from repro.serving.engine import TopNEngine
+
+        engine = TopNEngine.from_model(self)
+        return engine.recommend_many(users, n_items=n_items, exclude_seen=exclude_seen)
 
     # ------------------------------------------------------------------ #
     # Internal helpers for subclasses

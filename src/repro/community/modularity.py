@@ -20,7 +20,7 @@ to exactly one community — which is precisely why it misses the overlaps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -144,6 +144,14 @@ class BiasedOCuLaR(OCuLaR):
         self._set_train_matrix(matrix)
         return self
 
+    @property
+    def serving_factors_(self) -> FactorModel:
+        """Augmented factors (bias columns included) — scoring with these is
+        exactly ``1 - exp(-<f_u, f_i> - b_u - b_i - b)``, so engine-routed
+        rankings keep the bias terms."""
+        self._require_fitted()
+        return self._augmented_factors
+
     def score_user(self, user: int) -> np.ndarray:
         """Probabilities including the bias terms."""
         self._require_fitted()

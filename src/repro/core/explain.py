@@ -21,7 +21,7 @@ and packages them into an :class:`Explanation` whose ``to_text`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

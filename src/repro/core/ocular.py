@@ -22,7 +22,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -177,20 +177,33 @@ class OCuLaR(Recommender):
     # ------------------------------------------------------------------ #
     # Scoring / recommending
     # ------------------------------------------------------------------ #
+    @property
+    def serving_factors_(self) -> FactorModel:
+        """The factor model whose probability formula *is* this model's scoring.
+
+        The serving engine ranks through these factors directly (one BLAS
+        call per chunk).  Subclasses whose scoring differs from the plain
+        ``1 - exp(-<f_u, f_i>)`` over :attr:`factors_` (e.g. the
+        bias-extended model) must override this so engine-routed rankings
+        match :meth:`score_user` exactly.
+        """
+        self._require_fitted()
+        assert self.factors_ is not None
+        return self.factors_
+
     def score_user(self, user: int) -> np.ndarray:
         """Probabilities ``P[r_ui = 1]`` for every item for ``user``."""
         self._require_fitted()
-        assert self.factors_ is not None
-        return self.factors_.user_scores(user)
+        return self.serving_factors_.user_scores(user)
 
     def score_users(self, users) -> np.ndarray:
         """Vectorised batch scoring, shape ``(len(users), n_items)``."""
         self._require_fitted()
-        assert self.factors_ is not None
+        factors = self.serving_factors_
         user_array = np.asarray(list(users), dtype=np.int64)
         if user_array.size == 0:
-            return np.zeros((0, self.factors_.n_items))
-        return self.factors_.score_matrix(user_array)
+            return np.zeros((0, factors.n_items))
+        return factors.score_matrix(user_array)
 
     def predict_proba(self, user: int, item: int) -> float:
         """Probability that ``user`` is interested in ``item``."""

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.explain import Explanation, explain_recommendation
 from repro.exceptions import NotFittedError
 
@@ -66,6 +68,7 @@ def recommend_with_explanations(
     max_peers: int = 3,
     max_evidence_items: int = 5,
     deal_values: Optional[Dict[tuple, float]] = None,
+    ranked: Optional[Sequence[int]] = None,
 ) -> RecommendationReport:
     """Produce a :class:`RecommendationReport` for one user.
 
@@ -81,10 +84,19 @@ def recommend_with_explanations(
         Limits on how much evidence each co-cluster contributes to the text.
     deal_values:
         Optional ``(user, item) -> price`` history for price estimates.
+    ranked:
+        Optional precomputed ranked item list for ``user`` (as produced by
+        the serving engine); when omitted, the ranking is computed through
+        the engine's single-user path.
     """
     if getattr(model, "factors_", None) is None:
         raise NotFittedError("recommend_with_explanations requires a fitted OCuLaR model")
-    ranked = model.recommend(user, n_items=n_items, exclude_seen=True)
+    if ranked is None:
+        from repro.serving.engine import TopNEngine
+
+        ranked = TopNEngine.from_model(model).recommend_user(
+            user, n_items=n_items, exclude_seen=True
+        )
     explanations = [
         explain_recommendation(
             model,
@@ -109,8 +121,27 @@ def batch_reports(
     n_items: int = 5,
     deal_values: Optional[Dict[tuple, float]] = None,
 ) -> List[RecommendationReport]:
-    """Reports for several users (the nightly batch of a deployment)."""
+    """Reports for several users (the nightly batch of a deployment).
+
+    All users are ranked in one pass through the chunked serving engine —
+    one BLAS call per chunk rather than one scoring call per user — and the
+    (Python-heavy) explanation rendering then consumes the precomputed
+    rankings.
+    """
+    from repro.serving.engine import TopNEngine
+
+    user_list = [int(user) for user in users]
+    if not user_list:
+        return []
+    engine = TopNEngine.from_model(model)
+    rankings = engine.recommend_batch(user_list, n_items=n_items, exclude_seen=True)
     return [
-        recommend_with_explanations(model, int(user), n_items=n_items, deal_values=deal_values)
-        for user in users
+        recommend_with_explanations(
+            model,
+            user,
+            n_items=n_items,
+            deal_values=deal_values,
+            ranked=np.asarray(ranking),
+        )
+        for user, ranking in zip(user_list, rankings)
     ]

@@ -18,6 +18,7 @@ from repro.base import Recommender
 from repro.data.splitting import Split
 from repro.evaluation import metrics
 from repro.exceptions import EvaluationError
+from repro.serving.engine import TopNEngine
 
 
 @dataclass
@@ -109,9 +110,13 @@ def evaluate_recommender(
     hits: List[float] = []
     per_user: Dict[int, Dict[str, float]] = {}
 
-    for user in eligible:
+    # All eligible users are ranked in one pass through the chunked serving
+    # engine (identical rankings to per-user ``model.recommend``).
+    engine = TopNEngine.from_model(model)
+    rankings = engine.recommend_batch(eligible, n_items=m, exclude_seen=True)
+
+    for user, ranked in zip(eligible, rankings):
         relevant = split.test_items[user]
-        ranked = model.recommend(user, n_items=m, exclude_seen=True)
         user_recall = metrics.recall_at_m(ranked, relevant, m)
         user_ap = metrics.average_precision_at_m(ranked, relevant, m)
         user_precision = metrics.precision_at_m(ranked, relevant, m)
@@ -172,9 +177,11 @@ def evaluate_curves(
     accumulators: Dict[int, Dict[str, List[float]]] = {
         m: {"recall": [], "ap": [], "precision": [], "ndcg": [], "hit": []} for m in m_sorted
     }
-    for user in eligible:
+    engine = TopNEngine.from_model(model)
+    rankings = engine.recommend_batch(eligible, n_items=max_m, exclude_seen=True)
+
+    for user, ranked_full in zip(eligible, rankings):
         relevant = split.test_items[user]
-        ranked_full = model.recommend(user, n_items=max_m, exclude_seen=True)
         for m in m_sorted:
             ranked = ranked_full[:m]
             accumulators[m]["recall"].append(metrics.recall_at_m(ranked, relevant, m))

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.ocular import OCuLaR
 from repro.data.datasets import make_netflix_like

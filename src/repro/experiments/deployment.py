@@ -10,13 +10,13 @@ and produces exactly that report for a handful of clients.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.coclusters import extract_coclusters
 from repro.core.ocular import OCuLaR
-from repro.core.recommend import RecommendationReport, recommend_with_explanations
+from repro.core.recommend import RecommendationReport, batch_reports
 from repro.core.render import render_coclusters
 from repro.data.datasets import B2BDataset, make_b2b
 from repro.utils.rng import RandomStateLike
@@ -95,15 +95,14 @@ def run_deployment_example(
     degrees = dataset.matrix.user_degrees()
     selected_clients = np.argsort(-degrees)[:n_reports]
 
-    reports = [
-        recommend_with_explanations(
-            model,
-            int(client),
-            n_items=recommendations_per_client,
-            deal_values=dataset.deal_values,
-        )
-        for client in selected_clients
-    ]
+    # The nightly-batch shape: every selected client is ranked in one pass
+    # through the serving engine, then the explanation cards are rendered.
+    reports = batch_reports(
+        model,
+        [int(client) for client in selected_clients],
+        n_items=recommendations_per_client,
+        deal_values=dataset.deal_values,
+    )
 
     with_rationale = sum(
         1

@@ -13,7 +13,7 @@ co-cluster and co-cluster density.  The paper's observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.coclusters import cocluster_statistics, extract_coclusters
 from repro.core.ocular import OCuLaR

@@ -16,9 +16,17 @@ search code is agnostic to which one it receives.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Callable, Iterable, List, Sequence
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.utils.validation import check_positive_int
+
+
+def _resolve_workers(max_workers: Optional[int]) -> int:
+    """Default the pool size to the machine's CPU count."""
+    if max_workers is None:
+        return os.cpu_count() or 1
+    return check_positive_int(max_workers, "max_workers")
 
 
 class SerialExecutor:
@@ -45,11 +53,29 @@ class _PoolExecutor:
     def map(self, function: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``function`` to each item concurrently; results keep input order."""
         futures = [self._pool.submit(function, item) for item in items]
-        return [future.result() for future in futures]
+        return self._gather(futures)
 
     def starmap(self, function: Callable[..., Any], argument_tuples: Iterable[Sequence[Any]]) -> List[Any]:
         """Apply ``function(*args)`` concurrently; results keep input order."""
         futures = [self._pool.submit(function, *args) for args in argument_tuples]
+        return self._gather(futures)
+
+    @staticmethod
+    def _gather(futures: List[concurrent.futures.Future]) -> List[Any]:
+        """Collect results in submission order once every worker has finished.
+
+        Waiting for *all* futures first (instead of calling ``result()`` on
+        each in turn) means no worker is left running when an error
+        propagates, and the raised exception is deterministically the first
+        failure in submission order, re-raised with the worker's original
+        traceback attached rather than whichever future happened to be
+        awaited first.
+        """
+        concurrent.futures.wait(futures)
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                raise error.with_traceback(error.__traceback__)
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
@@ -71,9 +97,10 @@ class ProcessExecutor(_PoolExecutor):
     :mod:`repro.evaluation.grid_search` satisfy this requirement.
     """
 
-    def __init__(self, max_workers: int = 2) -> None:
-        check_positive_int(max_workers, "max_workers")
-        super().__init__(concurrent.futures.ProcessPoolExecutor(max_workers=max_workers))
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(
+            concurrent.futures.ProcessPoolExecutor(max_workers=_resolve_workers(max_workers))
+        )
 
 
 class ThreadExecutor(_PoolExecutor):
@@ -83,6 +110,7 @@ class ThreadExecutor(_PoolExecutor):
     concurrency for the vectorised backend without any pickling constraints.
     """
 
-    def __init__(self, max_workers: int = 2) -> None:
-        check_positive_int(max_workers, "max_workers")
-        super().__init__(concurrent.futures.ThreadPoolExecutor(max_workers=max_workers))
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(
+            concurrent.futures.ThreadPoolExecutor(max_workers=_resolve_workers(max_workers))
+        )

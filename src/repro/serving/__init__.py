@@ -1,0 +1,28 @@
+"""Batch serving: chunked top-N ranking, fold-in cold-start, sharded fan-out.
+
+The production shape of the paper's Section VIII deployment: a
+:class:`TopNEngine` scores users in chunks (one BLAS call per chunk) and
+selects top-N with ``argpartition``; :func:`fold_in_users` computes factors
+for unseen users against the fixed item factors so cold-start clients can be
+served without refitting; :func:`serve_sharded` fans user shards across the
+executors of :mod:`repro.parallel`.
+"""
+
+from repro.serving.batch import BatchServingResult, serve_sharded
+from repro.serving.engine import TopNEngine
+from repro.serving.fold_in import (
+    fold_in_factors,
+    fold_in_user,
+    fold_in_users,
+    recommend_folded,
+)
+
+__all__ = [
+    "TopNEngine",
+    "BatchServingResult",
+    "serve_sharded",
+    "fold_in_factors",
+    "fold_in_user",
+    "fold_in_users",
+    "recommend_folded",
+]

@@ -14,7 +14,6 @@ from repro.baselines import (
 )
 from repro.baselines.user_knn import cosine_similarity_rows
 from repro.data.interactions import InteractionMatrix
-from repro.data.splitting import train_test_split
 from repro.evaluation.evaluator import evaluate_recommender
 from repro.exceptions import ConfigurationError, NotFittedError
 import scipy.sparse as sp
@@ -196,7 +195,7 @@ class TestBPR:
             BPRRecommender(n_epochs=0)
 
     def test_empty_matrix_rejected(self):
-        from repro.exceptions import DataError, ReproError
+        from repro.exceptions import ReproError
 
         empty = InteractionMatrix(np.zeros((3, 3)))
         with pytest.raises(ReproError):

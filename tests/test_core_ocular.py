@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.ocular import OCuLaR
-from repro.data.interactions import InteractionMatrix
 from repro.data.synthetic import make_planted_coclusters, membership_recovery_score
 from repro.exceptions import ConfigurationError, NotFittedError
 

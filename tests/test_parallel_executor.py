@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import time
+import traceback
 
 import pytest
 
@@ -18,6 +20,13 @@ def square(value: int) -> int:
 def add(left: int, right: int) -> int:
     """Module-level helper (picklable for the process pool)."""
     return left + right
+
+
+def fail_tagged(tag: str, delay: float = 0.0) -> None:
+    """Module-level helper that raises a tagged error after an optional delay."""
+    if delay:
+        time.sleep(delay)
+    raise ValueError(f"worker failed: {tag}")
 
 
 class TestSerialExecutor:
@@ -57,3 +66,36 @@ class TestProcessExecutor:
     def test_invalid_workers(self):
         with pytest.raises(ConfigurationError):
             ProcessExecutor(max_workers=-1)
+
+
+class TestWorkerDefaults:
+    def test_thread_default_workers_is_cpu_count(self):
+        with ThreadExecutor() as executor:
+            assert executor._pool._max_workers == (os.cpu_count() or 1)
+
+    def test_process_default_workers_is_cpu_count(self):
+        with ProcessExecutor() as executor:
+            assert executor._pool._max_workers == (os.cpu_count() or 1)
+            executor.map(square, [1])  # the pool is actually usable
+
+
+class TestFailurePropagation:
+    def test_first_submitted_failure_wins(self):
+        # The second-submitted task fails immediately; the first fails after a
+        # delay.  The propagated error must deterministically be the first
+        # task's (submission order), not whichever failed first in time.
+        with ThreadExecutor(max_workers=2) as executor:
+            with pytest.raises(ValueError, match="worker failed: first"):
+                executor.starmap(fail_tagged, [("first", 0.2), ("second", 0.0)])
+
+    def test_traceback_reaches_the_worker_frame(self):
+        with ThreadExecutor(max_workers=2) as executor:
+            with pytest.raises(ValueError) as excinfo:
+                executor.starmap(fail_tagged, [("traced", 0.0)])
+        frames = traceback.extract_tb(excinfo.value.__traceback__)
+        assert any(frame.name == "fail_tagged" for frame in frames)
+
+    def test_process_pool_propagates_failure(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            with pytest.raises(ValueError, match="worker failed: only"):
+                executor.starmap(fail_tagged, [("only", 0.0)])

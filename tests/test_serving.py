@@ -1,0 +1,249 @@
+"""Tests for the batch serving engine, fold-in cold-start and sharded serving."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines.popularity import PopularityRecommender
+from repro.core.bias import BiasedOCuLaR
+from repro.core.ocular import OCuLaR
+from repro.exceptions import DataError
+from repro.core.recommend import batch_reports
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.serving import (
+    TopNEngine,
+    fold_in_user,
+    fold_in_users,
+    recommend_folded,
+    serve_sharded,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Chunked top-N parity with the per-user reference path
+# --------------------------------------------------------------------------- #
+class TestTopNEngineParity:
+    @pytest.mark.parametrize("n_items", [1, 5, 50])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 4096])
+    def test_identical_to_per_user_recommend(
+        self, fitted_movielens_model, n_items, chunk_size
+    ):
+        model = fitted_movielens_model
+        engine = TopNEngine.from_model(model, chunk_size=chunk_size)
+        users = list(range(model.train_matrix.n_users))
+        batch = engine.recommend_batch(users, n_items=n_items, exclude_seen=True)
+        assert len(batch) == len(users)
+        for user, ranked in zip(users, batch):
+            reference = model.recommend(user, n_items=n_items, exclude_seen=True)
+            np.testing.assert_array_equal(ranked, reference)
+
+    def test_seen_items_are_excluded(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        engine = TopNEngine.from_model(model)
+        users = list(range(model.train_matrix.n_users))
+        for user, ranked in zip(users, engine.recommend_batch(users, n_items=50)):
+            seen = set(model.train_matrix.items_of_user(user).tolist())
+            assert not seen.intersection(ranked.tolist())
+
+    def test_include_seen_parity(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        engine = TopNEngine.from_model(model)
+        users = [0, 3, 11]
+        batch = engine.recommend_batch(users, n_items=10, exclude_seen=False)
+        for user, ranked in zip(users, batch):
+            reference = model.recommend(user, n_items=10, exclude_seen=False)
+            np.testing.assert_array_equal(ranked, reference)
+
+    def test_generic_model_path(self, movielens_small):
+        _, _, split = movielens_small
+        model = PopularityRecommender().fit(split.train)
+        engine = TopNEngine.from_model(model)
+        assert engine.factors is None  # no FactorModel -> score_users path
+        users = list(range(0, split.train.n_users, 3))
+        batch = engine.recommend_batch(users, n_items=20)
+        for user, ranked in zip(users, batch):
+            reference = model.recommend(user, n_items=20, exclude_seen=True)
+            np.testing.assert_array_equal(ranked, reference)
+
+    def test_biased_model_keeps_its_bias_terms(self, movielens_small):
+        # BiasedOCuLaR scores through bias-augmented factors; the engine must
+        # route through serving_factors_ (not the stripped factors_), so
+        # engine rankings still equal per-user recommend for every user.
+        _, _, split = movielens_small
+        model = BiasedOCuLaR(
+            n_coclusters=8, regularization=4.0, max_iterations=30, random_state=0
+        ).fit(split.train)
+        engine = TopNEngine.from_model(model)
+        assert engine.factors is model.serving_factors_
+        users = list(range(split.train.n_users))
+        for user, ranked in zip(users, engine.recommend_batch(users, n_items=10)):
+            np.testing.assert_array_equal(ranked, model.recommend(user, n_items=10))
+        # And the vectorised score_users path agrees with score_user too
+        # (it was bias-free before the serving_factors_ refactor).
+        np.testing.assert_allclose(model.score_users([3])[0], model.score_user(3))
+
+    def test_recommend_many_matches_base(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        users = [5, 2, 9]
+        via_base = model.recommend_many(users, n_items=8)
+        engine = TopNEngine.from_model(model)
+        via_engine = engine.recommend_many(users, n_items=8)
+        assert set(via_base) == set(via_engine)
+        for user in users:
+            np.testing.assert_array_equal(via_base[user], via_engine[user])
+
+    def test_short_lists_for_heavy_users(self, fitted_toy_model):
+        # Toy users have seen most of the 12 items; asking for more than the
+        # number of unknowns must return a short list, never padded.
+        engine = TopNEngine.from_model(fitted_toy_model)
+        matrix = fitted_toy_model.train_matrix
+        for user, ranked in enumerate(engine.recommend_batch(range(matrix.n_users), n_items=12)):
+            n_unknown = matrix.n_items - len(matrix.items_of_user(user))
+            assert len(ranked) == min(12, n_unknown)
+
+    def test_empty_user_list(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        assert engine.recommend_batch([], n_items=5) == []
+
+    def test_out_of_range_user_rejected(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        with pytest.raises(ConfigurationError):
+            engine.recommend_batch([10_000], n_items=5)
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(NotFittedError):
+            TopNEngine.from_model(OCuLaR())
+
+
+# --------------------------------------------------------------------------- #
+# Fold-in cold-start
+# --------------------------------------------------------------------------- #
+class TestFoldIn:
+    def test_factors_non_negative_and_finite(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        interactions = [
+            model.train_matrix.items_of_user(user) for user in (0, 7, 23)
+        ]
+        folded = fold_in_users(model, interactions)
+        assert folded.shape == (3, model.n_coclusters)
+        assert np.isfinite(folded).all()
+        assert (folded >= 0).all()
+
+    def test_reproduces_refit_users_top_n(self, fitted_movielens_model):
+        # Fold a user's own training row back in against the fitted item
+        # factors: the convex single-user subproblem converges to (a point
+        # ranking-equivalent to) the fitted factor, so the served top-10 must
+        # be exactly the refit user's top-10.
+        model = fitted_movielens_model
+        engine = TopNEngine.from_model(model)
+        users = [5, 17, 40, 99]
+        interactions = [model.train_matrix.items_of_user(user) for user in users]
+        served = recommend_folded(engine, interactions, model=model, n_items=10)
+        for user, ranked in zip(users, served):
+            np.testing.assert_array_equal(ranked, model.recommend(user, n_items=10))
+
+    def test_factor_close_to_fitted(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        user = 5
+        folded = fold_in_user(model, model.train_matrix.items_of_user(user))
+        fitted = model.user_factors_[user]
+        assert np.linalg.norm(folded - fitted) < 1e-2 * max(np.linalg.norm(fitted), 1.0)
+
+    def test_masks_the_provided_interactions(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        engine = TopNEngine.from_model(model)
+        items = model.train_matrix.items_of_user(3)
+        served = recommend_folded(engine, [items], model=model, n_items=50)[0]
+        assert not set(items.tolist()).intersection(served.tolist())
+
+    def test_empty_history_gives_empty_factor(self, fitted_movielens_model):
+        # A brand-new user with no positives has nothing to fold in: the
+        # subproblem's optimum is the zero vector (popularity fallbacks are a
+        # caller concern).
+        folded = fold_in_user(fitted_movielens_model, [])
+        assert folded.shape == (fitted_movielens_model.n_coclusters,)
+        assert np.allclose(folded, 0.0)
+
+    def test_requires_fitted_model(self):
+        with pytest.raises(NotFittedError):
+            fold_in_users(OCuLaR(), [[0, 1]])
+
+    def test_out_of_range_item_rejected(self, fitted_movielens_model):
+        with pytest.raises(DataError):
+            fold_in_users(fitted_movielens_model, [[0, 10_000]])
+
+    def test_dense_matrix_interactions(self, fitted_movielens_model):
+        # A dense 0/1 matrix must be read as a matrix (like the sparse form),
+        # not as per-user lists of item indices.
+        model = fitted_movielens_model
+        n_items = model.train_matrix.n_items
+        dense = np.zeros((1, n_items))
+        dense[0, [3, 17, 41]] = 1.0
+        via_dense = fold_in_users(model, dense)
+        via_lists = fold_in_users(model, [[3, 17, 41]])
+        np.testing.assert_allclose(via_dense, via_lists)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded serving
+# --------------------------------------------------------------------------- #
+class TestServeSharded:
+    def test_order_stable_across_executors(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        users = list(range(fitted_movielens_model.train_matrix.n_users))
+
+        serial = serve_sharded(engine, users, n_items=10, shard_size=16)
+        with ThreadExecutor(max_workers=4) as threads:
+            threaded = serve_sharded(engine, users, n_items=10, executor=threads, shard_size=16)
+        with ProcessExecutor(max_workers=2) as processes:
+            processed = serve_sharded(
+                engine, users, n_items=10, executor=processes, shard_size=16
+            )
+
+        assert serial.users == threaded.users == processed.users == users
+        assert serial.n_shards == threaded.n_shards == processed.n_shards
+        for reference, a, b in zip(serial.rankings, threaded.rankings, processed.rankings):
+            np.testing.assert_array_equal(reference, a)
+            np.testing.assert_array_equal(reference, b)
+
+    def test_matches_unsharded_engine(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        users = [9, 1, 44, 1]  # unsorted, with a duplicate
+        result = serve_sharded(engine, users, n_items=7, executor=SerialExecutor(), shard_size=2)
+        direct = engine.recommend_batch(users, n_items=7)
+        assert result.n_shards == 2
+        for reference, ranked in zip(direct, result.rankings):
+            np.testing.assert_array_equal(reference, ranked)
+
+    def test_as_dict(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        mapping = serve_sharded(engine, [4, 8], n_items=3).as_dict()
+        assert set(mapping) == {4, 8}
+
+    def test_engine_is_picklable(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        clone = pickle.loads(pickle.dumps(engine))
+        np.testing.assert_array_equal(
+            clone.recommend_batch([3], n_items=5)[0],
+            engine.recommend_batch([3], n_items=5)[0],
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Engine-routed consumers
+# --------------------------------------------------------------------------- #
+class TestEngineRoutedReports:
+    def test_batch_reports_match_per_user_ranking(self, b2b_small):
+        model = OCuLaR(
+            n_coclusters=6, regularization=1.0, max_iterations=40, random_state=1
+        ).fit(b2b_small.matrix)
+        users = [0, 5, 10]
+        reports = batch_reports(model, users, n_items=3, deal_values=b2b_small.deal_values)
+        assert [report.user for report in reports] == users
+        for report in reports:
+            reference = model.recommend(report.user, n_items=3, exclude_seen=True)
+            assert report.items == [int(item) for item in reference]
