@@ -1,6 +1,6 @@
 """Compute backends for the OCuLaR block-coordinate sweeps.
 
-Two backends implement identical mathematics:
+Three backends implement identical mathematics:
 
 * ``"reference"`` — a per-row Python loop, the direct transcription of the
   paper's Section IV-D pseudocode.  It plays the role of the paper's CPU
@@ -10,33 +10,65 @@ Two backends implement identical mathematics:
   of all rows is assembled with one sparse matrix product over the positive
   examples, which is exactly the parallel-over-positive-ratings structure of
   the paper's GPU kernel.
+* ``"parallel"`` — the vectorized kernels sharded by row range and fanned
+  across a thread pool (``n_workers``), realising the paper's
+  rows-are-independent parallelism argument on the CPU.  Its factors are
+  bit-identical to ``"vectorized"`` for any shard count.
 
-Both return bit-for-bit comparable factors when run with the same inputs and
-step sizes; the test-suite asserts their agreement.
+All backends consume a precomputed :class:`~repro.core.backends.plan.SweepSide`
+(built once per fit by the trainer through :class:`SweepPlan`) and return
+bit-for-bit comparable factors when run with the same inputs and step sizes;
+the test-suite asserts their agreement.
 """
 
 from repro.core.backends.base import Backend, SweepStats
+from repro.core.backends.plan import SweepPlan, SweepSide
 from repro.core.backends.reference import ReferenceBackend
 from repro.core.backends.vectorized import VectorizedBackend
+from repro.core.backends.parallel import ParallelBackend
 
 from repro.exceptions import ConfigurationError
 
 _BACKENDS = {
     "reference": ReferenceBackend,
     "vectorized": VectorizedBackend,
+    "parallel": ParallelBackend,
 }
 
 
-def get_backend(name: str) -> Backend:
-    """Instantiate a backend by name (``"reference"`` or ``"vectorized"``)."""
+def get_backend(name, n_workers=None) -> Backend:
+    """Instantiate a backend by name, or pass an instance through.
+
+    Parameters
+    ----------
+    name:
+        ``"reference"``, ``"vectorized"``, ``"parallel"``, or a
+        :class:`Backend` instance (returned unchanged).
+    n_workers:
+        Thread-pool size for the ``"parallel"`` backend.  Specifying it with
+        any other backend (or with an already-built instance) is an error —
+        it would be silently ignored otherwise.
+    """
     if isinstance(name, Backend):
+        if n_workers is not None:
+            raise ConfigurationError(
+                "n_workers cannot be combined with a backend instance; "
+                "construct ParallelBackend(n_workers=...) directly"
+            )
         return name
     try:
-        return _BACKENDS[name]()
+        backend_cls = _BACKENDS[name]
     except KeyError as exc:
         raise ConfigurationError(
             f"unknown backend {name!r}; available: {sorted(_BACKENDS)}"
         ) from exc
+    if n_workers is not None:
+        if backend_cls is not ParallelBackend:
+            raise ConfigurationError(
+                f"n_workers is only valid with the 'parallel' backend, not {name!r}"
+            )
+        return backend_cls(n_workers=n_workers)
+    return backend_cls()
 
 
 def available_backends() -> list[str]:
@@ -47,8 +79,11 @@ def available_backends() -> list[str]:
 __all__ = [
     "Backend",
     "SweepStats",
+    "SweepPlan",
+    "SweepSide",
     "ReferenceBackend",
     "VectorizedBackend",
+    "ParallelBackend",
     "get_backend",
     "available_backends",
 ]

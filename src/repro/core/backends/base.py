@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
+
+from repro.core.backends.plan import SweepSide
+from repro.exceptions import ConfigurationError
 
 
 @dataclass
@@ -35,6 +37,16 @@ class SweepStats:
             return 0.0
         return self.n_accepted / float(self.n_rows)
 
+    @classmethod
+    def combined(cls, parts: Iterable["SweepStats"]) -> "SweepStats":
+        """Aggregate the stats of disjoint row shards of one sweep."""
+        n_rows = n_accepted = n_backtracks = 0
+        for part in parts:
+            n_rows += part.n_rows
+            n_accepted += part.n_accepted
+            n_backtracks += part.n_backtracks
+        return cls(n_rows=n_rows, n_accepted=n_accepted, n_backtracks=n_backtracks)
+
 
 class Backend(abc.ABC):
     """A strategy for performing one projected-gradient sweep over one side.
@@ -47,15 +59,19 @@ class Backend(abc.ABC):
     item factors, pass the item-major (transposed) interaction matrix with
     ``row_factors = item_factors`` and ``col_factors = user_factors``; to
     update user factors pass the user-major matrix with the roles swapped.
+
+    Subclasses implement :meth:`_sweep_rows`, which receives a precomputed
+    :class:`~repro.core.backends.plan.SweepSide` plus an explicit row range,
+    so a sweep over rows ``[a, b)`` is a self-contained task — the unit of
+    work the sharded parallel backend fans out.
     """
 
     #: Human-readable backend name, e.g. ``"reference"``.
     name: str = "abstract"
 
-    @abc.abstractmethod
     def sweep(
         self,
-        matrix: sp.csr_matrix,
+        matrix,
         row_factors: np.ndarray,
         col_factors: np.ndarray,
         regularization: float,
@@ -64,14 +80,17 @@ class Backend(abc.ABC):
         sigma: float = 0.1,
         beta: float = 0.5,
         max_backtracks: int = 20,
-    ) -> tuple[np.ndarray, SweepStats]:
-        """Perform one projected-gradient sweep over all rows.
+        plan: Optional[SweepSide] = None,
+        row_range: Optional[Tuple[int, int]] = None,
+    ) -> Tuple[np.ndarray, SweepStats]:
+        """Perform one projected-gradient sweep over rows of one side.
 
         Parameters
         ----------
         matrix:
             CSR matrix of shape ``(n_rows, n_cols)`` whose non-zeros are the
             positive examples, with rows indexing the side being updated.
+            May be ``None`` when ``plan`` is provided.
         row_factors:
             Current factors of the rows being updated, shape ``(n_rows, K)``.
             Not modified in place.
@@ -83,30 +102,121 @@ class Backend(abc.ABC):
             Optional per-row / per-column weights; the weight of a positive
             entry ``(r, c)`` is their product (1 when both are ``None``).
             R-OCuLaR passes the per-user weights through whichever side the
-            users occupy.
+            users occupy.  Only valid without ``plan`` — a plan has its
+            entry weights baked in.
         sigma, beta:
             Armijo line-search constants, both in (0, 1).
         max_backtracks:
             Maximum number of step-size reductions per row; a row whose
             search exhausts the budget keeps its previous factor.
+        plan:
+            Optional precomputed :class:`~repro.core.backends.plan.SweepSide`.
+            Without it an ephemeral plan is built from ``matrix`` on every
+            call (the backward-compatible slow path); the trainer builds one
+            plan per fit instead.
+        row_range:
+            Optional ``(start, stop)`` restricting the sweep to rows
+            ``[start, stop)``.  The returned factor array then has shape
+            ``(stop - start, K)`` — the updated factors of just those rows.
+            ``None`` sweeps (and returns) all rows.
 
         Returns
         -------
         (new_row_factors, stats)
         """
+        row_factors = np.asarray(row_factors)
+        col_factors = np.asarray(col_factors)
+        if plan is None:
+            if matrix is None:
+                raise ConfigurationError(
+                    "sweep requires either a matrix or a precomputed plan"
+                )
+            dtype = (
+                row_factors.dtype
+                if np.issubdtype(row_factors.dtype, np.floating)
+                else None
+            )
+            plan = SweepSide.build(
+                matrix,
+                row_positive_weights=row_positive_weights,
+                col_positive_weights=col_positive_weights,
+                dtype=dtype,
+            )
+        else:
+            if matrix is not None:
+                raise ConfigurationError(
+                    "pass either a matrix or a plan to sweep, not both — a plan "
+                    "already owns its matrix, so the extra one would be ignored"
+                )
+            if row_positive_weights is not None or col_positive_weights is not None:
+                raise ConfigurationError(
+                    "positive weights are baked into the plan at construction time; "
+                    "pass them to SweepSide.build, not to sweep"
+                )
+        if plan.n_rows != row_factors.shape[0]:
+            raise ConfigurationError(
+                f"row_factors has {row_factors.shape[0]} rows but the plan side has "
+                f"{plan.n_rows}"
+            )
+        if plan.n_cols != col_factors.shape[0]:
+            raise ConfigurationError(
+                f"col_factors has {col_factors.shape[0]} rows but the plan side has "
+                f"{plan.n_cols} columns"
+            )
+        start, stop = self._check_row_range(row_range, plan.n_rows)
+
+        # The fixed side does not change within a sweep, so its column sum is
+        # computed exactly once here and shared by every row shard.
+        total_col_sum = col_factors.sum(axis=0)
+        return self._sweep_rows(
+            plan,
+            row_factors,
+            col_factors,
+            regularization,
+            sigma,
+            beta,
+            max_backtracks,
+            start,
+            stop,
+            total_col_sum,
+        )
 
     @staticmethod
-    def entry_weights(
-        matrix_coo: sp.coo_matrix,
-        row_positive_weights: Optional[np.ndarray],
-        col_positive_weights: Optional[np.ndarray],
-    ) -> Optional[np.ndarray]:
-        """Per-positive-entry weights, or ``None`` when every weight is 1."""
-        if row_positive_weights is None and col_positive_weights is None:
-            return None
-        weights = np.ones(matrix_coo.nnz)
-        if row_positive_weights is not None:
-            weights = weights * row_positive_weights[matrix_coo.row]
-        if col_positive_weights is not None:
-            weights = weights * col_positive_weights[matrix_coo.col]
-        return weights
+    def _check_row_range(
+        row_range: Optional[Tuple[int, int]], n_rows: int
+    ) -> Tuple[int, int]:
+        """Validate a ``(start, stop)`` range against the side's row count."""
+        if row_range is None:
+            return 0, n_rows
+        try:
+            start, stop = (int(bound) for bound in row_range)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"row_range must be a (start, stop) pair, got {row_range!r}"
+            ) from exc
+        if not 0 <= start <= stop <= n_rows:
+            raise ConfigurationError(
+                f"row_range {row_range!r} is not within [0, {n_rows}]"
+            )
+        return start, stop
+
+    @abc.abstractmethod
+    def _sweep_rows(
+        self,
+        plan: SweepSide,
+        row_factors: np.ndarray,
+        col_factors: np.ndarray,
+        regularization: float,
+        sigma: float,
+        beta: float,
+        max_backtracks: int,
+        start: int,
+        stop: int,
+        total_col_sum: np.ndarray,
+    ) -> Tuple[np.ndarray, SweepStats]:
+        """Update rows ``[start, stop)`` and return their new factors + stats.
+
+        ``row_factors`` is the full factor array of the side (global row
+        indexing); the returned array has shape ``(stop - start, K)``.
+        ``total_col_sum`` is the precomputed ``col_factors.sum(axis=0)``.
+        """

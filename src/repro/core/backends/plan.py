@@ -1,0 +1,200 @@
+"""Precomputed sweep plans — the static structure of a fit, built once.
+
+Profiling the seed trainer showed that every projected-gradient sweep
+re-derived structure that never changes during a fit: a ``sp.csr_matrix``
+revalidation of the operand, a ``tocoo()`` to recover per-entry row indices,
+and the per-entry R-OCuLaR weights — four times per outer iteration (two
+sweep directions plus the objective bookkeeping).  A :class:`SweepPlan`
+hoists all of that out of the hot loop: it is built once per ``fit`` and
+owns, for both sweep directions, the CSR matrix in the training dtype, the
+COO-style row index of every stored entry (aligned with CSR order), and the
+per-entry positive-example weights.
+
+Backends consume one :class:`SweepSide` at a time.  Because a side keeps the
+global CSR ``indptr``/``indices``, a sweep restricted to the row range
+``[a, b)`` needs nothing beyond the side and the fixed-side column sum — it
+is a self-contained task, which is what makes the sharded parallel backend
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_float_dtype
+
+
+def _resolve_dtype(dtype, fallback=np.float64) -> np.dtype:
+    """Normalise a dtype spec (``None`` → ``fallback``) to float32/float64."""
+    return check_float_dtype(fallback if dtype is None else dtype, "dtype")
+
+
+@dataclass
+class SweepSide:
+    """Static structure for sweeping one side (rows) of the interaction matrix.
+
+    Attributes
+    ----------
+    matrix:
+        CSR matrix of shape ``(n_rows, n_cols)`` whose rows index the side
+        being updated; its ``data`` is stored in the training dtype.
+    row_index:
+        Row index of every stored entry in CSR (row-major) order, shape
+        ``(nnz,)`` — what ``matrix.tocoo().row`` would return, computed once.
+        The matching column indices are ``matrix.indices``.
+    entry_weights:
+        Per-entry positive-example weights in the training dtype, or ``None``
+        when every weight is 1 (plain OCuLaR).
+    """
+
+    matrix: sp.csr_matrix
+    row_index: np.ndarray
+    entry_weights: Optional[np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows on the side being updated."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns (the fixed side)."""
+        return self.matrix.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of positive entries."""
+        return self.matrix.nnz
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Training dtype of the matrix data (and weights, when present)."""
+        return self.matrix.data.dtype
+
+    @classmethod
+    def build(
+        cls,
+        matrix,
+        row_positive_weights: Optional[np.ndarray] = None,
+        col_positive_weights: Optional[np.ndarray] = None,
+        dtype=None,
+    ) -> "SweepSide":
+        """Precompute the sweep structure for one side.
+
+        Parameters
+        ----------
+        matrix:
+            Anything ``sp.csr_matrix`` accepts, shape ``(n_rows, n_cols)``
+            with rows indexing the side to be updated.
+        row_positive_weights, col_positive_weights:
+            Optional per-row / per-column weights; the weight of a positive
+            entry ``(r, c)`` is their product (1 when both are ``None``).
+        dtype:
+            Training dtype (``float32`` / ``float64``); defaults to float64.
+        """
+        csr = sp.csr_matrix(matrix)
+        target = _resolve_dtype(dtype)
+        if csr.data.dtype != target:
+            csr = csr.astype(target)
+
+        n_rows, n_cols = csr.shape
+        row_index = np.repeat(
+            np.arange(n_rows, dtype=np.int64), np.diff(csr.indptr)
+        )
+
+        weights: Optional[np.ndarray] = None
+        if row_positive_weights is not None or col_positive_weights is not None:
+            weights = np.ones(csr.nnz, dtype=target)
+            if row_positive_weights is not None:
+                row_positive_weights = np.asarray(row_positive_weights)
+                if row_positive_weights.shape != (n_rows,):
+                    raise ConfigurationError(
+                        f"row_positive_weights must have shape ({n_rows},), got "
+                        f"{row_positive_weights.shape}"
+                    )
+                weights *= row_positive_weights[row_index].astype(target, copy=False)
+            if col_positive_weights is not None:
+                col_positive_weights = np.asarray(col_positive_weights)
+                if col_positive_weights.shape != (n_cols,):
+                    raise ConfigurationError(
+                        f"col_positive_weights must have shape ({n_cols},), got "
+                        f"{col_positive_weights.shape}"
+                    )
+                weights *= col_positive_weights[csr.indices].astype(target, copy=False)
+        return cls(matrix=csr, row_index=row_index, entry_weights=weights)
+
+
+class SweepPlan:
+    """Both sweep directions of one training problem, precomputed once.
+
+    The trainer builds a plan at the top of ``fit`` and drives every sweep
+    through it: the item sweep uses :attr:`item_side` (rows = items, columns
+    = users; the per-user R-OCuLaR weight rides on the column side) and the
+    user sweep uses :attr:`user_side` (rows = users; the weight rides on the
+    row side).
+    """
+
+    def __init__(self, user_side: SweepSide, item_side: SweepSide) -> None:
+        if user_side.matrix.shape != item_side.matrix.shape[::-1]:
+            raise ConfigurationError(
+                "user_side and item_side must be transposes of each other, got "
+                f"shapes {user_side.matrix.shape} and {item_side.matrix.shape}"
+            )
+        self.user_side = user_side
+        self.item_side = item_side
+
+    @classmethod
+    def build(
+        cls,
+        matrix,
+        user_weights: Optional[np.ndarray] = None,
+        dtype=None,
+    ) -> "SweepPlan":
+        """Precompute both sweep directions for a user-by-item matrix.
+
+        Parameters
+        ----------
+        matrix:
+            Interaction matrix of shape ``(n_users, n_items)``.
+        user_weights:
+            Optional per-user positive-example weights (R-OCuLaR).
+        dtype:
+            Training dtype (``float32`` / ``float64``); defaults to float64.
+        """
+        target = _resolve_dtype(dtype)
+        user_major = sp.csr_matrix(matrix)
+        if user_major.data.dtype != target:
+            user_major = user_major.astype(target)
+        item_major = sp.csr_matrix(user_major.T)
+        user_side = SweepSide.build(
+            user_major, row_positive_weights=user_weights, dtype=target
+        )
+        item_side = SweepSide.build(
+            item_major, col_positive_weights=user_weights, dtype=target
+        )
+        return cls(user_side=user_side, item_side=item_side)
+
+    @property
+    def n_users(self) -> int:
+        """Number of users."""
+        return self.user_side.n_rows
+
+    @property
+    def n_items(self) -> int:
+        """Number of items."""
+        return self.item_side.n_rows
+
+    @property
+    def nnz(self) -> int:
+        """Number of positive interactions."""
+        return self.user_side.nnz
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Training dtype shared by both sides."""
+        return self.user_side.dtype

@@ -7,16 +7,20 @@ the projection arc.  The per-row Python loop makes this the slow-but-obvious
 implementation — it stands in for the paper's single-threaded CPU code in the
 Figure 8 comparison and acts as the ground truth the vectorized backend is
 tested against.
+
+Because each loop iteration only touches one row, sweeping a row range
+``[a, b)`` is simply the loop restricted to those rows; the entry weights
+and CSR structure come precomputed from the plan.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.backends.base import Backend, SweepStats
+from repro.core.backends.plan import SweepSide
 from repro.core.objective import (
     armijo_accept,
     row_gradient,
@@ -29,35 +33,31 @@ class ReferenceBackend(Backend):
 
     name = "reference"
 
-    def sweep(
+    def _sweep_rows(
         self,
-        matrix: sp.csr_matrix,
+        plan: SweepSide,
         row_factors: np.ndarray,
         col_factors: np.ndarray,
         regularization: float,
-        row_positive_weights: Optional[np.ndarray] = None,
-        col_positive_weights: Optional[np.ndarray] = None,
-        sigma: float = 0.1,
-        beta: float = 0.5,
-        max_backtracks: int = 20,
+        sigma: float,
+        beta: float,
+        max_backtracks: int,
+        start: int,
+        stop: int,
+        total_col_sum: np.ndarray,
     ) -> Tuple[np.ndarray, SweepStats]:
-        matrix = sp.csr_matrix(matrix)
-        n_rows = matrix.shape[0]
-        new_factors = row_factors.copy()
-
-        # Precompute sum_c f_c once per sweep (the trick of Section IV-D):
-        # the unknown-column sum for a row is the total minus its positives.
-        total_col_sum = col_factors.sum(axis=0)
+        indptr, indices = plan.matrix.indptr, plan.matrix.indices
+        new_factors = row_factors[start:stop].copy()
 
         n_accepted = 0
         n_backtracks = 0
-        for row in range(n_rows):
-            start, stop = matrix.indptr[row], matrix.indptr[row + 1]
-            positive_cols = matrix.indices[start:stop]
+        for local, row in enumerate(range(start, stop)):
+            first, last = indptr[row], indptr[row + 1]
+            positive_cols = indices[first:last]
             positive_col_factors = col_factors[positive_cols]
 
-            weights = self._positive_weights_for_row(
-                row, positive_cols, row_positive_weights, col_positive_weights
+            weights = (
+                None if plan.entry_weights is None else plan.entry_weights[first:last]
             )
             unknown_sum = total_col_sum - positive_col_factors.sum(axis=0)
 
@@ -79,7 +79,7 @@ class ReferenceBackend(Backend):
                 if armijo_accept(
                     current_value, candidate_value, gradient, candidate - current, sigma
                 ):
-                    new_factors[row] = candidate
+                    new_factors[local] = candidate
                     accepted = True
                     break
                 step *= beta
@@ -87,22 +87,7 @@ class ReferenceBackend(Backend):
             if accepted:
                 n_accepted += 1
 
-        stats = SweepStats(n_rows=n_rows, n_accepted=n_accepted, n_backtracks=n_backtracks)
+        stats = SweepStats(
+            n_rows=stop - start, n_accepted=n_accepted, n_backtracks=n_backtracks
+        )
         return new_factors, stats
-
-    @staticmethod
-    def _positive_weights_for_row(
-        row: int,
-        positive_cols: np.ndarray,
-        row_positive_weights: Optional[np.ndarray],
-        col_positive_weights: Optional[np.ndarray],
-    ) -> Optional[np.ndarray]:
-        """Weights of this row's positive entries (``None`` when all are 1)."""
-        if row_positive_weights is None and col_positive_weights is None:
-            return None
-        weights = np.ones(len(positive_cols))
-        if row_positive_weights is not None:
-            weights = weights * row_positive_weights[row]
-        if col_positive_weights is not None:
-            weights = weights * col_positive_weights[positive_cols]
-        return weights

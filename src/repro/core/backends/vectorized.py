@@ -6,7 +6,7 @@ over the positive ratings: each positive ``(u, i)`` contributes
 adds.  The same structure maps onto one sparse-matrix product here:
 
 * compute the affinity of every positive entry in one ``einsum`` over the
-  COO representation (the "thread block per rating" of the paper),
+  plan's precomputed entry list (the "thread block per rating" of the paper),
 * scatter ``weight * alpha(affinity)`` back into a sparse matrix and multiply
   it by the fixed factors to accumulate all row gradients at once (the
   atomic-add reduction),
@@ -16,16 +16,23 @@ adds.  The same structure maps onto one sparse-matrix product here:
 The result is mathematically identical to the reference backend but runs one
 to two orders of magnitude faster in NumPy, which is what the Figure 8
 benchmark measures.
+
+Every kernel is *row-local*: the gradient, objective and line search of a
+row never read another row's state, and all row reductions accumulate in CSR
+entry order.  Sweeping the range ``[a, b)`` therefore produces bit-for-bit
+the rows ``[a, b)`` of a full sweep — the invariant the sharded parallel
+backend builds on.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.backends.base import Backend, SweepStats
+from repro.core.backends.plan import SweepSide
 from repro.core.objective import gradient_ratio, safe_log1mexp
 
 
@@ -34,51 +41,69 @@ class VectorizedBackend(Backend):
 
     name = "vectorized"
 
-    def sweep(
+    def _sweep_rows(
         self,
-        matrix: sp.csr_matrix,
+        plan: SweepSide,
         row_factors: np.ndarray,
         col_factors: np.ndarray,
         regularization: float,
-        row_positive_weights: Optional[np.ndarray] = None,
-        col_positive_weights: Optional[np.ndarray] = None,
-        sigma: float = 0.1,
-        beta: float = 0.5,
-        max_backtracks: int = 20,
+        sigma: float,
+        beta: float,
+        max_backtracks: int,
+        start: int,
+        stop: int,
+        total_col_sum: np.ndarray,
     ) -> Tuple[np.ndarray, SweepStats]:
-        matrix = sp.csr_matrix(matrix)
-        coo = matrix.tocoo()
-        n_rows = matrix.shape[0]
+        indptr = plan.matrix.indptr
+        first, last = int(indptr[start]), int(indptr[stop])
+        n_local = stop - start
+        local_factors = row_factors[start:stop]
 
-        entry_weights = self.entry_weights(coo, row_positive_weights, col_positive_weights)
+        entry_rows = plan.row_index[first:last] - start
+        entry_cols = plan.matrix.indices[first:last]
+        entry_weights = (
+            None if plan.entry_weights is None else plan.entry_weights[first:last]
+        )
+        # The local rows reuse the global CSR structure: data/indices slices
+        # are views, and the index pointer is rebased to the shard origin.
+        local_indptr = indptr[start : stop + 1] - first
+        local_shape = (n_local, plan.n_cols)
 
         # --- gradient of every row at the current point ------------------- #
-        affinities = np.einsum("ij,ij->i", row_factors[coo.row], col_factors[coo.col])
+        affinities = np.einsum(
+            "ij,ij->i", local_factors[entry_rows], col_factors[entry_cols]
+        )
         ratios = gradient_ratio(affinities)
         if entry_weights is not None:
             ratios = ratios * entry_weights
-        # tocoo() of a canonical CSR matrix preserves CSR (row-major) order, so
-        # the per-entry ratios can be scattered by reusing the CSR structure
-        # directly instead of rebuilding (and re-sorting) a sparse matrix.
-        scatter = sp.csr_matrix(
-            (ratios, matrix.indices, matrix.indptr), shape=matrix.shape
-        )
+        # CSR order is row-major, so the per-entry ratios scatter through the
+        # (rebased) CSR structure directly — no COO rebuild, no re-sorting.
+        scatter = sp.csr_matrix((ratios, entry_cols, local_indptr), shape=local_shape)
         gradient_positive = scatter @ col_factors
 
-        positive_sums = matrix @ col_factors
-        unknown_sums = col_factors.sum(axis=0)[np.newaxis, :] - positive_sums
+        positives = sp.csr_matrix(
+            (plan.matrix.data[first:last], entry_cols, local_indptr), shape=local_shape
+        )
+        positive_sums = positives @ col_factors
+        unknown_sums = total_col_sum[np.newaxis, :] - positive_sums
 
-        gradients = -gradient_positive + unknown_sums + 2.0 * regularization * row_factors
+        gradients = -gradient_positive + unknown_sums + 2.0 * regularization * local_factors
 
         # --- current per-row objective values ------------------------------ #
-        current_values = self._row_objectives(
-            coo, row_factors, col_factors, entry_weights, unknown_sums, regularization, n_rows
-        )
+        # The affinities at the current point were just computed for the
+        # gradient; reuse them for the objective instead of a second einsum.
+        log_terms = safe_log1mexp(affinities)
+        if entry_weights is not None:
+            log_terms = log_terms * entry_weights
+        positive_part = -np.bincount(entry_rows, weights=log_terms, minlength=n_local)
+        unknown_part = np.einsum("ij,ij->i", local_factors, unknown_sums)
+        penalty = regularization * np.einsum("ij,ij->i", local_factors, local_factors)
+        current_values = positive_part + unknown_part + penalty
 
         # --- batched Armijo backtracking ----------------------------------- #
-        new_factors = row_factors.copy()
-        step_sizes = np.ones(n_rows)
-        active = np.ones(n_rows, dtype=bool)
+        new_factors = local_factors.copy()
+        step_sizes = np.ones(n_local, dtype=row_factors.dtype)
+        active = np.ones(n_local, dtype=bool)
         n_backtracks = 0
 
         for _ in range(max_backtracks + 1):
@@ -87,18 +112,19 @@ class VectorizedBackend(Backend):
             active_rows = np.flatnonzero(active)
             candidates = np.maximum(
                 0.0,
-                row_factors[active_rows] - step_sizes[active_rows, np.newaxis] * gradients[active_rows],
+                local_factors[active_rows]
+                - step_sizes[active_rows, np.newaxis] * gradients[active_rows],
             )
-            candidate_values = self._row_objectives_subset(
-                matrix,
+            candidate_values = self._candidate_objectives(
+                plan,
                 candidates,
                 active_rows,
+                start,
                 col_factors,
-                entry_weights,
                 unknown_sums,
                 regularization,
             )
-            differences = candidates - row_factors[active_rows]
+            differences = candidates - local_factors[active_rows]
             armijo_rhs = sigma * np.einsum("ij,ij->i", gradients[active_rows], differences)
             accepted = (candidate_values - current_values[active_rows]) <= armijo_rhs
 
@@ -108,58 +134,40 @@ class VectorizedBackend(Backend):
             n_backtracks += int(np.count_nonzero(~accepted))
             step_sizes[active] *= beta
 
-        n_accepted = int(n_rows - np.count_nonzero(active))
-        stats = SweepStats(n_rows=n_rows, n_accepted=n_accepted, n_backtracks=n_backtracks)
+        n_accepted = int(n_local - np.count_nonzero(active))
+        stats = SweepStats(n_rows=n_local, n_accepted=n_accepted, n_backtracks=n_backtracks)
         return new_factors, stats
 
     # ------------------------------------------------------------------ #
     # Row objective helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _row_objectives(
-        coo: sp.coo_matrix,
-        row_factors: np.ndarray,
-        col_factors: np.ndarray,
-        entry_weights: Optional[np.ndarray],
-        unknown_sums: np.ndarray,
-        regularization: float,
-        n_rows: int,
-    ) -> np.ndarray:
-        """Objective value of every row at the given factors."""
-        affinities = np.einsum("ij,ij->i", row_factors[coo.row], col_factors[coo.col])
-        log_terms = safe_log1mexp(affinities)
-        if entry_weights is not None:
-            log_terms = log_terms * entry_weights
-        positive_part = -np.bincount(coo.row, weights=log_terms, minlength=n_rows)
-        unknown_part = np.einsum("ij,ij->i", row_factors, unknown_sums)
-        penalty = regularization * np.einsum("ij,ij->i", row_factors, row_factors)
-        return positive_part + unknown_part + penalty
-
-    @staticmethod
-    def _row_objectives_subset(
-        matrix: sp.csr_matrix,
+    def _candidate_objectives(
+        plan: SweepSide,
         candidate_factors: np.ndarray,
         active_rows: np.ndarray,
+        start: int,
         col_factors: np.ndarray,
-        entry_weights: Optional[np.ndarray],
         unknown_sums: np.ndarray,
         regularization: float,
     ) -> np.ndarray:
         """Objective values of ``active_rows`` evaluated at ``candidate_factors``.
 
-        ``candidate_factors[k]`` is the candidate for row ``active_rows[k]``.
-        The positive entries of the active rows are gathered directly from the
-        CSR structure (``indptr``/``indices``), so a late backtracking pass
-        over a handful of stubborn rows costs only those rows' entries rather
-        than a scan of the whole matrix.
+        ``candidate_factors[k]`` is the candidate for the shard-local row
+        ``active_rows[k]`` (global row ``start + active_rows[k]``).  The
+        positive entries of the active rows are gathered directly from the
+        plan's CSR structure, so a late backtracking pass over a handful of
+        stubborn rows costs only those rows' entries rather than a scan of
+        the whole matrix.
         """
         n_active = len(active_rows)
-        indptr, indices = matrix.indptr, matrix.indices
-        counts = (indptr[active_rows + 1] - indptr[active_rows]).astype(np.int64)
+        indptr, indices = plan.matrix.indptr, plan.matrix.indices
+        global_rows = active_rows + start
+        counts = (indptr[global_rows + 1] - indptr[global_rows]).astype(np.int64)
         total_entries = int(counts.sum())
 
         if total_entries:
-            starts = indptr[active_rows].astype(np.int64)
+            starts = indptr[global_rows].astype(np.int64)
             offsets = np.arange(total_entries) - np.repeat(
                 np.cumsum(counts) - counts, counts
             )
@@ -171,8 +179,8 @@ class VectorizedBackend(Backend):
                 "ij,ij->i", candidate_factors[rows_entries], col_factors[cols_entries]
             )
             log_terms = safe_log1mexp(affinities)
-            if entry_weights is not None:
-                log_terms = log_terms * entry_weights[entry_positions]
+            if plan.entry_weights is not None:
+                log_terms = log_terms * plan.entry_weights[entry_positions]
             positive_part = -np.bincount(rows_entries, weights=log_terms, minlength=n_active)
         else:
             positive_part = np.zeros(n_active)

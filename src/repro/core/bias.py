@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.backends import SweepPlan
 from repro.core.factors import FactorModel
 from repro.core.init import initialize_factors
 from repro.core.ocular import OCuLaR
@@ -60,55 +61,55 @@ class BiasedOCuLaR(OCuLaR):
             method=self.init,
             scale=self.init_scale,
             random_state=self.random_state,
+            dtype=self.dtype,
         )
         # Augment: user side gets [b_u, 1], item side gets [1, b_i].
         small = 0.01
         user_aug = np.hstack(
-            [user_factors, np.full((n_users, 1), small), np.ones((n_users, 1))]
+            [
+                user_factors,
+                np.full((n_users, 1), small, dtype=self.dtype),
+                np.ones((n_users, 1), dtype=self.dtype),
+            ]
         )
         item_aug = np.hstack(
-            [item_factors, np.ones((n_items, 1)), np.full((n_items, 1), small)]
+            [
+                item_factors,
+                np.ones((n_items, 1), dtype=self.dtype),
+                np.full((n_items, 1), small, dtype=self.dtype),
+            ]
         )
 
-        trainer = BlockCoordinateTrainer(
-            regularization=self.regularization,
-            max_iterations=self.max_iterations,
-            tolerance=self.tolerance,
-            sigma=self.sigma,
-            beta=self.beta,
-            max_backtracks=self.max_backtracks,
-            backend=self.backend,
-        )
         user_weights = self._user_weights(csr)
 
         bias_column_user_fixed = self.n_coclusters + 1  # the "1" column on the user side
         bias_column_item_fixed = self.n_coclusters  # the "1" column on the item side
 
-        def clamp_callback(iteration: int, history) -> bool:
-            """Re-impose the constant-1 columns after every outer iteration."""
-            user_aug_view[:, bias_column_user_fixed] = 1.0
-            item_aug_view[:, bias_column_item_fixed] = 1.0
-            if callback is not None:
-                return bool(callback(iteration, history))
-            return False
-
         # The trainer copies its inputs, so we train in two phases: run the
-        # trainer one iteration at a time and clamp between iterations.
+        # trainer one iteration at a time and clamp between iterations.  One
+        # trainer and one sweep plan serve every iteration — the backend
+        # (and, for "parallel", its thread pool) and the precomputed sweep
+        # structure are reused across the whole fit.
+        plan = SweepPlan.build(csr, user_weights=user_weights, dtype=self.dtype)
+        single_step_trainer = BlockCoordinateTrainer(
+            regularization=self.regularization,
+            max_iterations=1,
+            tolerance=0.0,
+            sigma=self.sigma,
+            beta=self.beta,
+            max_backtracks=self.max_backtracks,
+            backend=self.backend,
+            n_workers=self.n_workers,
+            inner_sweeps=self.inner_sweeps,
+        )
         user_aug_view = user_aug
         item_aug_view = item_aug
         history = None
         for _ in range(self.max_iterations):
-            single_step_trainer = BlockCoordinateTrainer(
-                regularization=self.regularization,
-                max_iterations=1,
-                tolerance=0.0,
-                sigma=self.sigma,
-                beta=self.beta,
-                max_backtracks=self.max_backtracks,
-                backend=self.backend,
-            )
+            # The plan carries the matrix and the R-OCuLaR weights, so
+            # neither is passed separately (train rejects the redundancy).
             user_aug_view, item_aug_view, step_history = single_step_trainer.train(
-                csr, user_aug_view, item_aug_view, user_weights=user_weights
+                None, user_aug_view, item_aug_view, plan=plan
             )
             user_aug_view[:, bias_column_user_fixed] = 1.0
             item_aug_view[:, bias_column_item_fixed] = 1.0
@@ -119,6 +120,8 @@ class BiasedOCuLaR(OCuLaR):
                 history.log_likelihoods.extend(step_history.log_likelihoods[1:])
                 history.iteration_seconds.extend(step_history.iteration_seconds)
                 history.elapsed_seconds.extend(step_history.elapsed_seconds)
+                history.item_sweep_stats.extend(step_history.item_sweep_stats)
+                history.user_sweep_stats.extend(step_history.user_sweep_stats)
                 history.n_iterations += step_history.n_iterations
             if len(history.objective_values) >= 2:
                 previous, current = history.objective_values[-2], history.objective_values[-1]
@@ -129,9 +132,6 @@ class BiasedOCuLaR(OCuLaR):
             if callback is not None and callback(history.n_iterations, history):
                 break
         assert history is not None
-        # Ignore the trainer's own convergence warnings here; we re-evaluated
-        # convergence on the concatenated history above.
-        _ = trainer
 
         self.user_biases_ = user_aug_view[:, self.n_coclusters].copy()
         self.item_biases_ = item_aug_view[:, self.n_coclusters + 1].copy()

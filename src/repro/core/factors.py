@@ -40,6 +40,13 @@ class FactorModel:
     def __post_init__(self) -> None:
         self.user_factors = check_array_2d(self.user_factors, "user_factors")
         self.item_factors = check_array_2d(self.item_factors, "item_factors")
+        if self.user_factors.dtype != self.item_factors.dtype:
+            # Mixed precision has no meaning for a single model; settle on
+            # the wider dtype rather than erroring on e.g. a float32 fit
+            # combined with float64 hand-built factors.
+            common = np.result_type(self.user_factors, self.item_factors)
+            self.user_factors = self.user_factors.astype(common, copy=False)
+            self.item_factors = self.item_factors.astype(common, copy=False)
         if self.user_factors.shape[1] != self.item_factors.shape[1]:
             raise ConfigurationError(
                 "user_factors and item_factors must have the same number of co-clusters, got "
@@ -65,6 +72,17 @@ class FactorModel:
     def n_coclusters(self) -> int:
         """Number of co-clusters ``K``."""
         return self.user_factors.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Shared floating dtype of both factor matrices."""
+        return self.user_factors.dtype
+
+    def astype(self, dtype) -> "FactorModel":
+        """Copy of the model with both factor matrices cast to ``dtype``."""
+        return FactorModel(
+            self.user_factors.astype(dtype), self.item_factors.astype(dtype)
+        )
 
     # ------------------------------------------------------------------ #
     # Probabilities

@@ -18,6 +18,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomStateLike, ensure_rng
+from repro.utils.validation import check_float_dtype
 
 
 def _target_affinity(matrix: sp.csr_matrix) -> float:
@@ -36,17 +37,22 @@ def random_init(
     n_coclusters: int,
     scale: float = 1.0,
     random_state: RandomStateLike = None,
+    dtype=np.float64,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Uniform random non-negative factors calibrated to the matrix density.
 
     Entries are drawn from ``U(0, 2m)`` where ``m`` is chosen so that the
     expected inner product of a random user/item pair equals the affinity
-    matching the matrix density, then multiplied by ``scale``.
+    matching the matrix density, then multiplied by ``scale``.  The factors
+    are returned in ``dtype`` (float64 default, float32 supported); the draw
+    itself always happens in float64 so the float32 initialisation is the
+    rounded float64 one, not a different random stream.
     """
     if n_coclusters <= 0:
         raise ConfigurationError(f"n_coclusters must be positive, got {n_coclusters}")
     if scale <= 0:
         raise ConfigurationError(f"scale must be positive, got {scale}")
+    dtype = check_float_dtype(dtype, "dtype")
     rng = ensure_rng(random_state)
     n_users, n_items = matrix.shape
     target = _target_affinity(matrix)
@@ -55,7 +61,10 @@ def random_init(
     high = 2.0 * mean_entry * scale
     user_factors = rng.uniform(0.0, high, size=(n_users, n_coclusters))
     item_factors = rng.uniform(0.0, high, size=(n_items, n_coclusters))
-    return user_factors, item_factors
+    return (
+        user_factors.astype(dtype, copy=False),
+        item_factors.astype(dtype, copy=False),
+    )
 
 
 def degree_scaled_init(
@@ -63,6 +72,7 @@ def degree_scaled_init(
     n_coclusters: int,
     scale: float = 1.0,
     random_state: RandomStateLike = None,
+    dtype=np.float64,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Random factors whose magnitude grows with user/item activity.
 
@@ -70,6 +80,7 @@ def degree_scaled_init(
     the fact that under the generative model their expected factor norms are
     larger.  Falls back to :func:`random_init` magnitudes for empty rows.
     """
+    dtype = check_float_dtype(dtype, "dtype")
     user_factors, item_factors = random_init(
         matrix, n_coclusters, scale=scale, random_state=random_state
     )
@@ -77,7 +88,10 @@ def degree_scaled_init(
     item_degrees = np.asarray(matrix.sum(axis=0)).ravel()
     user_scale = np.sqrt((user_degrees + 1.0) / (user_degrees.mean() + 1.0))
     item_scale = np.sqrt((item_degrees + 1.0) / (item_degrees.mean() + 1.0))
-    return user_factors * user_scale[:, np.newaxis], item_factors * item_scale[:, np.newaxis]
+    return (
+        (user_factors * user_scale[:, np.newaxis]).astype(dtype, copy=False),
+        (item_factors * item_scale[:, np.newaxis]).astype(dtype, copy=False),
+    )
 
 
 _INITIALIZERS = {
@@ -92,12 +106,19 @@ def initialize_factors(
     method: str = "random",
     scale: float = 1.0,
     random_state: RandomStateLike = None,
+    dtype=np.float64,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Dispatch to a named initialisation strategy (``"random"`` or ``"degree"``)."""
+    """Dispatch to a named initialisation strategy (``"random"`` or ``"degree"``).
+
+    ``dtype`` selects the training precision of the returned factors
+    (float64 default, float32 supported).
+    """
     try:
         initializer = _INITIALIZERS[method]
     except KeyError as exc:
         raise ConfigurationError(
             f"unknown initialisation method {method!r}; available: {sorted(_INITIALIZERS)}"
         ) from exc
-    return initializer(matrix, n_coclusters, scale=scale, random_state=random_state)
+    return initializer(
+        matrix, n_coclusters, scale=scale, random_state=random_state, dtype=dtype
+    )

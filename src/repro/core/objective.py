@@ -92,23 +92,56 @@ def full_objective(
 
         ``sum_{all pairs} <f_u, f_i> = <sum_u f_u, sum_i f_i>``
 
-    and subtracting the affinities of the positive pairs.
+    and subtracting the affinities of the positive pairs.  This is a
+    convenience wrapper over :func:`objective_from_entries` (the single
+    implementation of the formula) that derives the entry list from the
+    matrix on every call; the trainer evaluates through a precomputed plan
+    instead.
     """
     coo = matrix.tocoo()
-    affinities = np.einsum("ij,ij->i", user_factors[coo.row], item_factors[coo.col])
+    entry_weights = None if user_weights is None else user_weights[coo.row]
+    objective, _ = objective_from_entries(
+        coo.row, coo.col, entry_weights, user_factors, item_factors, regularization
+    )
+    return objective
+
+
+def objective_from_entries(
+    entry_rows: np.ndarray,
+    entry_cols: np.ndarray,
+    entry_weights: Optional[np.ndarray],
+    user_factors: np.ndarray,
+    item_factors: np.ndarray,
+    regularization: float,
+) -> Tuple[float, float]:
+    """``(Q, -log L)`` evaluated from a precomputed positive-entry list.
+
+    The trainer's convergence bookkeeping needs both the regularised
+    objective and the raw likelihood after every iteration.  Evaluating them
+    through :func:`full_objective` costs two ``tocoo()`` conversions and two
+    affinity passes per iteration; this variant takes the entry arrays a
+    :class:`~repro.core.backends.plan.SweepSide` precomputed once per fit
+    (user-major: ``entry_rows`` index users, ``entry_cols`` index items,
+    ``entry_weights`` is the per-entry R-OCuLaR weight or ``None``) and
+    computes both values in a single pass.
+    """
+    affinities = np.einsum(
+        "ij,ij->i", user_factors[entry_rows], item_factors[entry_cols]
+    )
 
     log_terms = safe_log1mexp(affinities)
-    if user_weights is not None:
-        log_terms = log_terms * user_weights[coo.row]
+    if entry_weights is not None:
+        log_terms = log_terms * entry_weights
     positive_part = -float(np.sum(log_terms))
 
     total_affinity = float(user_factors.sum(axis=0) @ item_factors.sum(axis=0))
     unknown_part = total_affinity - float(np.sum(affinities))
 
+    likelihood = positive_part + unknown_part
     penalty = regularization * (
         float(np.sum(user_factors**2)) + float(np.sum(item_factors**2))
     )
-    return positive_part + unknown_part + penalty
+    return likelihood + penalty, likelihood
 
 
 def negative_log_likelihood(

@@ -37,6 +37,7 @@ from repro.data.interactions import InteractionMatrix
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import RandomStateLike
 from repro.utils.validation import (
+    check_float_dtype,
     check_non_negative_float,
     check_positive_int,
     check_unit_interval_open,
@@ -70,8 +71,17 @@ class OCuLaR(Recommender):
     init_scale:
         Multiplier applied to the initial factors.
     backend:
-        ``"vectorized"`` (default, batched NumPy — the GPU-style kernel) or
-        ``"reference"`` (per-row loop — the CPU-style transcription).
+        ``"vectorized"`` (default, batched NumPy — the GPU-style kernel),
+        ``"reference"`` (per-row loop — the CPU-style transcription), or
+        ``"parallel"`` (row-sharded vectorized sweeps on a thread pool;
+        factors are bit-identical to ``"vectorized"``).
+    n_workers:
+        Thread-pool size for ``backend="parallel"``; defaults to the CPU
+        count.  Invalid with any other backend.
+    dtype:
+        Training precision, ``"float64"`` (default) or ``"float32"``.
+        float32 halves factor memory for large fits; the fitted factors
+        keep this dtype.
     inner_sweeps:
         Projected-gradient sweeps per block before alternating (default 1,
         the paper's recommendation; larger values solve each block more
@@ -102,6 +112,8 @@ class OCuLaR(Recommender):
         init: str = "random",
         init_scale: float = 1.0,
         backend: Backend | str = "vectorized",
+        n_workers: Optional[int] = None,
+        dtype: str = "float64",
         inner_sweeps: int = 1,
         user_weighting: Optional[str] = None,
         random_state: RandomStateLike = None,
@@ -118,9 +130,13 @@ class OCuLaR(Recommender):
             raise ConfigurationError(
                 f"user_weighting must be None or 'relative', got {user_weighting!r}"
             )
+        if n_workers is not None:
+            check_positive_int(n_workers, "n_workers")
         self.init = init
         self.init_scale = init_scale
         self.backend = backend
+        self.n_workers = n_workers
+        self.dtype = check_float_dtype(dtype, "dtype")
         self.user_weighting = user_weighting
         self.random_state = random_state
 
@@ -148,6 +164,7 @@ class OCuLaR(Recommender):
             method=self.init,
             scale=self.init_scale,
             random_state=self.random_state,
+            dtype=self.dtype,
         )
         trainer = BlockCoordinateTrainer(
             regularization=self.regularization,
@@ -157,6 +174,7 @@ class OCuLaR(Recommender):
             beta=self.beta,
             max_backtracks=self.max_backtracks,
             backend=self.backend,
+            n_workers=self.n_workers,
             inner_sweeps=self.inner_sweeps,
         )
         user_weights = self._user_weights(csr)
@@ -274,6 +292,8 @@ class OCuLaR(Recommender):
             "init": self.init,
             "init_scale": self.init_scale,
             "backend": self.backend if isinstance(self.backend, str) else self.backend.name,
+            "n_workers": self.n_workers,
+            "dtype": self.dtype.name,
             "inner_sweeps": self.inner_sweeps,
             "user_weighting": self.user_weighting,
             "random_state": self.random_state,

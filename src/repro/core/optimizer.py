@@ -7,10 +7,16 @@ optimality, because inexact block updates converge faster in wall-clock time.
 Convergence is declared when the objective stops decreasing (relative change
 below a tolerance).
 
-The trainer is agnostic to which backend performs the sweeps, records the
-objective trajectory and per-sweep timings (consumed by the Figure 7 and
-Figure 8 benchmarks), and guarantees the objective is monotonically
-non-increasing across accepted iterations — a property the test-suite checks.
+The trainer builds one :class:`~repro.core.backends.plan.SweepPlan` at the
+top of ``train`` — both sweep directions' CSR matrices, per-entry row
+indices, and R-OCuLaR entry weights — and drives every sweep and every
+objective evaluation through it, so no per-sweep ``tocoo()`` / transpose /
+weight recomputation survives in the hot loop.  It is agnostic to which
+backend performs the sweeps, records the objective trajectory, per-sweep
+timings and :class:`~repro.core.backends.SweepStats` (consumed by the
+Figure 7 and Figure 8 benchmarks), and guarantees the objective is
+monotonically non-increasing across accepted iterations — a property the
+test-suite checks.
 """
 
 from __future__ import annotations
@@ -23,10 +29,11 @@ from typing import List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.backends import Backend, get_backend
-from repro.core.objective import full_objective, negative_log_likelihood
+from repro.core.backends import Backend, SweepPlan, SweepStats, get_backend
+from repro.core.objective import objective_from_entries
 from repro.exceptions import ConfigurationError, ConvergenceWarning
 from repro.utils.validation import (
+    check_array_2d,
     check_non_negative_float,
     check_positive_int,
     check_unit_interval_open,
@@ -48,6 +55,12 @@ class TrainingHistory:
         Wall-clock seconds spent in each outer iteration (both sweeps).
     elapsed_seconds:
         Cumulative wall-clock time at the end of each outer iteration.
+    item_sweep_stats, user_sweep_stats:
+        :class:`~repro.core.backends.SweepStats` of every executed item /
+        user sweep, in execution order (``inner_sweeps`` entries per outer
+        iteration).  Acceptance rates and backtrack counts diagnose the
+        line search: a collapsing acceptance rate flags an ill-conditioned
+        block long before the objective plateaus.
     converged:
         Whether the relative-improvement stopping rule fired before the
         iteration budget ran out.
@@ -59,6 +72,8 @@ class TrainingHistory:
     log_likelihoods: List[float] = field(default_factory=list)
     iteration_seconds: List[float] = field(default_factory=list)
     elapsed_seconds: List[float] = field(default_factory=list)
+    item_sweep_stats: List[SweepStats] = field(default_factory=list)
+    user_sweep_stats: List[SweepStats] = field(default_factory=list)
     converged: bool = False
     n_iterations: int = 0
 
@@ -75,6 +90,28 @@ class TrainingHistory:
         if not self.iteration_seconds:
             return 0.0
         return float(np.mean(self.iteration_seconds))
+
+    @property
+    def mean_item_acceptance_rate(self) -> float:
+        """Mean Armijo acceptance rate across all item sweeps (0 when none ran)."""
+        if not self.item_sweep_stats:
+            return 0.0
+        return float(np.mean([stats.acceptance_rate for stats in self.item_sweep_stats]))
+
+    @property
+    def mean_user_acceptance_rate(self) -> float:
+        """Mean Armijo acceptance rate across all user sweeps (0 when none ran)."""
+        if not self.user_sweep_stats:
+            return 0.0
+        return float(np.mean([stats.acceptance_rate for stats in self.user_sweep_stats]))
+
+    @property
+    def total_backtracks(self) -> int:
+        """Total step-size halvings across every sweep of the run."""
+        return sum(
+            stats.n_backtracks
+            for stats in (*self.item_sweep_stats, *self.user_sweep_stats)
+        )
 
 
 class BlockCoordinateTrainer:
@@ -94,7 +131,10 @@ class BlockCoordinateTrainer:
     max_backtracks:
         Per-row cap on step-size halvings within a sweep.
     backend:
-        Backend instance or name (``"vectorized"`` / ``"reference"``).
+        Backend instance or name (``"vectorized"`` / ``"reference"`` /
+        ``"parallel"``).
+    n_workers:
+        Thread-pool size when ``backend="parallel"``; invalid otherwise.
     inner_sweeps:
         Number of consecutive projected-gradient sweeps applied to a block
         before switching to the other block.  The paper argues (Section IV-B)
@@ -112,6 +152,7 @@ class BlockCoordinateTrainer:
         beta: float = 0.5,
         max_backtracks: int = 20,
         backend: Backend | str = "vectorized",
+        n_workers: Optional[int] = None,
         inner_sweeps: int = 1,
     ) -> None:
         self.regularization = check_non_negative_float(regularization, "regularization")
@@ -120,7 +161,7 @@ class BlockCoordinateTrainer:
         self.sigma = check_unit_interval_open(sigma, "sigma")
         self.beta = check_unit_interval_open(beta, "beta")
         self.max_backtracks = check_positive_int(max_backtracks, "max_backtracks")
-        self.backend = get_backend(backend)
+        self.backend = get_backend(backend, n_workers=n_workers)
         self.inner_sweeps = check_positive_int(inner_sweeps, "inner_sweeps")
 
     def train(
@@ -130,93 +171,149 @@ class BlockCoordinateTrainer:
         item_factors: np.ndarray,
         user_weights: Optional[np.ndarray] = None,
         callback=None,
+        plan: Optional[SweepPlan] = None,
     ) -> Tuple[np.ndarray, np.ndarray, TrainingHistory]:
         """Run alternating sweeps until convergence or the iteration budget.
 
         Parameters
         ----------
         matrix:
-            CSR interaction matrix of shape ``(n_users, n_items)``.
+            CSR interaction matrix of shape ``(n_users, n_items)``.  Must be
+            ``None`` when ``plan`` is provided — the plan owns its matrix,
+            and a second one would be silently ignored.
         user_factors, item_factors:
             Feasible (non-negative) initial factors; not modified in place.
+            Their (shared) dtype — float64 by default, float32 supported —
+            is the dtype training runs in and the fitted factors keep.
         user_weights:
-            Optional per-user positive-example weights (R-OCuLaR).
+            Optional per-user positive-example weights (R-OCuLaR).  Only
+            valid without ``plan`` — a plan has its weights baked in.
         callback:
             Optional callable invoked as ``callback(iteration, history)``
             after every outer iteration; returning ``True`` stops training
             early (used by time-budgeted benchmarks).
+        plan:
+            Optional prebuilt :class:`~repro.core.backends.SweepPlan` in the
+            same dtype as the factors.  Callers that train repeatedly on one
+            matrix (e.g. the bias-clamped fit) pass it to avoid rebuilding
+            the plan per call; by default it is built here from ``matrix``.
 
         Returns
         -------
         (user_factors, item_factors, history)
         """
-        matrix = sp.csr_matrix(matrix)
-        if matrix.shape[0] != user_factors.shape[0]:
+        if plan is None:
+            if matrix is None:
+                raise ConfigurationError(
+                    "train requires either a matrix or a prebuilt plan"
+                )
+            matrix = sp.csr_matrix(matrix)
+            n_users, n_items = matrix.shape
+        else:
+            if matrix is not None:
+                raise ConfigurationError(
+                    "pass either a matrix or a plan to train, not both — a plan "
+                    "already owns its matrix, so the extra one would be ignored"
+                )
+            if user_weights is not None:
+                raise ConfigurationError(
+                    "user_weights are baked into the plan at construction time; "
+                    "pass them to SweepPlan.build, not to train"
+                )
+            n_users, n_items = plan.n_users, plan.n_items
+
+        if n_users != user_factors.shape[0]:
             raise ConfigurationError(
                 f"user_factors has {user_factors.shape[0]} rows but the matrix has "
-                f"{matrix.shape[0]} users"
+                f"{n_users} users"
             )
-        if matrix.shape[1] != item_factors.shape[0]:
+        if n_items != item_factors.shape[0]:
             raise ConfigurationError(
                 f"item_factors has {item_factors.shape[0]} rows but the matrix has "
-                f"{matrix.shape[1]} items"
+                f"{n_items} items"
             )
-        if user_weights is not None and len(user_weights) != matrix.shape[0]:
+        if user_weights is not None and len(user_weights) != n_users:
             raise ConfigurationError("user_weights must have one entry per user")
 
-        user_factors = np.array(user_factors, dtype=float, copy=True)
-        item_factors = np.array(item_factors, dtype=float, copy=True)
-        matrix_items_by_users = sp.csr_matrix(matrix.T)
+        user_factors = check_array_2d(user_factors, "user_factors").copy()
+        item_factors = check_array_2d(item_factors, "item_factors").copy()
+        if user_factors.dtype != item_factors.dtype:
+            raise ConfigurationError(
+                f"user_factors ({user_factors.dtype}) and item_factors "
+                f"({item_factors.dtype}) must share a dtype"
+            )
+
+        # All static sweep structure — both CSR orientations, per-entry row
+        # indices, and R-OCuLaR entry weights — is computed exactly once per
+        # fit: here, or by a caller that trains on one matrix repeatedly.
+        if plan is None:
+            plan = SweepPlan.build(
+                matrix, user_weights=user_weights, dtype=user_factors.dtype
+            )
+        elif plan.dtype != user_factors.dtype:
+            raise ConfigurationError(
+                f"plan dtype {plan.dtype} does not match the factor dtype "
+                f"{user_factors.dtype}"
+            )
+        user_entries = plan.user_side
 
         history = TrainingHistory()
-        objective = full_objective(
-            matrix, user_factors, item_factors, self.regularization, user_weights
+        objective, likelihood = objective_from_entries(
+            user_entries.row_index,
+            user_entries.matrix.indices,
+            user_entries.entry_weights,
+            user_factors,
+            item_factors,
+            self.regularization,
         )
         history.objective_values.append(objective)
-        history.log_likelihoods.append(
-            negative_log_likelihood(matrix, user_factors, item_factors, user_weights)
-        )
+        history.log_likelihoods.append(likelihood)
 
         start_time = time.perf_counter()
         for iteration in range(1, self.max_iterations + 1):
             iteration_start = time.perf_counter()
 
             # Item sweeps: rows are items, columns are users; the per-user
-            # R-OCuLaR weight rides on the column side.
+            # R-OCuLaR weight (baked into the plan side) rides on the columns.
             for _ in range(self.inner_sweeps):
-                item_factors, _ = self.backend.sweep(
-                    matrix_items_by_users,
+                item_factors, item_stats = self.backend.sweep(
+                    None,
                     item_factors,
                     user_factors,
                     regularization=self.regularization,
-                    col_positive_weights=user_weights,
                     sigma=self.sigma,
                     beta=self.beta,
                     max_backtracks=self.max_backtracks,
+                    plan=plan.item_side,
                 )
+                history.item_sweep_stats.append(item_stats)
             # User sweeps: rows are users, columns are items; the weight is
             # constant within a row and rides on the row side.
             for _ in range(self.inner_sweeps):
-                user_factors, _ = self.backend.sweep(
-                    matrix,
+                user_factors, user_stats = self.backend.sweep(
+                    None,
                     user_factors,
                     item_factors,
                     regularization=self.regularization,
-                    row_positive_weights=user_weights,
                     sigma=self.sigma,
                     beta=self.beta,
                     max_backtracks=self.max_backtracks,
+                    plan=plan.user_side,
                 )
+                history.user_sweep_stats.append(user_stats)
 
             iteration_seconds = time.perf_counter() - iteration_start
             previous = history.objective_values[-1]
-            objective = full_objective(
-                matrix, user_factors, item_factors, self.regularization, user_weights
+            objective, likelihood = objective_from_entries(
+                user_entries.row_index,
+                user_entries.matrix.indices,
+                user_entries.entry_weights,
+                user_factors,
+                item_factors,
+                self.regularization,
             )
             history.objective_values.append(objective)
-            history.log_likelihoods.append(
-                negative_log_likelihood(matrix, user_factors, item_factors, user_weights)
-            )
+            history.log_likelihoods.append(likelihood)
             history.iteration_seconds.append(iteration_seconds)
             history.elapsed_seconds.append(time.perf_counter() - start_time)
             history.n_iterations = iteration

@@ -39,6 +39,8 @@ class ROCuLaR(OCuLaR):
         init: str = "random",
         init_scale: float = 1.0,
         backend: Backend | str = "vectorized",
+        n_workers: int | None = None,
+        dtype: str = "float64",
         random_state: RandomStateLike = None,
     ) -> None:
         super().__init__(
@@ -52,6 +54,8 @@ class ROCuLaR(OCuLaR):
             init=init,
             init_scale=init_scale,
             backend=backend,
+            n_workers=n_workers,
+            dtype=dtype,
             user_weighting="relative",
             random_state=random_state,
         )

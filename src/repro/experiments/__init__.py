@@ -16,7 +16,10 @@ from repro.experiments.paper_reference import (
 from repro.experiments.toy import run_toy_example, run_community_comparison
 from repro.experiments.accuracy import run_table1, run_recall_curves
 from repro.experiments.parameters import run_parameter_study
-from repro.experiments.scalability import run_scalability_study
+from repro.experiments.scalability import (
+    run_scalability_study,
+    run_worker_scaling_study,
+)
 from repro.experiments.backends import run_backend_comparison
 from repro.experiments.gridsearch import run_grid_search_experiment
 from repro.experiments.deployment import run_deployment_example
@@ -33,6 +36,7 @@ __all__ = [
     "run_recall_curves",
     "run_parameter_study",
     "run_scalability_study",
+    "run_worker_scaling_study",
     "run_backend_comparison",
     "run_grid_search_experiment",
     "run_deployment_example",

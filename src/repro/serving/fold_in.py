@@ -23,7 +23,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.backends import Backend, get_backend
+from repro.core.backends import Backend, SweepSide, get_backend
 from repro.core.factors import FactorModel
 from repro.data.interactions import InteractionMatrix
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
@@ -117,7 +117,11 @@ def fold_in_factors(
     np.ndarray
         Non-negative folded-in user factors, shape ``(m, K)``.
     """
-    item_factors = np.asarray(item_factors, dtype=float)
+    # Preserve a float32 model's precision end to end; coerce anything that
+    # is not already a supported float dtype to float64.
+    item_factors = np.asarray(item_factors)
+    if item_factors.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        item_factors = np.asarray(item_factors, dtype=float)
     if item_factors.ndim != 2:
         raise ConfigurationError("item_factors must be a 2-D array")
     regularization = check_non_negative_float(regularization, "regularization")
@@ -135,7 +139,7 @@ def fold_in_factors(
         )
     m = interactions.shape[0]
     if m == 0:
-        return np.zeros((0, n_coclusters))
+        return np.zeros((0, n_coclusters), dtype=item_factors.dtype)
 
     if init is None:
         # Start at a small interior point.  Exactly zero is infeasible (the
@@ -145,9 +149,11 @@ def fold_in_factors(
         # well below the typical fitted factor magnitude converges cleanly.
         mean_item = float(item_factors.mean()) if item_factors.size else 0.0
         scale = 1.0 / max(n_coclusters * max(mean_item, 1e-12), 1e-6)
-        factors = np.full((m, n_coclusters), min(max(scale, 1e-3), 0.1))
+        factors = np.full(
+            (m, n_coclusters), min(max(scale, 1e-3), 0.1), dtype=item_factors.dtype
+        )
     else:
-        factors = np.array(init, dtype=float, copy=True)
+        factors = np.array(init, dtype=item_factors.dtype, copy=True)
         if factors.shape != (m, n_coclusters):
             raise ConfigurationError(
                 f"init must have shape ({m}, {n_coclusters}), got {factors.shape}"
@@ -155,16 +161,20 @@ def fold_in_factors(
         if (factors <= 0).all(axis=1).any():
             raise ConfigurationError("init must give every user an interior (positive) start")
 
+    # The sweep structure of the fixed interaction matrix is static across
+    # the convex sweeps; precompute it once instead of once per sweep.
+    side = SweepSide.build(interactions, dtype=factors.dtype)
     for _ in range(n_sweeps):
         previous = factors
         factors, _ = backend.sweep(
-            interactions,
+            None,
             factors,
             item_factors,
             regularization=regularization,
             sigma=sigma,
             beta=beta,
             max_backtracks=max_backtracks,
+            plan=side,
         )
         change = np.linalg.norm(factors - previous)
         reference = max(np.linalg.norm(previous), 1.0)

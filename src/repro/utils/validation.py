@@ -72,10 +72,27 @@ def check_unit_interval_open(value: Any, name: str) -> float:
 
 
 def check_array_2d(array: Any, name: str) -> np.ndarray:
-    """Validate that ``array`` is a finite two-dimensional float array."""
-    result = np.asarray(array, dtype=float)
+    """Validate that ``array`` is a finite two-dimensional float array.
+
+    float32 and float64 inputs keep their dtype (so reduced-precision models
+    are not silently upcast); everything else is coerced to float64.
+    """
+    result = np.asarray(array)
+    if result.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        result = np.asarray(array, dtype=float)
     if result.ndim != 2:
         raise ConfigurationError(f"{name} must be two-dimensional, got shape {result.shape}")
     if not np.all(np.isfinite(result)):
         raise ConfigurationError(f"{name} must contain only finite values")
     return result
+
+
+def check_float_dtype(value: Any, name: str) -> np.dtype:
+    """Validate a training dtype spec; only float32 and float64 are supported."""
+    try:
+        dtype = np.dtype(value)
+    except TypeError as exc:
+        raise ConfigurationError(f"{name} must be a floating dtype, got {value!r}") from exc
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ConfigurationError(f"{name} must be float32 or float64, got {dtype}")
+    return dtype

@@ -118,3 +118,52 @@ class TestInitialization:
             random_init(sparse_matrix, 0)
         with pytest.raises(ConfigurationError):
             random_init(sparse_matrix, 3, scale=0.0)
+
+
+class TestDtypeThreading:
+    """float32 support without silent upcasts through init and FactorModel."""
+
+    @pytest.mark.parametrize("method", ["random", "degree"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_initialize_factors_dtype(self, sparse_matrix, method, dtype):
+        users, items = initialize_factors(
+            sparse_matrix, 4, method=method, random_state=0, dtype=dtype
+        )
+        assert users.dtype == dtype
+        assert items.dtype == dtype
+
+    def test_float32_init_is_rounded_float64_init(self, sparse_matrix):
+        full = initialize_factors(sparse_matrix, 4, random_state=7)
+        half = initialize_factors(sparse_matrix, 4, random_state=7, dtype=np.float32)
+        np.testing.assert_array_equal(full[0].astype(np.float32), half[0])
+
+    def test_initialize_factors_rejects_bad_dtype(self, sparse_matrix):
+        with pytest.raises(ConfigurationError):
+            initialize_factors(sparse_matrix, 4, dtype=np.int64)
+
+    def test_factor_model_preserves_float32(self):
+        rng = np.random.default_rng(0)
+        model = FactorModel(
+            rng.random((5, 3)).astype(np.float32),
+            rng.random((4, 3)).astype(np.float32),
+        )
+        assert model.dtype == np.float32
+        assert model.user_factors.dtype == np.float32
+        assert model.score_matrix().dtype == np.float32
+
+    def test_factor_model_upcasts_mixed_dtypes_to_common(self):
+        rng = np.random.default_rng(0)
+        model = FactorModel(
+            rng.random((5, 3)).astype(np.float32), rng.random((4, 3))
+        )
+        assert model.dtype == np.float64
+        assert model.item_factors.dtype == np.float64
+
+    def test_factor_model_astype(self):
+        rng = np.random.default_rng(0)
+        model = FactorModel(rng.random((5, 3)), rng.random((4, 3)))
+        half = model.astype(np.float32)
+        assert half.dtype == np.float32
+        np.testing.assert_allclose(
+            half.user_factors, model.user_factors, rtol=1e-6, atol=1e-6
+        )

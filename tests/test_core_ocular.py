@@ -195,3 +195,70 @@ class TestBackendsAndWeighting:
             n_coclusters=3, max_iterations=30, random_state=0, user_weighting="relative"
         ).fit(toy_dataset.matrix)
         assert not np.allclose(plain.user_factors_, weighted.user_factors_)
+
+    def test_parallel_backend_fit_is_bit_identical(self, toy_dataset):
+        shared = dict(n_coclusters=3, regularization=0.1, max_iterations=15, random_state=0)
+        vectorized = OCuLaR(backend="vectorized", **shared).fit(toy_dataset.matrix)
+        parallel = OCuLaR(backend="parallel", n_workers=3, **shared).fit(toy_dataset.matrix)
+        np.testing.assert_array_equal(vectorized.user_factors_, parallel.user_factors_)
+        np.testing.assert_array_equal(vectorized.item_factors_, parallel.item_factors_)
+        np.testing.assert_array_equal(
+            vectorized.history_.objective_values, parallel.history_.objective_values
+        )
+
+    def test_n_workers_requires_parallel_backend(self, toy_dataset):
+        model = OCuLaR(backend="vectorized", n_workers=2, max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            model.fit(toy_dataset.matrix)
+
+    def test_sweep_stats_exposed_after_fit(self, toy_dataset):
+        model = OCuLaR(n_coclusters=3, max_iterations=5, random_state=0).fit(
+            toy_dataset.matrix
+        )
+        history = model.history_
+        assert len(history.item_sweep_stats) == history.n_iterations
+        assert len(history.user_sweep_stats) == history.n_iterations
+        assert history.mean_user_acceptance_rate > 0.0
+
+
+class TestDtype:
+    def test_default_fit_is_float64(self, toy_dataset):
+        model = OCuLaR(n_coclusters=3, max_iterations=5, random_state=0).fit(
+            toy_dataset.matrix
+        )
+        assert model.factors_.dtype == np.float64
+
+    def test_float32_fit_stays_float32(self, toy_dataset):
+        model = OCuLaR(
+            n_coclusters=3, max_iterations=10, random_state=0, dtype="float32"
+        ).fit(toy_dataset.matrix)
+        assert model.factors_.dtype == np.float32
+        assert model.user_factors_.dtype == np.float32
+        assert model.item_factors_.dtype == np.float32
+        # The fit must still behave: objective monotone, scores sane.
+        values = model.history_.objective_values
+        assert values[-1] < values[0]
+        scores = model.score_user(0)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_float32_tracks_float64_solution(self, toy_dataset):
+        shared = dict(n_coclusters=3, regularization=0.5, max_iterations=10, random_state=0)
+        full = OCuLaR(dtype="float64", **shared).fit(toy_dataset.matrix)
+        half = OCuLaR(dtype="float32", **shared).fit(toy_dataset.matrix)
+        np.testing.assert_allclose(
+            full.user_factors_, half.user_factors_, rtol=5e-2, atol=5e-2
+        )
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OCuLaR(dtype="int32")
+        with pytest.raises(ConfigurationError):
+            OCuLaR(dtype="float16")
+
+    def test_get_params_roundtrips_dtype_and_workers(self):
+        model = OCuLaR(dtype="float32", backend="parallel", n_workers=2)
+        params = model.get_params()
+        assert params["dtype"] == "float32"
+        assert params["n_workers"] == 2
+        rebuilt = OCuLaR(**params)
+        assert rebuilt.get_params() == params

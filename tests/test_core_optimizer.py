@@ -116,6 +116,145 @@ class TestTraining:
             results["reference"][2], results["vectorized"][2], rtol=1e-7
         )
 
+    @pytest.mark.parametrize("n_workers", [1, 2, 5])
+    def test_parallel_training_is_bit_identical(self, training_problem, n_workers):
+        matrix, user_factors, item_factors = training_problem
+        fitted = {}
+        for backend in ("vectorized", "parallel"):
+            trainer = BlockCoordinateTrainer(
+                regularization=1.0,
+                max_iterations=5,
+                tolerance=0.0,
+                backend=backend,
+                n_workers=n_workers if backend == "parallel" else None,
+            )
+            fitted[backend] = trainer.train(matrix, user_factors, item_factors)
+        np.testing.assert_array_equal(fitted["vectorized"][0], fitted["parallel"][0])
+        np.testing.assert_array_equal(fitted["vectorized"][1], fitted["parallel"][1])
+        np.testing.assert_array_equal(
+            fitted["vectorized"][2].objective_values,
+            fitted["parallel"][2].objective_values,
+        )
+
+    def test_n_workers_rejected_for_non_parallel_backend(self):
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(backend="vectorized", n_workers=2)
+
+    def test_sweep_stats_recorded(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=4, tolerance=0.0)
+        _, _, history = trainer.train(matrix, user_factors, item_factors)
+        assert len(history.item_sweep_stats) == 4
+        assert len(history.user_sweep_stats) == 4
+        assert all(stats.n_rows == matrix.shape[1] for stats in history.item_sweep_stats)
+        assert all(stats.n_rows == matrix.shape[0] for stats in history.user_sweep_stats)
+        assert 0.0 <= history.mean_item_acceptance_rate <= 1.0
+        assert 0.0 <= history.mean_user_acceptance_rate <= 1.0
+        assert history.total_backtracks >= 0
+        # Well-conditioned toy problems accept nearly every step.
+        assert history.mean_user_acceptance_rate > 0.5
+
+    def test_sweep_stats_count_inner_sweeps(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=3, tolerance=0.0, inner_sweeps=2)
+        _, _, history = trainer.train(matrix, user_factors, item_factors)
+        assert len(history.item_sweep_stats) == 6
+        assert len(history.user_sweep_stats) == 6
+
+    def test_float32_training_stays_float32(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=3, tolerance=0.0)
+        fitted_users, fitted_items, history = trainer.train(
+            matrix,
+            user_factors.astype(np.float32),
+            item_factors.astype(np.float32),
+        )
+        assert fitted_users.dtype == np.float32
+        assert fitted_items.dtype == np.float32
+        values = history.objective_values
+        assert all(later <= earlier + 1e-3 for earlier, later in zip(values, values[1:]))
+
+    def test_mixed_dtype_factors_rejected(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            trainer.train(matrix, user_factors.astype(np.float32), item_factors)
+
+    def test_non_finite_factors_rejected(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        bad = user_factors.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ConfigurationError):
+            trainer.train(matrix, bad, item_factors)
+
+    def test_prebuilt_plan_gives_identical_training(self, training_problem):
+        from repro.core.backends import SweepPlan
+
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=4, tolerance=0.0)
+        baseline = trainer.train(matrix, user_factors, item_factors)
+        plan = SweepPlan.build(matrix)
+        reused = trainer.train(None, user_factors, item_factors, plan=plan)
+        np.testing.assert_array_equal(baseline[0], reused[0])
+        np.testing.assert_array_equal(baseline[1], reused[1])
+
+    def test_matrix_with_plan_rejected(self, training_problem):
+        # The plan owns its matrix; a second one would be silently ignored.
+        from repro.core.backends import SweepPlan
+
+        matrix, user_factors, item_factors = training_problem
+        plan = SweepPlan.build(matrix)
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            trainer.train(matrix, user_factors, item_factors, plan=plan)
+
+    def test_neither_matrix_nor_plan_rejected(self, training_problem):
+        _, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            trainer.train(None, user_factors, item_factors)
+
+    def test_mismatched_plan_rejected(self, training_problem):
+        from repro.core.backends import SweepPlan
+
+        matrix, user_factors, item_factors = training_problem
+        plan = SweepPlan.build(matrix[:10])
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            trainer.train(None, user_factors, item_factors, plan=plan)
+
+    def test_plan_with_user_weights_rejected(self, training_problem):
+        # Weights are baked into a plan; passing both would silently train
+        # unweighted, so the redundant combination is an error.
+        from repro.core.backends import SweepPlan
+
+        matrix, user_factors, item_factors = training_problem
+        plan = SweepPlan.build(matrix)
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            trainer.train(
+                None,
+                user_factors,
+                item_factors,
+                user_weights=np.ones(matrix.shape[0]),
+                plan=plan,
+            )
+
+    def test_plan_dtype_mismatch_rejected(self, training_problem):
+        from repro.core.backends import SweepPlan
+
+        matrix, user_factors, item_factors = training_problem
+        plan = SweepPlan.build(matrix)  # float64
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError):
+            trainer.train(
+                None,
+                user_factors.astype(np.float32),
+                item_factors.astype(np.float32),
+                plan=plan,
+            )
+
     def test_shape_mismatch_raises(self, training_problem):
         matrix, user_factors, item_factors = training_problem
         trainer = BlockCoordinateTrainer(max_iterations=2)

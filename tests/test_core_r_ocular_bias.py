@@ -84,6 +84,30 @@ class TestBiasedOCuLaR:
         assert model.user_factors_.shape == (12, 3)
         assert model.item_factors_.shape == (12, 3)
 
+    def test_inner_sweeps_are_honoured(self, toy_dataset):
+        # inner_sweeps must reach the underlying trainer, not be silently
+        # dropped: with inner_sweeps=2 every outer iteration runs two sweeps
+        # per block.
+        model = BiasedOCuLaR(
+            n_coclusters=3, max_iterations=3, tolerance=0.0, inner_sweeps=2,
+            random_state=0,
+        ).fit(toy_dataset.matrix)
+        history = model.history_
+        assert len(history.item_sweep_stats) == 2 * history.n_iterations
+        assert len(history.user_sweep_stats) == 2 * history.n_iterations
+
+    def test_sweep_stats_cover_every_iteration(self, toy_dataset):
+        # The per-iteration history merge must carry the sweep stats along,
+        # not just the objective trajectories.
+        model = BiasedOCuLaR(
+            n_coclusters=3, regularization=0.1, max_iterations=8, tolerance=0.0,
+            random_state=0,
+        ).fit(toy_dataset.matrix)
+        history = model.history_
+        assert len(history.item_sweep_stats) == history.n_iterations
+        assert len(history.user_sweep_stats) == history.n_iterations
+        assert history.n_iterations > 1
+
     def test_scores_include_bias_and_stay_probabilities(self, toy_dataset):
         model = BiasedOCuLaR(n_coclusters=3, max_iterations=20, random_state=0).fit(
             toy_dataset.matrix

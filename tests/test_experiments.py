@@ -18,6 +18,7 @@ from repro.experiments import (
     run_scalability_study,
     run_table1,
     run_toy_example,
+    run_worker_scaling_study,
 )
 from repro.experiments.paper_reference import paper_table1_rows
 from repro.experiments.zoo import default_parameter_grids
@@ -210,6 +211,45 @@ class TestBackendComparison:
         vectorized = result.trajectories["vectorized"].log_likelihoods
         np.testing.assert_allclose(reference, vectorized, rtol=1e-6)
         assert "speed-up" in result.to_text()
+
+    def test_parallel_included_with_identical_trajectory(self):
+        result = run_backend_comparison(
+            n_users=150,
+            n_items=60,
+            n_coclusters=8,
+            n_iterations=3,
+            n_workers=2,
+            random_state=0,
+        )
+        assert set(result.trajectories) == {"reference", "vectorized", "parallel"}
+        # Parallel is bit-identical to vectorized, so the likelihood paths
+        # must be exactly equal, not just close.
+        np.testing.assert_array_equal(
+            result.trajectories["parallel"].log_likelihoods,
+            result.trajectories["vectorized"].log_likelihoods,
+        )
+        assert "parallel over vectorized" in result.to_text()
+
+
+class TestWorkerScaling:
+    def test_study_shape_and_reporting(self):
+        result = run_worker_scaling_study(
+            worker_counts=(1, 2),
+            n_coclusters=6,
+            n_iterations=2,
+            n_users=150,
+            n_items=60,
+            random_state=0,
+        )
+        assert result.baseline_seconds > 0
+        assert result.worker_counts() == [1, 2]
+        for n_workers in (1, 2):
+            assert result.seconds_at(n_workers) > 0
+            assert result.speedup_at(n_workers) > 0
+        text = result.to_text()
+        assert "workers" in text and "vectorized baseline" in text
+        with pytest.raises(KeyError):
+            result.seconds_at(64)
 
 
 class TestGridSearchExperiment:

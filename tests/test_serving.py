@@ -14,8 +14,11 @@ from repro.exceptions import DataError
 from repro.core.recommend import batch_reports
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
+import scipy.sparse as sp
+
 from repro.serving import (
     TopNEngine,
+    fold_in_factors,
     fold_in_user,
     fold_in_users,
     recommend_folded,
@@ -132,6 +135,20 @@ class TestFoldIn:
         assert folded.shape == (3, model.n_coclusters)
         assert np.isfinite(folded).all()
         assert (folded >= 0).all()
+
+    def test_preserves_float32_model_dtype(self, fitted_movielens_model):
+        # Fold-in on a reduced-precision model must not silently upcast.
+        model = fitted_movielens_model
+        half_items = model.factors_.item_factors.astype(np.float32)
+        interactions = sp.csr_matrix(
+            model.train_matrix.csr()[:3], dtype=np.float64
+        )
+        folded = fold_in_factors(half_items, interactions, regularization=model.regularization)
+        assert folded.dtype == np.float32
+        empty = fold_in_factors(
+            half_items, sp.csr_matrix((0, half_items.shape[0])), regularization=1.0
+        )
+        assert empty.dtype == np.float32
 
     def test_reproduces_refit_users_top_n(self, fitted_movielens_model):
         # Fold a user's own training row back in against the fitted item
