@@ -71,6 +71,55 @@ def test_parallel_training_speedup(benchmark, report_writer):
         )
 
 
+def test_process_vs_thread_training(benchmark, report_writer):
+    """Process sharding (shared-memory descriptors) vs thread sharding.
+
+    Threads rely on NumPy releasing the GIL; the shared-memory process
+    executor sidesteps the GIL entirely at the cost of pool start-up and one
+    factor memcpy per sweep.  This benchmark reports both on the same corpus
+    so the trade-off is visible; no relative speed floor is asserted (which
+    side wins is host-dependent — core count, BLAS build, fork cost), but
+    both executors must produce a full measurement grid.
+    """
+    params = scaled(
+        dict(
+            n_users=2000,
+            n_items=600,
+            n_coclusters=50,
+            n_iterations=3,
+            worker_counts=(2, SPEEDUP_WORKERS),
+        ),
+        n_users=150,
+        n_items=60,
+        n_coclusters=8,
+        n_iterations=2,
+        worker_counts=(2,),
+    )
+    result = run_once(
+        benchmark,
+        run_worker_scaling_study,
+        executors=("thread", "process"),
+        random_state=0,
+        **params,
+    )
+
+    lines = [
+        result.to_text(),
+        "",
+        "paper: row subproblems are independent, so sweeps shard across any",
+        "worker substrate (Sections IV/VI); threads and shared-memory",
+        "processes realise the same sharding on opposite sides of the GIL",
+        f"host cores: {os.cpu_count()}",
+    ]
+    report_writer("process_vs_thread_training", "\n".join(lines))
+
+    assert result.baseline_seconds > 0
+    assert result.executors() == ["process", "thread"]
+    for executor in ("thread", "process"):
+        for n_workers in params["worker_counts"]:
+            assert result.seconds_at(n_workers, executor) > 0
+
+
 def test_parallel_training_parity(report_writer):
     """Factors from the parallel backend are exactly the vectorized factors."""
     params = scaled(
@@ -97,20 +146,20 @@ def test_parallel_training_parity(report_writer):
         return model.fit(matrix)
 
     vectorized = fit("vectorized")
-    parallel = fit("parallel", n_workers=SPEEDUP_WORKERS)
-
-    assert np.array_equal(
-        vectorized.factors_.user_factors, parallel.factors_.user_factors
-    )
-    assert np.array_equal(
-        vectorized.factors_.item_factors, parallel.factors_.item_factors
-    )
-    np.testing.assert_array_equal(
-        vectorized.history_.objective_values, parallel.history_.objective_values
-    )
+    for executor in ("thread", "process"):
+        parallel = fit("parallel", n_workers=SPEEDUP_WORKERS, executor=executor)
+        assert np.array_equal(
+            vectorized.factors_.user_factors, parallel.factors_.user_factors
+        ), executor
+        assert np.array_equal(
+            vectorized.factors_.item_factors, parallel.factors_.item_factors
+        ), executor
+        np.testing.assert_array_equal(
+            vectorized.history_.objective_values, parallel.history_.objective_values
+        )
     report_writer(
         "parallel_training_parity",
-        "parallel factors exactly equal vectorized factors "
+        "thread- and process-sharded factors exactly equal vectorized factors "
         f"({params['n_users']}x{params['n_items']}, K={params['n_coclusters']}, "
         f"{params['max_iterations']} iterations, {SPEEDUP_WORKERS} workers)",
     )

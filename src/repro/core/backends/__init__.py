@@ -22,7 +22,7 @@ the test-suite asserts their agreement.
 """
 
 from repro.core.backends.base import Backend, SweepStats
-from repro.core.backends.plan import SweepPlan, SweepSide
+from repro.core.backends.plan import SweepPlan, SweepSide, nnz_balanced_ranges
 from repro.core.backends.reference import ReferenceBackend
 from repro.core.backends.vectorized import VectorizedBackend
 from repro.core.backends.parallel import ParallelBackend
@@ -36,7 +36,7 @@ _BACKENDS = {
 }
 
 
-def get_backend(name, n_workers=None) -> Backend:
+def get_backend(name, n_workers=None, executor=None) -> Backend:
     """Instantiate a backend by name, or pass an instance through.
 
     Parameters
@@ -45,15 +45,19 @@ def get_backend(name, n_workers=None) -> Backend:
         ``"reference"``, ``"vectorized"``, ``"parallel"``, or a
         :class:`Backend` instance (returned unchanged).
     n_workers:
-        Thread-pool size for the ``"parallel"`` backend.  Specifying it with
+        Worker-pool size for the ``"parallel"`` backend.  Specifying it with
         any other backend (or with an already-built instance) is an error —
         it would be silently ignored otherwise.
+    executor:
+        Executor name from the :mod:`repro.parallel.scheduler` registry
+        (``"thread"``, ``"process"``, ``"serial"``) for the ``"parallel"``
+        backend; same validity rule as ``n_workers``.
     """
     if isinstance(name, Backend):
-        if n_workers is not None:
+        if n_workers is not None or executor is not None:
             raise ConfigurationError(
-                "n_workers cannot be combined with a backend instance; "
-                "construct ParallelBackend(n_workers=...) directly"
+                "n_workers/executor cannot be combined with a backend instance; "
+                "construct ParallelBackend(n_workers=..., executor=...) directly"
             )
         return name
     try:
@@ -62,12 +66,18 @@ def get_backend(name, n_workers=None) -> Backend:
         raise ConfigurationError(
             f"unknown backend {name!r}; available: {sorted(_BACKENDS)}"
         ) from exc
-    if n_workers is not None:
+    if n_workers is not None or executor is not None:
         if backend_cls is not ParallelBackend:
             raise ConfigurationError(
-                f"n_workers is only valid with the 'parallel' backend, not {name!r}"
+                "n_workers/executor are only valid with the 'parallel' backend, "
+                f"not {name!r}"
             )
-        return backend_cls(n_workers=n_workers)
+        kwargs = {}
+        if n_workers is not None:
+            kwargs["n_workers"] = n_workers
+        if executor is not None:
+            kwargs["executor"] = executor
+        return backend_cls(**kwargs)
     return backend_cls()
 
 
@@ -86,4 +96,5 @@ __all__ = [
     "ParallelBackend",
     "get_backend",
     "available_backends",
+    "nnz_balanced_ranges",
 ]

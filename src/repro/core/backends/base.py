@@ -69,6 +69,19 @@ class Backend(abc.ABC):
     #: Human-readable backend name, e.g. ``"reference"``.
     name: str = "abstract"
 
+    def shutdown(self) -> None:
+        """Release pooled resources (worker pools, shared-memory segments).
+
+        A no-op for stateless backends.  Backends that own pools recreate
+        them lazily, so a shut-down backend remains usable.
+        """
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
     def sweep(
         self,
         matrix,

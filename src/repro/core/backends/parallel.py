@@ -1,47 +1,66 @@
-"""Sharded parallel backend: row shards of one sweep fanned across threads.
+"""Sharded parallel backend: row shards of one sweep fanned across workers.
 
 The paper's central scalability argument (Sections IV/VI) is that every row
 subproblem of a block sweep is independent, so a sweep parallelises across
 cores with near-linear scaling.  This backend realises that claim on the
-CPU: a sweep over rows ``[0, n)`` is split into contiguous shards, each
-shard runs the vectorized kernel over its row range, and the shards execute
-concurrently on a :class:`~repro.parallel.executor.ThreadExecutor` — NumPy
-and BLAS release the GIL inside their kernels, so threads give real
-concurrency without any pickling cost.
+CPU: a sweep over rows ``[0, n)`` is split into nnz-balanced contiguous
+shards (:func:`~repro.core.backends.plan.nnz_balanced_ranges`), each shard
+runs the vectorized kernel over its row range, and the shards execute
+concurrently on an executor selected by name from the
+:class:`~repro.parallel.scheduler.ShardScheduler` registry:
+
+* ``"thread"`` (default) — NumPy and BLAS release the GIL inside their
+  kernels, so threads give real concurrency with zero serialisation cost.
+* ``"process"`` — a
+  :class:`~repro.parallel.shared_memory.SharedMemoryProcessExecutor`.  The
+  plan's CSR arrays are placed in shared memory once per fit and the factor
+  matrices once per sweep; tasks carry only ``(row_range, shm descriptors)``,
+  so worker processes sidestep the GIL entirely without per-task pickling of
+  large arrays.
+* ``"serial"`` — shards run inline; useful in tests and as the baseline.
 
 Determinism: the factors are **bit-identical** to a single-threaded
 :class:`~repro.core.backends.vectorized.VectorizedBackend` sweep regardless
-of the shard count or the order in which shards finish.  Two properties
-guarantee it:
+of executor, shard count, or the order in which shards finish.  Two
+properties guarantee it:
 
 * every vectorized kernel is row-local and accumulates row reductions in
   CSR entry order, so a shard computes exactly the row-slice of the full
   sweep's result, and
 * shard results are stitched in shard (submission) order, never completion
-  order, and the shard boundaries are a pure function of the row count.
+  order, and the shard boundaries are a pure function of the plan.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.backends.base import Backend, SweepStats
 from repro.core.backends.plan import SweepSide
 from repro.core.backends.vectorized import VectorizedBackend
-from repro.parallel.executor import ThreadExecutor
+from repro.exceptions import ConfigurationError
+from repro.parallel.scheduler import ShardScheduler
+from repro.parallel.shared_memory import (
+    SharedArraySpec,
+    SharedMemoryProcessExecutor,
+    attach_shared_array,
+)
 from repro.utils.validation import check_positive_int
 
 
 def shard_ranges(start: int, stop: int, n_shards: int) -> List[Tuple[int, int]]:
-    """Split ``[start, stop)`` into at most ``n_shards`` contiguous ranges.
+    """Split ``[start, stop)`` into at most ``n_shards`` row-balanced ranges.
 
     Ranges are non-empty, cover the input exactly, and differ in length by at
     most one (the first ``(stop - start) % n_shards`` shards take the extra
-    row).  The split depends only on the arguments, which is one half of the
-    parallel backend's determinism guarantee.
+    row).  The split depends only on the arguments.  Sweep sharding now uses
+    the nnz-balanced :meth:`SweepSide.shard_ranges` instead; this row-count
+    split remains for work without a CSR structure to balance on.
     """
     n_rows = stop - start
     n_ranges = min(n_shards, n_rows)
@@ -57,32 +76,133 @@ def shard_ranges(start: int, stop: int, n_shards: int) -> List[Tuple[int, int]]:
     return ranges
 
 
+# --------------------------------------------------------------------------- #
+# Shared-memory shard execution (worker side)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SharedSideSpec:
+    """Shared-memory descriptors of one :class:`SweepSide` (picklable)."""
+
+    shape: Tuple[int, int]
+    data: SharedArraySpec
+    indices: SharedArraySpec
+    indptr: SharedArraySpec
+    row_index: SharedArraySpec
+    entry_weights: Optional[SharedArraySpec]
+
+
+#: Worker-process-local cache of reconstructed sweep sides.  The plan of a
+#: fit is static, so every shard task of every sweep presents the same
+#: descriptors; rebuilding the CSR wrapper once per worker (instead of once
+#: per task) keeps the per-task overhead at a dict lookup.
+_WORKER_SIDES: Dict[SharedSideSpec, SweepSide] = {}
+
+
+def _attach_side(spec: SharedSideSpec) -> SweepSide:
+    """Rebuild a :class:`SweepSide` over shared-memory buffers (worker side)."""
+    side = _WORKER_SIDES.get(spec)
+    if side is None:
+        if len(_WORKER_SIDES) >= 8:
+            # A worker outliving several fits would otherwise pin stale
+            # mappings; the cache is tiny (2 sides per fit), so just reset.
+            _WORKER_SIDES.clear()
+        matrix = sp.csr_matrix(spec.shape, dtype=np.dtype(spec.data.dtype))
+        # Assign the CSR arrays directly: the buffers are already a valid
+        # canonical CSR (they came from the publisher's matrix), and the
+        # constructor's validation pass would copy them out of shared memory.
+        matrix.data = attach_shared_array(spec.data)
+        matrix.indices = attach_shared_array(spec.indices)
+        matrix.indptr = attach_shared_array(spec.indptr)
+        side = SweepSide(
+            matrix=matrix,
+            row_index=attach_shared_array(spec.row_index),
+            entry_weights=(
+                None
+                if spec.entry_weights is None
+                else attach_shared_array(spec.entry_weights)
+            ),
+        )
+        _WORKER_SIDES[spec] = side
+    return side
+
+
+def _sweep_shard_shared(
+    side_spec: SharedSideSpec,
+    row_spec: SharedArraySpec,
+    col_spec: SharedArraySpec,
+    regularization: float,
+    sigma: float,
+    beta: float,
+    max_backtracks: int,
+    start: int,
+    stop: int,
+    total_col_sum: np.ndarray,
+) -> Tuple[np.ndarray, SweepStats]:
+    """Run one row shard of a sweep from shared-memory descriptors.
+
+    Module-level so the process pool can pickle it; everything large arrives
+    as a descriptor and is attached zero-copy inside the worker.
+    """
+    plan = _attach_side(side_spec)
+    row_factors = attach_shared_array(row_spec)
+    col_factors = attach_shared_array(col_spec)
+    return VectorizedBackend()._sweep_rows(
+        plan,
+        row_factors,
+        col_factors,
+        regularization,
+        sigma,
+        beta,
+        max_backtracks,
+        start,
+        stop,
+        total_col_sum,
+    )
+
+
 class ParallelBackend(Backend):
-    """Thread-sharded sweeps with vectorized kernels per shard.
+    """Sharded sweeps with vectorized kernels per shard.
 
     Parameters
     ----------
     n_workers:
-        Size of the thread pool (default: the machine's CPU count).
+        Size of the worker pool (default: the machine's CPU count).
     n_shards:
         Number of row shards per sweep (default: ``n_workers``).  More shards
         than workers gives finer-grained load balancing at slightly higher
         scheduling overhead; the factors are identical either way.
+    executor:
+        Name from the :mod:`repro.parallel.scheduler` registry — ``"thread"``
+        (default), ``"process"`` (shared-memory worker processes), or
+        ``"serial"`` — or a prebuilt executor instance (the caller then owns
+        its lifecycle; :meth:`shutdown` will not touch it).
     """
 
     name = "parallel"
 
     def __init__(
-        self, n_workers: Optional[int] = None, n_shards: Optional[int] = None
+        self,
+        n_workers: Optional[int] = None,
+        n_shards: Optional[int] = None,
+        executor: object = "thread",
     ) -> None:
+        if n_workers is not None and not isinstance(executor, str):
+            raise ConfigurationError(
+                "n_workers cannot be combined with an executor instance (the "
+                "instance's own pool size would silently win); size the "
+                "instance at construction time and pass n_shards here instead"
+            )
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         self.n_workers = check_positive_int(n_workers, "n_workers")
         if n_shards is None:
             n_shards = self.n_workers
         self.n_shards = check_positive_int(n_shards, "n_shards")
+        self.executor = executor
         self._inner = VectorizedBackend()
-        self._executor: Optional[ThreadExecutor] = None
+        self._scheduler = ShardScheduler(
+            executor, max_workers=self.n_workers if isinstance(executor, str) else None
+        )
 
     def _sweep_rows(
         self,
@@ -97,7 +217,7 @@ class ParallelBackend(Backend):
         stop: int,
         total_col_sum: np.ndarray,
     ) -> Tuple[np.ndarray, SweepStats]:
-        shards = shard_ranges(start, stop, self.n_shards)
+        shards = plan.shard_ranges(self.n_shards, (start, stop))
         if len(shards) <= 1:
             return self._inner._sweep_rows(
                 plan,
@@ -111,50 +231,71 @@ class ParallelBackend(Backend):
                 stop,
                 total_col_sum,
             )
-        tasks = [
-            (
-                plan,
-                row_factors,
-                col_factors,
-                regularization,
-                sigma,
-                beta,
-                max_backtracks,
-                shard_start,
-                shard_stop,
-                total_col_sum,
+        executor = self._scheduler.executor
+        common = (regularization, sigma, beta, max_backtracks)
+        if isinstance(executor, SharedMemoryProcessExecutor):
+            side_spec = self._publish_side(executor, plan)
+            row_spec = executor.publish(
+                ("row_factors", row_factors.shape, row_factors.dtype.str), row_factors
             )
-            for shard_start, shard_stop in shards
-        ]
+            col_spec = executor.publish(
+                ("col_factors", col_factors.shape, col_factors.dtype.str), col_factors
+            )
+            tasks = [
+                (side_spec, row_spec, col_spec, *common, shard_start, shard_stop, total_col_sum)
+                for shard_start, shard_stop in shards
+            ]
+            worker = _sweep_shard_shared
+        else:
+            tasks = [
+                (plan, row_factors, col_factors, *common, shard_start, shard_stop, total_col_sum)
+                for shard_start, shard_stop in shards
+            ]
+            worker = self._inner._sweep_rows
         # starmap returns results in submission (= shard) order, so stitching
         # is deterministic no matter which shard finishes first.
-        results = self._ensure_executor().starmap(self._inner._sweep_rows, tasks)
+        results = executor.starmap(worker, tasks)
         factors = np.concatenate([shard_factors for shard_factors, _ in results], axis=0)
         stats = SweepStats.combined(shard_stats for _, shard_stats in results)
         return factors, stats
 
     # ------------------------------------------------------------------ #
+    # Shared-memory publication
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _publish_side(
+        executor: SharedMemoryProcessExecutor, plan: SweepSide
+    ) -> SharedSideSpec:
+        """Place a sweep side's arrays in shared memory (copy-once per fit).
+
+        Every array is published via ``publish_static``, so re-presenting
+        the same plan side on later sweeps returns the existing descriptors
+        without copying.
+        """
+        matrix = plan.matrix
+        return SharedSideSpec(
+            shape=tuple(matrix.shape),
+            data=executor.publish_static(matrix.data),
+            indices=executor.publish_static(matrix.indices),
+            indptr=executor.publish_static(matrix.indptr),
+            row_index=executor.publish_static(plan.row_index),
+            entry_weights=(
+                None
+                if plan.entry_weights is None
+                else executor.publish_static(plan.entry_weights)
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
     # Pool lifecycle
     # ------------------------------------------------------------------ #
-    def _ensure_executor(self) -> ThreadExecutor:
-        if self._executor is None:
-            self._executor = ThreadExecutor(max_workers=self.n_workers)
-        return self._executor
-
     def shutdown(self) -> None:
-        """Release the worker threads (a later sweep recreates them)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
-
-    def __enter__(self) -> "ParallelBackend":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.shutdown()
+        """Release workers and unlink shared memory (a later sweep recreates them)."""
+        self._scheduler.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(n_workers={self.n_workers}, "
-            f"n_shards={self.n_shards})"
+            f"n_shards={self.n_shards}, "
+            f"executor={self._scheduler.executor_name!r})"
         )

@@ -20,18 +20,75 @@ possible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ConfigurationError
-from repro.utils.validation import check_float_dtype
+from repro.utils.validation import check_float_dtype, check_positive_int
 
 
 def _resolve_dtype(dtype, fallback=np.float64) -> np.dtype:
     """Normalise a dtype spec (``None`` → ``fallback``) to float32/float64."""
     return check_float_dtype(fallback if dtype is None else dtype, "dtype")
+
+
+def nnz_balanced_ranges(
+    indptr, start: int, stop: int, n_shards: int
+) -> List[Tuple[int, int]]:
+    """Split rows ``[start, stop)`` into shards of approximately equal nnz.
+
+    Row-count sharding assigns every shard the same number of rows; on
+    heavy-tailed corpora (a few rows own most of the positives — the shape
+    of every real recommendation dataset) that leaves one worker grinding
+    through the dense rows while the rest idle.  This split instead cuts the
+    CSR ``indptr`` prefix sum into near-equal nnz portions, so each shard
+    carries a similar amount of actual sweep work.
+
+    The boundaries are a **pure function** of ``(indptr, start, stop,
+    n_shards)`` — no timing, no worker state — which preserves the parallel
+    engine's determinism guarantee: identical inputs shard identically, and
+    stitched factors cannot depend on execution order.
+
+    Every row is weighted as ``nnz + 1``, so empty rows still carry weight
+    and the returned ranges are always non-empty, cover ``[start, stop)``
+    exactly, and number at most ``min(n_shards, stop - start)``.
+    """
+    indptr = np.asarray(indptr)
+    check_positive_int(n_shards, "n_shards")
+    if not 0 <= start <= stop <= len(indptr) - 1:
+        raise ConfigurationError(
+            f"row range [{start}, {stop}) is not within [0, {len(indptr) - 1}]"
+        )
+    n_rows = stop - start
+    n_ranges = min(n_shards, n_rows)
+    if n_ranges <= 0:
+        return []
+    # Weight every row by nnz + 1: the +1 spreads empty rows across shards
+    # instead of piling them onto whichever shard owns the last positive.
+    weights = np.diff(indptr[start : stop + 1]).astype(np.int64) + 1
+    cumulative = np.cumsum(weights)
+    total = int(cumulative[-1])
+
+    boundaries = [0]
+    for shard in range(1, n_ranges):
+        target = shard * total / n_ranges
+        cut = int(np.searchsorted(cumulative, target, side="left")) + 1
+        # The target usually lands inside a row; take whichever adjacent
+        # boundary leaves the prefix weight closer to the target, so a heavy
+        # row is not pulled into a shard that is already at quota.
+        if cut >= 2 and target - cumulative[cut - 2] <= cumulative[cut - 1] - target:
+            cut -= 1
+        # Clamp so every shard (including the remaining ones) keeps >= 1 row.
+        low = boundaries[-1] + 1
+        high = n_rows - (n_ranges - shard)
+        boundaries.append(min(max(cut, low), high))
+    boundaries.append(n_rows)
+    return [
+        (start + left, start + right)
+        for left, right in zip(boundaries, boundaries[1:])
+    ]
 
 
 @dataclass
@@ -75,6 +132,17 @@ class SweepSide:
     def dtype(self) -> np.dtype:
         """Training dtype of the matrix data (and weights, when present)."""
         return self.matrix.data.dtype
+
+    def shard_ranges(
+        self, n_shards: int, row_range: Optional[Tuple[int, int]] = None
+    ) -> List[Tuple[int, int]]:
+        """nnz-balanced shard boundaries for (a row range of) this side.
+
+        Delegates to :func:`nnz_balanced_ranges` on the side's CSR
+        ``indptr`` — a pure function of the plan, shared by every executor.
+        """
+        start, stop = (0, self.n_rows) if row_range is None else row_range
+        return nnz_balanced_ranges(self.matrix.indptr, start, stop, n_shards)
 
     @classmethod
     def build(

@@ -100,37 +100,43 @@ class BiasedOCuLaR(OCuLaR):
             max_backtracks=self.max_backtracks,
             backend=self.backend,
             n_workers=self.n_workers,
+            executor=self.executor,
             inner_sweeps=self.inner_sweeps,
         )
         user_aug_view = user_aug
         item_aug_view = item_aug
         history = None
-        for _ in range(self.max_iterations):
-            # The plan carries the matrix and the R-OCuLaR weights, so
-            # neither is passed separately (train rejects the redundancy).
-            user_aug_view, item_aug_view, step_history = single_step_trainer.train(
-                None, user_aug_view, item_aug_view, plan=plan
-            )
-            user_aug_view[:, bias_column_user_fixed] = 1.0
-            item_aug_view[:, bias_column_item_fixed] = 1.0
-            if history is None:
-                history = step_history
-            else:
-                history.objective_values.extend(step_history.objective_values[1:])
-                history.log_likelihoods.extend(step_history.log_likelihoods[1:])
-                history.iteration_seconds.extend(step_history.iteration_seconds)
-                history.elapsed_seconds.extend(step_history.elapsed_seconds)
-                history.item_sweep_stats.extend(step_history.item_sweep_stats)
-                history.user_sweep_stats.extend(step_history.user_sweep_stats)
-                history.n_iterations += step_history.n_iterations
-            if len(history.objective_values) >= 2:
-                previous, current = history.objective_values[-2], history.objective_values[-1]
-                improvement = previous - current
-                if improvement >= 0 and abs(improvement) / max(abs(previous), 1.0) < self.tolerance:
-                    history.converged = True
+        try:
+            for _ in range(self.max_iterations):
+                # The plan carries the matrix and the R-OCuLaR weights, so
+                # neither is passed separately (train rejects the redundancy).
+                user_aug_view, item_aug_view, step_history = single_step_trainer.train(
+                    None, user_aug_view, item_aug_view, plan=plan
+                )
+                user_aug_view[:, bias_column_user_fixed] = 1.0
+                item_aug_view[:, bias_column_item_fixed] = 1.0
+                if history is None:
+                    history = step_history
+                else:
+                    history.objective_values.extend(step_history.objective_values[1:])
+                    history.log_likelihoods.extend(step_history.log_likelihoods[1:])
+                    history.iteration_seconds.extend(step_history.iteration_seconds)
+                    history.elapsed_seconds.extend(step_history.elapsed_seconds)
+                    history.item_sweep_stats.extend(step_history.item_sweep_stats)
+                    history.user_sweep_stats.extend(step_history.user_sweep_stats)
+                    history.n_iterations += step_history.n_iterations
+                if len(history.objective_values) >= 2:
+                    previous, current = history.objective_values[-2], history.objective_values[-1]
+                    improvement = previous - current
+                    if improvement >= 0 and abs(improvement) / max(abs(previous), 1.0) < self.tolerance:
+                        history.converged = True
+                        break
+                if callback is not None and callback(history.n_iterations, history):
                     break
-            if callback is not None and callback(history.n_iterations, history):
-                break
+        finally:
+            # One trainer serves every clamped iteration, so its pools and
+            # shared memory are released once, after the whole fit.
+            single_step_trainer.shutdown()
         assert history is not None
 
         self.user_biases_ = user_aug_view[:, self.n_coclusters].copy()

@@ -73,11 +73,17 @@ class OCuLaR(Recommender):
     backend:
         ``"vectorized"`` (default, batched NumPy — the GPU-style kernel),
         ``"reference"`` (per-row loop — the CPU-style transcription), or
-        ``"parallel"`` (row-sharded vectorized sweeps on a thread pool;
-        factors are bit-identical to ``"vectorized"``).
+        ``"parallel"`` (nnz-balanced row shards of the vectorized sweeps
+        fanned across an executor; factors are bit-identical to
+        ``"vectorized"`` for every executor and shard count).
     n_workers:
-        Thread-pool size for ``backend="parallel"``; defaults to the CPU
+        Worker-pool size for ``backend="parallel"``; defaults to the CPU
         count.  Invalid with any other backend.
+    executor:
+        Shard executor for ``backend="parallel"``: ``"thread"`` (default;
+        kernels release the GIL), ``"process"`` (worker processes fed
+        through shared memory — sidesteps the GIL entirely), or
+        ``"serial"``.  Invalid with any other backend.
     dtype:
         Training precision, ``"float64"`` (default) or ``"float32"``.
         float32 halves factor memory for large fits; the fitted factors
@@ -113,6 +119,7 @@ class OCuLaR(Recommender):
         init_scale: float = 1.0,
         backend: Backend | str = "vectorized",
         n_workers: Optional[int] = None,
+        executor: Optional[str] = None,
         dtype: str = "float64",
         inner_sweeps: int = 1,
         user_weighting: Optional[str] = None,
@@ -136,6 +143,7 @@ class OCuLaR(Recommender):
         self.init_scale = init_scale
         self.backend = backend
         self.n_workers = n_workers
+        self.executor = executor
         self.dtype = check_float_dtype(dtype, "dtype")
         self.user_weighting = user_weighting
         self.random_state = random_state
@@ -175,12 +183,18 @@ class OCuLaR(Recommender):
             max_backtracks=self.max_backtracks,
             backend=self.backend,
             n_workers=self.n_workers,
+            executor=self.executor,
             inner_sweeps=self.inner_sweeps,
         )
         user_weights = self._user_weights(csr)
-        user_factors, item_factors, history = trainer.train(
-            csr, user_factors, item_factors, user_weights=user_weights, callback=callback
-        )
+        try:
+            user_factors, item_factors, history = trainer.train(
+                csr, user_factors, item_factors, user_weights=user_weights, callback=callback
+            )
+        finally:
+            # A name-configured backend is owned by this fit: its worker
+            # pools and shared-memory segments must not outlive it.
+            trainer.shutdown()
         self.factors_ = FactorModel(user_factors, item_factors)
         self.history_ = history
         self._set_train_matrix(matrix)
@@ -293,6 +307,7 @@ class OCuLaR(Recommender):
             "init_scale": self.init_scale,
             "backend": self.backend if isinstance(self.backend, str) else self.backend.name,
             "n_workers": self.n_workers,
+            "executor": self.executor,
             "dtype": self.dtype.name,
             "inner_sweeps": self.inner_sweeps,
             "user_weighting": self.user_weighting,

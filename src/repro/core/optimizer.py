@@ -132,9 +132,14 @@ class BlockCoordinateTrainer:
         Per-row cap on step-size halvings within a sweep.
     backend:
         Backend instance or name (``"vectorized"`` / ``"reference"`` /
-        ``"parallel"``).
+        ``"parallel"``).  When given a *name*, the trainer owns the backend
+        it builds and releases its pools and shared memory via
+        :meth:`shutdown`; an *instance* is borrowed and left untouched.
     n_workers:
-        Thread-pool size when ``backend="parallel"``; invalid otherwise.
+        Worker-pool size when ``backend="parallel"``; invalid otherwise.
+    executor:
+        Shard executor name (``"thread"`` / ``"process"`` / ``"serial"``)
+        when ``backend="parallel"``; invalid otherwise.
     inner_sweeps:
         Number of consecutive projected-gradient sweeps applied to a block
         before switching to the other block.  The paper argues (Section IV-B)
@@ -153,6 +158,7 @@ class BlockCoordinateTrainer:
         max_backtracks: int = 20,
         backend: Backend | str = "vectorized",
         n_workers: Optional[int] = None,
+        executor: Optional[str] = None,
         inner_sweeps: int = 1,
     ) -> None:
         self.regularization = check_non_negative_float(regularization, "regularization")
@@ -161,8 +167,21 @@ class BlockCoordinateTrainer:
         self.sigma = check_unit_interval_open(sigma, "sigma")
         self.beta = check_unit_interval_open(beta, "beta")
         self.max_backtracks = check_positive_int(max_backtracks, "max_backtracks")
-        self.backend = get_backend(backend, n_workers=n_workers)
+        self._owns_backend = not isinstance(backend, Backend)
+        self.backend = get_backend(backend, n_workers=n_workers, executor=executor)
         self.inner_sweeps = check_positive_int(inner_sweeps, "inner_sweeps")
+
+    def shutdown(self) -> None:
+        """Release the backend's pools and shared memory, if the trainer owns it.
+
+        Callers that construct the trainer with a backend *name* should call
+        this when done fitting (``OCuLaR.fit`` does); process-executor
+        backends hold worker processes and ``/dev/shm`` segments that must
+        not outlive the fit.  Borrowed backend instances are not touched —
+        their owner controls their lifecycle.
+        """
+        if self._owns_backend:
+            self.backend.shutdown()
 
     def train(
         self,

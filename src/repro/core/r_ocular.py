@@ -40,6 +40,7 @@ class ROCuLaR(OCuLaR):
         init_scale: float = 1.0,
         backend: Backend | str = "vectorized",
         n_workers: int | None = None,
+        executor: str | None = None,
         dtype: str = "float64",
         random_state: RandomStateLike = None,
     ) -> None:
@@ -55,6 +56,7 @@ class ROCuLaR(OCuLaR):
             init_scale=init_scale,
             backend=backend,
             n_workers=n_workers,
+            executor=executor,
             dtype=dtype,
             user_weighting="relative",
             random_state=random_state,

@@ -25,6 +25,7 @@ from repro.data.splitting import train_test_split
 from repro.evaluation.cross_validation import cross_validate
 from repro.evaluation.evaluator import evaluate_recommender
 from repro.exceptions import ConfigurationError, EvaluationError
+from repro.parallel import ShardScheduler
 from repro.utils.rng import RandomStateLike, spawn_seeds
 
 ParamGrid = Mapping[str, Sequence[Any]]
@@ -148,8 +149,11 @@ def grid_search(
     max_users:
         Cap on evaluated users per fold.
     executor:
-        Optional :class:`repro.parallel.executor.Executor`; when given, the
-        combinations are evaluated through ``executor.map``.
+        Optional executor: a name from the :mod:`repro.parallel.scheduler`
+        registry (``"serial"``, ``"thread"``, ``"process"`` — built for this
+        search and shut down afterwards) or a prebuilt instance (the caller
+        keeps its lifecycle).  When given, the combinations are evaluated
+        through ``executor.starmap``; ``None`` evaluates them inline.
     random_state:
         Seed; every combination receives the *same* split seeds so scores are
         comparable across the grid.
@@ -168,7 +172,10 @@ def grid_search(
         (builder, params, matrix, metric, m, n_folds, max_users, seed) for params in combos
     ]
     if executor is not None:
-        scores = list(executor.starmap(_evaluate_combination, tasks))
+        # The scheduler owns a name-built executor (shut down on exit) and
+        # borrows an instance (left running for its owner).
+        with ShardScheduler(executor) as scheduler:
+            scores = list(scheduler.starmap(_evaluate_combination, tasks))
     else:
         scores = [_evaluate_combination(*task) for task in tasks]
 

@@ -107,7 +107,9 @@ def run_grid_search_experiment(
     max_iterations:
         OCuLaR iteration budget per combination.
     executor:
-        Optional :mod:`repro.parallel` executor for parallel evaluation.
+        Optional executor for parallel evaluation: a name from the
+        :mod:`repro.parallel.scheduler` registry (``"process"`` stands in
+        for the paper's Spark cluster) or a prebuilt instance.
     random_state:
         Master seed.
     """

@@ -94,6 +94,7 @@ def run_scalability_study(
     n_items: int = 500,
     backend: str = "vectorized",
     n_workers: Optional[int] = None,
+    executor: Optional[str] = None,
     random_state: RandomStateLike = 0,
 ) -> ScalabilityResult:
     """Measure seconds per training iteration across dataset fractions and K.
@@ -112,7 +113,10 @@ def run_scalability_study(
     backend:
         Which backend to time.
     n_workers:
-        Thread-pool size when timing the ``parallel`` backend.
+        Worker-pool size when timing the ``parallel`` backend.
+    executor:
+        Shard executor name (``"thread"`` / ``"process"`` / ``"serial"``)
+        when timing the ``parallel`` backend.
     random_state:
         Seed for corpus generation and subsampling.
     """
@@ -129,6 +133,7 @@ def run_scalability_study(
                 n_iterations=n_iterations,
                 backend=backend,
                 n_workers=n_workers,
+                executor=executor,
                 random_state=random_state,
             )
             result.points.append(
@@ -148,6 +153,7 @@ def measure_seconds_per_iteration(
     n_iterations: int = 3,
     backend: str = "vectorized",
     n_workers: Optional[int] = None,
+    executor: Optional[str] = None,
     random_state: RandomStateLike = 0,
 ) -> float:
     """Mean wall-clock seconds per outer iteration on ``matrix``.
@@ -162,6 +168,7 @@ def measure_seconds_per_iteration(
         tolerance=0.0,
         backend=backend,
         n_workers=n_workers,
+        executor=executor,
         random_state=random_state,
     )
     import warnings
@@ -175,10 +182,11 @@ def measure_seconds_per_iteration(
 
 @dataclass
 class WorkerScalingPoint:
-    """Per-iteration timing for one worker count of the parallel backend."""
+    """Per-iteration timing for one (executor, worker count) configuration."""
 
     n_workers: int
     seconds_per_iteration: float
+    executor: str = "thread"
 
 
 @dataclass
@@ -186,9 +194,11 @@ class WorkerScalingResult:
     """Speed-up versus parallelism: the CPU rendition of Figure 8.
 
     ``baseline_seconds`` is the single-threaded ``vectorized`` backend; each
-    point is the ``parallel`` backend at one thread count.  Because the
-    parallel backend is bit-identical to the baseline, the comparison is
-    pure wall-clock — the trajectories are the same by construction.
+    point is the ``parallel`` backend at one worker count on one executor
+    (thread sharding, shared-memory process sharding, ...).  Because the
+    parallel backend is bit-identical to the baseline on every executor, the
+    comparison is pure wall-clock — the trajectories are the same by
+    construction.
     """
 
     baseline_seconds: float = 0.0
@@ -197,29 +207,38 @@ class WorkerScalingResult:
     n_coclusters: int = 0
 
     def worker_counts(self) -> List[int]:
-        """Worker counts measured, ascending."""
-        return sorted(point.n_workers for point in self.points)
+        """Distinct worker counts measured, ascending."""
+        return sorted({point.n_workers for point in self.points})
 
-    def seconds_at(self, n_workers: int) -> float:
-        """Seconds per iteration of the parallel backend at ``n_workers``."""
+    def executors(self) -> List[str]:
+        """Distinct executors measured, sorted."""
+        return sorted({point.executor for point in self.points})
+
+    def seconds_at(self, n_workers: int, executor: str = "thread") -> float:
+        """Seconds per iteration at ``n_workers`` on ``executor``."""
         for point in self.points:
-            if point.n_workers == n_workers:
+            if point.n_workers == n_workers and point.executor == executor:
                 return point.seconds_per_iteration
-        raise KeyError(f"no measurement for n_workers={n_workers}")
+        raise KeyError(f"no measurement for n_workers={n_workers}, executor={executor!r}")
 
-    def speedup_at(self, n_workers: int) -> float:
-        """Speed-up of ``n_workers`` threads over the vectorized baseline."""
-        seconds = self.seconds_at(n_workers)
+    def speedup_at(self, n_workers: int, executor: str = "thread") -> float:
+        """Speed-up of ``n_workers`` workers over the vectorized baseline."""
+        seconds = self.seconds_at(n_workers, executor)
         if seconds <= 0:
             return float("inf")
         return self.baseline_seconds / seconds
 
     def to_text(self) -> str:
-        """Render the worker-scaling table with per-count speed-ups."""
-        header = ["workers", "sec/iteration", "speedup vs vectorized"]
+        """Render the worker-scaling table with per-configuration speed-ups."""
+        header = ["executor", "workers", "sec/iteration", "speedup vs vectorized"]
         rows = [
-            [point.n_workers, point.seconds_per_iteration, self.speedup_at(point.n_workers)]
-            for point in sorted(self.points, key=lambda p: p.n_workers)
+            [
+                point.executor,
+                point.n_workers,
+                point.seconds_per_iteration,
+                self.speedup_at(point.n_workers, point.executor),
+            ]
+            for point in sorted(self.points, key=lambda p: (p.executor, p.n_workers))
         ]
         lines = [
             "Figure 8 (CPU) — per-iteration time vs worker count "
@@ -236,15 +255,17 @@ def run_worker_scaling_study(
     n_iterations: int = 3,
     n_users: int = 1500,
     n_items: int = 500,
+    executors: Sequence[str] = ("thread",),
     random_state: RandomStateLike = 0,
 ) -> WorkerScalingResult:
-    """Measure parallel-backend speed-up over vectorized at each worker count.
+    """Measure parallel-backend speed-up over vectorized per executor and worker count.
 
     Every configuration times the same fit on the same corpus from the same
     seed; only the sweep execution differs, so the measured ratios isolate
-    the sharding overhead and the thread-scaling of the row subproblems —
+    the sharding overhead and the worker-scaling of the row subproblems —
     the paper's near-linear-scaling claim, on CPU cores instead of CUDA
-    threads.
+    threads.  ``executors`` selects the sharding substrates to compare
+    (``"thread"`` and ``"process"`` cover both sides of the GIL question).
     """
     matrix, _spec = make_netflix_like(
         n_users=n_users, n_items=n_items, random_state=random_state
@@ -261,18 +282,22 @@ def run_worker_scaling_study(
         n_positives=matrix.nnz,
         n_coclusters=int(n_coclusters),
     )
-    for n_workers in worker_counts:
-        seconds = measure_seconds_per_iteration(
-            matrix,
-            n_coclusters=int(n_coclusters),
-            n_iterations=n_iterations,
-            backend="parallel",
-            n_workers=int(n_workers),
-            random_state=random_state,
-        )
-        result.points.append(
-            WorkerScalingPoint(
-                n_workers=int(n_workers), seconds_per_iteration=seconds
+    for executor in executors:
+        for n_workers in worker_counts:
+            seconds = measure_seconds_per_iteration(
+                matrix,
+                n_coclusters=int(n_coclusters),
+                n_iterations=n_iterations,
+                backend="parallel",
+                n_workers=int(n_workers),
+                executor=str(executor),
+                random_state=random_state,
             )
-        )
+            result.points.append(
+                WorkerScalingPoint(
+                    n_workers=int(n_workers),
+                    seconds_per_iteration=seconds,
+                    executor=str(executor),
+                )
+            )
     return result

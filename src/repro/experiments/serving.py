@@ -171,11 +171,8 @@ def run_serving_throughput(
         for reference, candidate in zip(loop_rankings, batch_rankings)
     )
 
-    from repro.parallel import ThreadExecutor
-
     start = time.perf_counter()
-    with ThreadExecutor(max_workers=None) as executor:
-        serve_sharded(engine, users, n_items=top_n, executor=executor, shard_size=chunk_size)
+    serve_sharded(engine, users, n_items=top_n, executor="thread", shard_size=chunk_size)
     sharded_seconds = time.perf_counter() - start
 
     # Cold-start: fold a batch of unseen interaction vectors in and serve them.

@@ -1,5 +1,34 @@
-"""Parallel execution helpers (stand-in for the paper's Spark/GPU grid search)."""
+"""Parallel execution helpers (stand-in for the paper's Spark/GPU grid search).
+
+The package is organised as a scheduler layer: concrete executors live in
+:mod:`repro.parallel.executor` and :mod:`repro.parallel.shared_memory`, and
+:mod:`repro.parallel.scheduler` maps names onto them so every fan-out in the
+system — training sweeps, batch serving, the hyper-parameter grid — selects
+its execution substrate the same way.
+"""
 
 from repro.parallel.executor import SerialExecutor, ProcessExecutor, ThreadExecutor
+from repro.parallel.scheduler import (
+    ShardScheduler,
+    available_executors,
+    register_executor,
+    resolve_executor,
+)
+from repro.parallel.shared_memory import (
+    SharedArraySpec,
+    SharedMemoryProcessExecutor,
+    attach_shared_array,
+)
 
-__all__ = ["SerialExecutor", "ProcessExecutor", "ThreadExecutor"]
+__all__ = [
+    "SerialExecutor",
+    "ProcessExecutor",
+    "ThreadExecutor",
+    "ShardScheduler",
+    "SharedArraySpec",
+    "SharedMemoryProcessExecutor",
+    "attach_shared_array",
+    "available_executors",
+    "register_executor",
+    "resolve_executor",
+]

@@ -43,6 +43,12 @@ class SerialExecutor:
     def shutdown(self) -> None:
         """No resources to release."""
 
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
 
 class _PoolExecutor:
     """Common implementation for process- and thread-backed executors."""

@@ -1,0 +1,252 @@
+"""Shared-memory process execution: ship descriptors, not arrays.
+
+A plain :class:`~repro.parallel.executor.ProcessExecutor` pickles every task's
+arguments into the worker — for a sharded sweep that means serialising the
+CSR plan and both factor matrices once *per shard per sweep*, which swamps
+the kernel time on anything but tiny problems.  The
+:class:`SharedMemoryProcessExecutor` removes that cost: large arrays are
+placed in POSIX shared memory (``multiprocessing.shared_memory``) once, and
+tasks carry only :class:`SharedArraySpec` descriptors — a segment name plus
+shape and dtype.  Workers attach to the segments by name (zero-copy) and
+rebuild NumPy views on the shared buffers.
+
+Two publication modes cover the sweep engine's needs:
+
+* :meth:`SharedMemoryProcessExecutor.publish_static` — write-once data such
+  as the :class:`~repro.core.backends.plan.SweepPlan` CSR arrays.  The
+  executor pins the source array and skips the copy entirely when the same
+  array object is published again, so a whole fit pays one memcpy per plan
+  array.
+* :meth:`SharedMemoryProcessExecutor.publish` — per-sweep data such as the
+  factor matrices.  A slot keyed by ``(name, shape, dtype)`` reuses its
+  segment across sweeps and refreshes the bytes each time (one memcpy,
+  instead of one pickle per task).
+
+Lifecycle: the executor owns every segment it created and unlinks them all
+in :meth:`shutdown` — after shutdown there are no leaked ``/dev/shm``
+entries, which the test-suite verifies.  Workers only ever *attach*; their
+mappings die with the worker processes when the pool is shut down.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.parallel.executor import _PoolExecutor, _resolve_workers
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Descriptor of one NumPy array living in a shared-memory segment.
+
+    Small and picklable — this is what task arguments carry instead of the
+    array itself.  :func:`attach_shared_array` turns it back into an
+    ``np.ndarray`` view inside a worker.
+    """
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _unregister_attachment(segment: shared_memory.SharedMemory) -> None:
+    """Undo the resource-tracker registration of an *attaching* process.
+
+    CPython registers a segment with the resource tracker on attach as well
+    as on create (bpo-38119); a worker with its *own* tracker (spawn /
+    forkserver start methods) would then unlink the segment when it exits,
+    destroying it under the owner's feet — so such attachments are
+    unregistered.  Forked workers instead inherit the creator's tracker:
+    their attach-registration is an idempotent re-add, and unregistering
+    would strip the creator's own entry, so they are left alone.
+    Python 3.13+ exposes ``track=False`` for this; this helper covers the
+    older releases the project supports.
+    """
+    try:
+        if multiprocessing.get_start_method() == "fork":
+            return
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        pass
+
+
+#: Worker-process-local cache of attached segments, keyed by segment name.
+#: Attachments are kept open for the worker's lifetime: repeated tasks of one
+#: fit hit the same plan segments, and the mappings are released by the OS
+#: when the pool's processes exit.
+_ATTACHMENTS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_shared_array(spec: SharedArraySpec) -> np.ndarray:
+    """Materialise a :class:`SharedArraySpec` as an array view (worker side).
+
+    The returned array is backed directly by the shared segment — reading it
+    is zero-copy.  Callers must treat it as read-only: it is shared with the
+    publishing process and every sibling worker.
+    """
+    segment = _ATTACHMENTS.get(spec.shm_name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=spec.shm_name)
+        _unregister_attachment(segment)
+        _ATTACHMENTS[spec.shm_name] = segment
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+
+
+class _Segment:
+    """One owned shared-memory segment plus its publication bookkeeping."""
+
+    __slots__ = ("memory", "spec", "pinned")
+
+    def __init__(
+        self,
+        memory: shared_memory.SharedMemory,
+        spec: SharedArraySpec,
+        pinned: Optional[np.ndarray],
+    ) -> None:
+        self.memory = memory
+        self.spec = spec
+        self.pinned = pinned
+
+
+class SharedMemoryProcessExecutor(_PoolExecutor):
+    """Process-pool executor with shared-memory array publication.
+
+    Behaves exactly like :class:`~repro.parallel.executor.ProcessExecutor`
+    for plain ``map``/``starmap`` (tasks and arguments are pickled), and
+    additionally lets callers place large arrays in shared memory so tasks
+    can reference them by :class:`SharedArraySpec` instead of by value.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the machine's CPU count.
+    max_segments:
+        Soft cap on concurrently owned segments.  Publishing beyond it
+        evicts (unlinks) the least recently used segments, which bounds
+        shared-memory usage for callers that never call :meth:`shutdown`
+        between unrelated publications.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, max_segments: int = 64) -> None:
+        self.max_workers = _resolve_workers(max_workers)
+        if max_segments < 1:
+            raise ValueError("max_segments must be at least 1")
+        self._max_segments = max_segments
+        self._segments: "OrderedDict[Hashable, _Segment]" = OrderedDict()
+        super().__init__(
+            concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Publication
+    # ------------------------------------------------------------------ #
+    def publish(self, key: Hashable, array: np.ndarray) -> SharedArraySpec:
+        """Place (or refresh) a mutable slot in shared memory.
+
+        The slot identified by ``key`` keeps its segment as long as the
+        published shape and dtype stay the same; the bytes are rewritten on
+        every call, so per-sweep data like factor matrices costs one memcpy
+        per sweep rather than one pickle per task.
+        """
+        array = np.ascontiguousarray(array)
+        segment = self._segments.get(key)
+        if segment is not None and (
+            segment.spec.shape != array.shape or segment.spec.dtype != array.dtype.str
+        ):
+            self._unlink(key)
+            segment = None
+        if segment is None:
+            segment = self._allocate(key, array, pinned=None)
+        self._segments.move_to_end(key)
+        self._view(segment)[...] = array
+        return segment.spec
+
+    def publish_static(self, array: np.ndarray) -> SharedArraySpec:
+        """Place write-once data in shared memory, copying at most once.
+
+        Keyed on the identity of ``array``, which the executor pins (holds a
+        reference to) so the key stays valid: republishing the same array
+        object returns the existing descriptor without touching the bytes.
+        This is what makes "plan arrays are placed in shared memory once per
+        fit" literal — every sweep re-presents the same plan arrays and only
+        the first presentation copies.
+        """
+        array = np.asarray(array)
+        if not array.flags.c_contiguous:
+            raise ValueError(
+                "publish_static requires a C-contiguous array; copy it first "
+                "(a non-contiguous source would silently republish every call)"
+            )
+        key = ("static", id(array))
+        segment = self._segments.get(key)
+        if segment is not None and segment.pinned is array:
+            self._segments.move_to_end(key)
+            return segment.spec
+        segment = self._allocate(key, array, pinned=array)
+        self._view(segment)[...] = array
+        return segment.spec
+
+    def active_segment_names(self) -> list[str]:
+        """Names of every segment this executor currently owns (for tests)."""
+        return [segment.spec.shm_name for segment in self._segments.values()]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _allocate(
+        self, key: Hashable, array: np.ndarray, pinned: Optional[np.ndarray]
+    ) -> _Segment:
+        while len(self._segments) >= self._max_segments:
+            oldest = next(iter(self._segments))
+            self._unlink(oldest)
+        # Zero-size arrays (empty matrices) still need a valid segment.
+        memory = shared_memory.SharedMemory(create=True, size=max(int(array.nbytes), 1))
+        spec = SharedArraySpec(
+            shm_name=memory.name, shape=tuple(array.shape), dtype=array.dtype.str
+        )
+        segment = _Segment(memory=memory, spec=spec, pinned=pinned)
+        self._segments[key] = segment
+        return segment
+
+    @staticmethod
+    def _view(segment: _Segment) -> np.ndarray:
+        return np.ndarray(
+            segment.spec.shape,
+            dtype=np.dtype(segment.spec.dtype),
+            buffer=segment.memory.buf,
+        )
+
+    def _unlink(self, key: Hashable) -> None:
+        segment = self._segments.pop(key)
+        try:
+            segment.memory.close()
+            segment.memory.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Unlink every owned segment and release the worker pool."""
+        for key in list(self._segments):
+            self._unlink(key)
+        super().shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(max_workers={self.max_workers}, "
+            f"segments={len(self._segments)})"
+        )

@@ -11,6 +11,7 @@ executors of :mod:`repro.parallel`.
 from repro.serving.batch import BatchServingResult, serve_sharded
 from repro.serving.engine import TopNEngine
 from repro.serving.fold_in import (
+    clear_fold_in_plan_cache,
     fold_in_factors,
     fold_in_user,
     fold_in_users,
@@ -21,6 +22,7 @@ __all__ = [
     "TopNEngine",
     "BatchServingResult",
     "serve_sharded",
+    "clear_fold_in_plan_cache",
     "fold_in_factors",
     "fold_in_user",
     "fold_in_users",

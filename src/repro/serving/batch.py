@@ -3,9 +3,10 @@
 The nightly job of Section VIII serves every client.  On one machine the
 chunked :class:`~repro.serving.engine.TopNEngine` already removes the
 per-user Python overhead; this module adds the scale-out axis, splitting the
-user list into shards and mapping them over any executor from
-:mod:`repro.parallel` (threads for BLAS-bound scoring, processes when the
-model is cheap to pickle, serial for tests).
+user list into shards and mapping them over an executor resolved through the
+:mod:`repro.parallel.scheduler` registry — by name (``"thread"`` for
+BLAS-bound scoring, ``"process"`` when the model is cheap to pickle,
+``"serial"`` for tests) or as a prebuilt instance.
 
 Executors return results in submission order, so the output is order-stable:
 the list of rankings is aligned with the input users no matter which
@@ -19,7 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.parallel import SerialExecutor
+from repro.parallel import ShardScheduler
 from repro.serving.engine import TopNEngine
 from repro.utils.validation import check_positive_int
 
@@ -77,23 +78,27 @@ def serve_sharded(
     exclude_seen:
         Mask training positives (the deployment default).
     executor:
-        Anything with ``starmap`` from :mod:`repro.parallel`; defaults to
-        a :class:`SerialExecutor`.
+        A name from the :mod:`repro.parallel.scheduler` registry
+        (``"serial"``, ``"thread"``, ``"process"``) — the executor is then
+        built for this call and shut down afterwards — or any prebuilt
+        instance with ``starmap`` (the caller keeps its lifecycle).
+        Defaults to ``"serial"``.
     shard_size:
         Users per shard; defaults to the engine's chunk size, so each
         shard is one BLAS call in the worker.
     """
     user_list = [int(user) for user in users]
-    if executor is None:
-        executor = SerialExecutor()
     if shard_size is None:
         shard_size = engine.chunk_size
     check_positive_int(shard_size, "shard_size")
 
     shards = [user_list[start : start + shard_size] for start in range(0, len(user_list), shard_size)]
-    shard_results = executor.starmap(
-        _serve_shard, [(engine, shard, n_items, exclude_seen) for shard in shards]
-    )
+    # The scheduler owns a name-built executor (shut down on exit) and
+    # borrows an instance (left running for its owner).
+    with ShardScheduler("serial" if executor is None else executor) as scheduler:
+        shard_results = scheduler.starmap(
+            _serve_shard, [(engine, shard, n_items, exclude_seen) for shard in shards]
+        )
     rankings: List[np.ndarray] = []
     for result in shard_results:
         rankings.extend(result)

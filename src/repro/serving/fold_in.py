@@ -18,7 +18,9 @@ once.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import hashlib
+from collections import OrderedDict
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -76,6 +78,47 @@ def _interactions_to_csr(interactions: InteractionsLike, n_items: int) -> sp.csr
     return csr
 
 
+#: LRU cache of prebuilt fold-in sweep sides.  A serving process that folds
+#: many small batches against the same item factors frequently re-presents
+#: identical interaction batches (retries, polling clients, fixed evaluation
+#: cohorts); rebuilding the ``SweepSide`` costs O(nnz) per call, so identical
+#: batches reuse the prior plan instead.  Keyed on a content digest of the
+#: batch's CSR arrays plus the training dtype, so any change to the
+#: interactions (or a float32 vs float64 model) misses cleanly.
+_SIDE_CACHE: "OrderedDict[Tuple, SweepSide]" = OrderedDict()
+_SIDE_CACHE_SIZE = 16
+
+
+def _side_cache_key(interactions: sp.csr_matrix, dtype: np.dtype) -> Tuple:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(interactions.indptr).tobytes())
+    digest.update(np.ascontiguousarray(interactions.indices).tobytes())
+    digest.update(np.ascontiguousarray(interactions.data).tobytes())
+    return (tuple(interactions.shape), np.dtype(dtype).str, digest.hexdigest())
+
+
+def _cached_sweep_side(interactions: sp.csr_matrix, dtype: np.dtype) -> SweepSide:
+    """Return the sweep side for a fold-in batch, reusing identical batches."""
+    key = _side_cache_key(interactions, dtype)
+    side = _SIDE_CACHE.get(key)
+    if side is None:
+        # Build from a private copy: SweepSide.build may alias the caller's
+        # CSR buffers, and a cached side must stay frozen at the digested
+        # content even if the caller later mutates their matrix in place.
+        side = SweepSide.build(interactions.copy(), dtype=dtype)
+        _SIDE_CACHE[key] = side
+        while len(_SIDE_CACHE) > _SIDE_CACHE_SIZE:
+            _SIDE_CACHE.popitem(last=False)
+    else:
+        _SIDE_CACHE.move_to_end(key)
+    return side
+
+
+def clear_fold_in_plan_cache() -> None:
+    """Drop every cached fold-in sweep side (e.g. between unrelated models)."""
+    _SIDE_CACHE.clear()
+
+
 def fold_in_factors(
     item_factors: np.ndarray,
     interactions: sp.csr_matrix,
@@ -129,6 +172,9 @@ def fold_in_factors(
     check_unit_interval_open(sigma, "sigma")
     check_unit_interval_open(beta, "beta")
     check_positive_int(max_backtracks, "max_backtracks")
+    # A backend built here from a name is owned by this call; its pools and
+    # shared memory (process executor) must not outlive the fold-in.
+    owns_backend = not isinstance(backend, Backend)
     backend = get_backend(backend)
 
     n_items, n_coclusters = item_factors.shape
@@ -162,24 +208,29 @@ def fold_in_factors(
             raise ConfigurationError("init must give every user an interior (positive) start")
 
     # The sweep structure of the fixed interaction matrix is static across
-    # the convex sweeps; precompute it once instead of once per sweep.
-    side = SweepSide.build(interactions, dtype=factors.dtype)
-    for _ in range(n_sweeps):
-        previous = factors
-        factors, _ = backend.sweep(
-            None,
-            factors,
-            item_factors,
-            regularization=regularization,
-            sigma=sigma,
-            beta=beta,
-            max_backtracks=max_backtracks,
-            plan=side,
-        )
-        change = np.linalg.norm(factors - previous)
-        reference = max(np.linalg.norm(previous), 1.0)
-        if change / reference < tolerance:
-            break
+    # the convex sweeps — and across *calls* presenting the same batch, so
+    # it comes from the keyed plan cache rather than being rebuilt.
+    side = _cached_sweep_side(interactions, factors.dtype)
+    try:
+        for _ in range(n_sweeps):
+            previous = factors
+            factors, _ = backend.sweep(
+                None,
+                factors,
+                item_factors,
+                regularization=regularization,
+                sigma=sigma,
+                beta=beta,
+                max_backtracks=max_backtracks,
+                plan=side,
+            )
+            change = np.linalg.norm(factors - previous)
+            reference = max(np.linalg.norm(previous), 1.0)
+            if change / reference < tolerance:
+                break
+    finally:
+        if owns_backend:
+            backend.shutdown()
     return factors
 
 

@@ -206,3 +206,19 @@ class TestGridSearch:
             )
         assert serial.best_params == threaded.best_params
         assert serial.best_score == pytest.approx(threaded.best_score)
+
+    def test_executor_selected_by_registry_name(self, fitted_split):
+        # Names route through the shard-scheduler registry; the built
+        # executor is owned by the call and shut down afterwards.
+        matrix, _, _ = fitted_split
+        grid = {"n_neighbors": [5, 15]}
+        inline = grid_search(UserKNNRecommender, grid, matrix, m=10, random_state=1)
+        named = grid_search(
+            UserKNNRecommender, grid, matrix, m=10, executor="thread", random_state=1
+        )
+        assert named.best_params == inline.best_params
+        assert named.best_score == pytest.approx(inline.best_score)
+        with pytest.raises(ConfigurationError):
+            grid_search(
+                UserKNNRecommender, grid, matrix, m=10, executor="spark", random_state=1
+            )

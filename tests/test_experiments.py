@@ -188,16 +188,23 @@ class TestScalability:
         assert "Figure 7" in result.to_text()
 
     def test_larger_k_costs_more(self):
-        result = run_scalability_study(
-            fractions=(1.0,),
-            k_values=(2, 32),
-            n_iterations=2,
-            n_users=400,
-            n_items=200,
-            random_state=0,
-        )
-        small_k = result.series_for_k(2)[0].seconds_per_iteration
-        large_k = result.series_for_k(32)[0].seconds_per_iteration
+        # Wall-clock comparison: K=32 does ~16x the work of K=2 per
+        # iteration, but a CPU-steal spike on a loaded host can still invert
+        # a single measurement, so allow a couple of re-measurements.  A
+        # genuine complexity regression fails every attempt.
+        for _ in range(3):
+            result = run_scalability_study(
+                fractions=(1.0,),
+                k_values=(2, 32),
+                n_iterations=2,
+                n_users=400,
+                n_items=200,
+                random_state=0,
+            )
+            small_k = result.series_for_k(2)[0].seconds_per_iteration
+            large_k = result.series_for_k(32)[0].seconds_per_iteration
+            if large_k > small_k:
+                break
         assert large_k > small_k
 
 
@@ -250,6 +257,26 @@ class TestWorkerScaling:
         assert "workers" in text and "vectorized baseline" in text
         with pytest.raises(KeyError):
             result.seconds_at(64)
+
+    def test_executor_axis_covers_thread_and_process(self):
+        # Figure 8-style scaling curves over both sharding substrates.
+        result = run_worker_scaling_study(
+            worker_counts=(2,),
+            n_coclusters=5,
+            n_iterations=1,
+            n_users=100,
+            n_items=40,
+            executors=("thread", "process"),
+            random_state=0,
+        )
+        assert result.executors() == ["process", "thread"]
+        assert result.worker_counts() == [2]
+        for executor in ("thread", "process"):
+            assert result.seconds_at(2, executor) > 0
+            assert result.speedup_at(2, executor) > 0
+        assert "process" in result.to_text()
+        with pytest.raises(KeyError):
+            result.seconds_at(2, "serial")
 
 
 class TestGridSearchExperiment:

@@ -39,6 +39,14 @@ class TestSerialExecutor:
     def test_shutdown_is_noop(self):
         SerialExecutor().shutdown()
 
+    def test_context_manager_protocol(self):
+        # Interchangeable with the pooled executors in ``with`` blocks.
+        with SerialExecutor() as executor:
+            assert executor.map(square, [3]) == [9]
+        with pytest.raises(ValueError, match="worker failed: ctx"):
+            with SerialExecutor() as executor:
+                executor.starmap(fail_tagged, [("ctx",)])
+
 
 class TestThreadExecutor:
     def test_map_matches_serial(self):

@@ -1,0 +1,410 @@
+"""Tests for the shard-scheduler layer: nnz-balanced boundaries, the executor
+registry, shared-memory process execution, and cross-executor factor parity."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.backends import (
+    ParallelBackend,
+    VectorizedBackend,
+    get_backend,
+    nnz_balanced_ranges,
+)
+from repro.core.backends.plan import SweepSide
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import make_netflix_like
+from repro.exceptions import ConfigurationError
+from repro.parallel import (
+    SerialExecutor,
+    ShardScheduler,
+    SharedMemoryProcessExecutor,
+    ThreadExecutor,
+    attach_shared_array,
+    available_executors,
+    register_executor,
+    resolve_executor,
+)
+from repro.parallel import scheduler as scheduler_module
+
+
+def _dev_shm_entries() -> set:
+    """Current /dev/shm entries (empty set where the mount does not exist)."""
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+# --------------------------------------------------------------------------- #
+# nnz-balanced shard boundaries (pure function of the plan)
+# --------------------------------------------------------------------------- #
+class TestNnzBalancedRanges:
+    def test_deterministic_pure_function(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 50, size=200)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        first = nnz_balanced_ranges(indptr, 10, 180, 7)
+        second = nnz_balanced_ranges(indptr, 10, 180, 7)
+        assert first == second
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+    def test_exact_cover_without_gaps(self, n_shards):
+        rng = np.random.default_rng(1)
+        counts = rng.integers(0, 20, size=37)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        ranges = nnz_balanced_ranges(indptr, 0, 37, n_shards)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 37
+        for (_, left_stop), (right_start, _) in zip(ranges, ranges[1:]):
+            assert left_stop == right_start
+        assert all(stop > start for start, stop in ranges)
+
+    def test_balances_nnz_not_rows(self):
+        # 4 heavy rows followed by 60 empty rows: row-count sharding would
+        # give one worker all the nnz; nnz balancing spreads the heavy rows.
+        counts = np.array([100] * 4 + [0] * 60)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        ranges = nnz_balanced_ranges(indptr, 0, 64, 4)
+        per_shard_nnz = [int(indptr[stop] - indptr[start]) for start, stop in ranges]
+        assert max(per_shard_nnz) <= 200  # never more than 2 heavy rows together
+        assert min(per_shard_nnz) >= 100  # every shard gets at least 1 heavy row
+
+    def test_all_nnz_in_one_row(self):
+        indptr = np.array([0, 1000, 1000, 1000, 1000, 1000])
+        ranges = nnz_balanced_ranges(indptr, 0, 5, 3)
+        assert ranges[0] == (0, 1)  # the giant row is isolated
+        assert ranges[-1][1] == 5
+        assert len(ranges) == 3
+
+    def test_empty_rows_only(self):
+        indptr = np.zeros(11, dtype=np.int64)
+        ranges = nnz_balanced_ranges(indptr, 0, 10, 4)
+        assert len(ranges) == 4
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+
+    def test_more_shards_than_rows(self):
+        indptr = np.array([0, 2, 4, 6])
+        ranges = nnz_balanced_ranges(indptr, 0, 3, 10)
+        assert ranges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty_row_range(self):
+        indptr = np.array([0, 2, 4, 6])
+        assert nnz_balanced_ranges(indptr, 2, 2, 3) == []
+
+    def test_sub_range_offsets(self):
+        indptr = np.array([0, 5, 6, 7, 8, 30])
+        ranges = nnz_balanced_ranges(indptr, 1, 5, 2)
+        assert ranges[0][0] == 1 and ranges[-1][1] == 5
+
+    def test_invalid_inputs_rejected(self):
+        indptr = np.array([0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            nnz_balanced_ranges(indptr, 0, 3, 2)
+        with pytest.raises(ConfigurationError):
+            nnz_balanced_ranges(indptr, -1, 2, 2)
+        with pytest.raises(ConfigurationError):
+            nnz_balanced_ranges(indptr, 0, 2, 0)
+
+    def test_sweep_side_method_matches_function(self):
+        matrix = sp.csr_matrix((np.random.default_rng(2).random((9, 6)) < 0.4).astype(float))
+        side = SweepSide.build(matrix)
+        assert side.shard_ranges(3) == nnz_balanced_ranges(matrix.indptr, 0, 9, 3)
+        assert side.shard_ranges(2, (1, 7)) == nnz_balanced_ranges(matrix.indptr, 1, 7, 2)
+
+
+# --------------------------------------------------------------------------- #
+# Executor registry and scheduler
+# --------------------------------------------------------------------------- #
+class TestExecutorRegistry:
+    def test_builtin_executors_registered(self):
+        assert {"serial", "thread", "process"} <= set(available_executors())
+
+    def test_resolve_by_name(self):
+        serial = resolve_executor("serial")
+        assert isinstance(serial, SerialExecutor)
+        with resolve_executor("thread", max_workers=2) as threads:
+            assert isinstance(threads, ThreadExecutor)
+
+    def test_resolve_passthrough_instance(self):
+        executor = SerialExecutor()
+        assert resolve_executor(executor) is executor
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_executor("spark")
+
+    def test_instance_with_max_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_executor(SerialExecutor(), max_workers=2)
+
+    def test_non_executor_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_executor(42)
+
+    def test_register_custom_executor(self, monkeypatch):
+        monkeypatch.setitem(
+            scheduler_module._EXECUTOR_FACTORIES,
+            "inline-test",
+            lambda max_workers: SerialExecutor(),
+        )
+        assert "inline-test" in available_executors()
+        assert isinstance(resolve_executor("inline-test"), SerialExecutor)
+
+    def test_register_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            register_executor("", lambda max_workers: SerialExecutor())
+        with pytest.raises(ConfigurationError):
+            register_executor("bad", None)
+
+
+class TestShardScheduler:
+    def test_lazy_construction_and_reuse_after_shutdown(self):
+        scheduler = ShardScheduler("serial")
+        assert scheduler.executor_name == "serial"
+        assert scheduler.starmap(divmod, [(7, 3), (9, 2)]) == [(2, 1), (4, 1)]
+        scheduler.shutdown()
+        # A shut-down scheduler transparently rebuilds its executor.
+        assert scheduler.map(abs, [-1, -2]) == [1, 2]
+        scheduler.shutdown()
+
+    def test_unknown_name_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            ShardScheduler("gpu")
+
+    def test_borrowed_instance_not_shut_down(self):
+        with ThreadExecutor(max_workers=2) as executor:
+            scheduler = ShardScheduler(executor)
+            assert scheduler.executor is executor
+            scheduler.shutdown()
+            # The borrowed executor must survive the scheduler's shutdown.
+            assert executor.map(abs, [-3]) == [3]
+
+    def test_context_manager(self):
+        with ShardScheduler("thread", max_workers=2) as scheduler:
+            assert scheduler.starmap(max, [(1, 2)]) == [2]
+
+    def test_max_workers_with_instance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardScheduler(SerialExecutor(), max_workers=2)
+
+
+class TestGetBackendExecutor:
+    def test_executor_configures_parallel(self):
+        backend = get_backend("parallel", n_workers=2, executor="serial")
+        assert isinstance(backend, ParallelBackend)
+        assert backend.executor == "serial"
+
+    def test_executor_rejected_for_other_backends(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("vectorized", executor="thread")
+        with pytest.raises(ConfigurationError):
+            get_backend(ParallelBackend(n_workers=1), executor="thread")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelBackend(n_workers=1, executor="spark")
+
+    def test_n_workers_with_executor_instance_rejected(self):
+        # The instance's own pool size would silently win otherwise.
+        with pytest.raises(ConfigurationError):
+            ParallelBackend(n_workers=2, executor=SerialExecutor())
+
+    def test_executor_instance_without_n_workers_accepted(self):
+        matrix, row_factors, col_factors = _sweep_problem(3)
+        vectorized, _ = VectorizedBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.4
+        )
+        with ThreadExecutor(max_workers=2) as executor:
+            backend = ParallelBackend(n_shards=3, executor=executor)
+            sharded, _ = backend.sweep(matrix, row_factors, col_factors, regularization=0.4)
+            backend.shutdown()  # borrowed: must leave the instance running
+            assert executor.map(abs, [-1]) == [1]
+        assert np.array_equal(vectorized, sharded)
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory executor mechanics
+# --------------------------------------------------------------------------- #
+class TestSharedMemoryPublication:
+    def test_publish_roundtrip_and_slot_reuse(self):
+        with SharedMemoryProcessExecutor(max_workers=1) as executor:
+            array = np.arange(12, dtype=np.float64).reshape(3, 4)
+            spec = executor.publish("slot", array)
+            assert spec.shape == (3, 4)
+            np.testing.assert_array_equal(attach_shared_array(spec), array)
+
+            # Same key and shape: the segment is reused, the bytes refreshed.
+            refreshed = executor.publish("slot", array * 2)
+            assert refreshed.shm_name == spec.shm_name
+            np.testing.assert_array_equal(attach_shared_array(refreshed), array * 2)
+
+            # A shape change reallocates under the same key.
+            regrown = executor.publish("slot", np.ones((5, 2)))
+            assert regrown.shm_name != spec.shm_name
+            assert len(executor.active_segment_names()) == 1
+
+    def test_publish_static_copies_once(self):
+        with SharedMemoryProcessExecutor(max_workers=1) as executor:
+            array = np.arange(6, dtype=np.float64)
+            first = executor.publish_static(array)
+            second = executor.publish_static(array)
+            assert first == second
+            assert len(executor.active_segment_names()) == 1
+            # Copy-once semantics: later in-place mutation of the source is
+            # deliberately not propagated (plan arrays never mutate in a fit).
+            array[0] = 99.0
+            assert attach_shared_array(first)[0] == 0.0
+
+    def test_publish_static_requires_contiguous(self):
+        with SharedMemoryProcessExecutor(max_workers=1) as executor:
+            with pytest.raises(ValueError):
+                executor.publish_static(np.zeros((4, 4))[:, ::2])
+
+    def test_shutdown_unlinks_all_segments(self):
+        before = _dev_shm_entries()
+        executor = SharedMemoryProcessExecutor(max_workers=1)
+        executor.publish("a", np.zeros(1000))
+        executor.publish_static(np.ones(1000))
+        assert len(executor.active_segment_names()) == 2
+        executor.shutdown()
+        assert executor.active_segment_names() == []
+        assert _dev_shm_entries() <= before
+
+    def test_segment_cap_evicts_oldest(self):
+        with SharedMemoryProcessExecutor(max_workers=1, max_segments=2) as executor:
+            executor.publish("a", np.zeros(4))
+            executor.publish("b", np.zeros(4))
+            executor.publish("c", np.zeros(4))
+            assert len(executor.active_segment_names()) == 2
+
+    def test_plain_starmap_still_works(self):
+        # The process entry of the registry doubles as an ordinary process
+        # pool for pickled tasks (serving shards, grid-search combinations).
+        with SharedMemoryProcessExecutor(max_workers=2) as executor:
+            assert executor.starmap(divmod, [(7, 3), (9, 2)]) == [(2, 1), (4, 1)]
+
+
+# --------------------------------------------------------------------------- #
+# Cross-executor factor parity (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+def _sweep_problem(seed, n_rows=23, n_cols=11, k=4):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n_rows, n_cols)) < 0.3).astype(float)
+    if n_rows > 2:
+        dense[0] = 0.0  # keep an empty row in play
+    matrix = sp.csr_matrix(dense)
+    row_factors = rng.uniform(0.05, 0.9, size=(n_rows, k))
+    col_factors = rng.uniform(0.05, 0.9, size=(n_cols, k))
+    return matrix, row_factors, col_factors
+
+
+class TestThreeWayExecutorParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_single_sweep_parity(self, n_shards):
+        matrix, row_factors, col_factors = _sweep_problem(n_shards)
+        vectorized, vec_stats = VectorizedBackend().sweep(
+            matrix, row_factors, col_factors, regularization=0.4
+        )
+        for executor in ("serial", "thread", "process"):
+            with ParallelBackend(n_workers=2, n_shards=n_shards, executor=executor) as backend:
+                sharded, stats = backend.sweep(
+                    matrix, row_factors, col_factors, regularization=0.4
+                )
+            assert np.array_equal(vectorized, sharded), executor
+            assert stats == vec_stats, executor
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_process_training_parity(self, dtype, n_shards):
+        matrix, _spec = make_netflix_like(n_users=120, n_items=50, random_state=0)
+
+        def fit(backend):
+            model = OCuLaR(
+                n_coclusters=6,
+                regularization=5.0,
+                max_iterations=2,
+                tolerance=0.0,
+                backend=backend,
+                dtype=dtype,
+                random_state=0,
+            )
+            with pytest.warns(Warning):
+                model.fit(matrix)
+            return model
+
+        vectorized = fit("vectorized")
+        with ParallelBackend(n_workers=2, n_shards=n_shards, executor="process") as backend:
+            process = fit(backend)
+
+        assert process.factors_.user_factors.dtype == np.dtype(dtype)
+        assert np.array_equal(
+            vectorized.factors_.user_factors, process.factors_.user_factors
+        )
+        assert np.array_equal(
+            vectorized.factors_.item_factors, process.factors_.item_factors
+        )
+        np.testing.assert_array_equal(
+            vectorized.history_.objective_values, process.history_.objective_values
+        )
+
+    def test_weighted_sweep_process_parity(self):
+        # R-OCuLaR weights are baked into the plan; the shared-memory path
+        # must ship them too.
+        matrix, row_factors, col_factors = _sweep_problem(7)
+        rng = np.random.default_rng(7)
+        kwargs = dict(
+            regularization=0.4,
+            row_positive_weights=rng.uniform(0.5, 2.0, matrix.shape[0]),
+            col_positive_weights=rng.uniform(0.5, 2.0, matrix.shape[1]),
+        )
+        vectorized, _ = VectorizedBackend().sweep(matrix, row_factors, col_factors, **kwargs)
+        with ParallelBackend(n_workers=2, n_shards=3, executor="process") as backend:
+            sharded, _ = backend.sweep(matrix, row_factors, col_factors, **kwargs)
+        assert np.array_equal(vectorized, sharded)
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory lifecycle across a fit (no /dev/shm leaks)
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="requires a /dev/shm mount")
+class TestSharedMemoryFitLifecycle:
+    def test_name_configured_fit_unlinks_everything(self):
+        matrix, _spec = make_netflix_like(n_users=100, n_items=40, random_state=1)
+        before = _dev_shm_entries()
+        model = OCuLaR(
+            n_coclusters=5,
+            regularization=5.0,
+            max_iterations=2,
+            tolerance=0.0,
+            backend="parallel",
+            executor="process",
+            n_workers=2,
+            random_state=0,
+        )
+        with pytest.warns(Warning):
+            model.fit(matrix)
+        assert _dev_shm_entries() <= before
+
+    def test_borrowed_backend_cleans_up_on_exit(self):
+        matrix, _spec = make_netflix_like(n_users=100, n_items=40, random_state=1)
+        before = _dev_shm_entries()
+        with ParallelBackend(n_workers=2, n_shards=2, executor="process") as backend:
+            model = OCuLaR(
+                n_coclusters=5,
+                regularization=5.0,
+                max_iterations=2,
+                tolerance=0.0,
+                backend=backend,
+                random_state=0,
+            )
+            with pytest.warns(Warning):
+                model.fit(matrix)
+            # The fit borrowed the backend, so its segments live until the
+            # owner releases them...
+            assert len(_dev_shm_entries() - before) > 0
+        # ...which the context exit just did.
+        assert _dev_shm_entries() <= before

@@ -18,6 +18,7 @@ import scipy.sparse as sp
 
 from repro.serving import (
     TopNEngine,
+    clear_fold_in_plan_cache,
     fold_in_factors,
     fold_in_user,
     fold_in_users,
@@ -206,6 +207,86 @@ class TestFoldIn:
 
 
 # --------------------------------------------------------------------------- #
+# Fold-in plan caching
+# --------------------------------------------------------------------------- #
+class TestFoldInPlanCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_fold_in_plan_cache()
+        yield
+        clear_fold_in_plan_cache()
+
+    @pytest.fixture
+    def build_counter(self, monkeypatch):
+        from repro.core.backends.plan import SweepSide
+
+        calls = []
+        original = SweepSide.build.__func__
+
+        def counting_build(cls, *args, **kwargs):
+            calls.append(1)
+            return original(cls, *args, **kwargs)
+
+        monkeypatch.setattr(SweepSide, "build", classmethod(counting_build))
+        return calls
+
+    def test_repeated_batch_skips_plan_rebuild(self, fitted_movielens_model, build_counter):
+        model = fitted_movielens_model
+        interactions = [[3, 17, 41], [2, 9]]
+        first = fold_in_users(model, interactions)
+        builds_after_first = len(build_counter)
+        assert builds_after_first >= 1
+        second = fold_in_users(model, interactions)
+        assert len(build_counter) == builds_after_first  # cache hit: no rebuild
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_batch_rebuilds(self, fitted_movielens_model, build_counter):
+        model = fitted_movielens_model
+        fold_in_users(model, [[3, 17, 41]])
+        builds_after_first = len(build_counter)
+        fold_in_users(model, [[3, 17, 40]])
+        assert len(build_counter) > builds_after_first
+
+    def test_dtype_keys_separately(self, fitted_movielens_model, build_counter):
+        # A float32 model must not reuse a float64 batch's cached plan.
+        model = fitted_movielens_model
+        interactions = sp.csr_matrix(model.train_matrix.csr()[:2])
+        fold_in_factors(
+            model.factors_.item_factors, interactions, regularization=model.regularization
+        )
+        builds_after_first = len(build_counter)
+        folded32 = fold_in_factors(
+            model.factors_.item_factors.astype(np.float32),
+            interactions,
+            regularization=model.regularization,
+        )
+        assert len(build_counter) > builds_after_first
+        assert folded32.dtype == np.float32
+
+    def test_cached_results_match_uncached(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        interactions = [[1, 4, 9], [0, 8]]
+        warm = fold_in_users(model, interactions)
+        clear_fold_in_plan_cache()
+        cold = fold_in_users(model, interactions)
+        np.testing.assert_array_equal(warm, cold)
+
+    def test_cache_immune_to_caller_buffer_mutation(self, fitted_movielens_model):
+        # The cached side must not alias the caller's CSR buffers: mutating a
+        # previously folded matrix in place must not corrupt the cache entry
+        # keyed on its original content.
+        model = fitted_movielens_model
+        item_factors = model.factors_.item_factors
+        batch = sp.csr_matrix(model.train_matrix.csr()[:2])
+        baseline = fold_in_factors(item_factors, batch.copy(), model.regularization)
+        fold_in_factors(item_factors, batch, model.regularization)
+        batch.data[:] = 7.0  # caller mutates their buffers after the call
+        fresh = sp.csr_matrix(model.train_matrix.csr()[:2])  # original content
+        refolded = fold_in_factors(item_factors, fresh, model.regularization)
+        np.testing.assert_array_equal(refolded, baseline)
+
+
+# --------------------------------------------------------------------------- #
 # Sharded serving
 # --------------------------------------------------------------------------- #
 class TestServeSharded:
@@ -240,6 +321,23 @@ class TestServeSharded:
         engine = TopNEngine.from_model(fitted_movielens_model)
         mapping = serve_sharded(engine, [4, 8], n_items=3).as_dict()
         assert set(mapping) == {4, 8}
+
+    def test_executor_selected_by_registry_name(self, fitted_movielens_model):
+        # serve_sharded routes names through the shard-scheduler registry and
+        # owns the executor it builds (no pool leaks to worry about here).
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        users = list(range(24))
+        reference = serve_sharded(engine, users, n_items=5, shard_size=8)
+        for name in ("serial", "thread", "process"):
+            named = serve_sharded(engine, users, n_items=5, executor=name, shard_size=8)
+            assert named.n_shards == reference.n_shards
+            for expected, ranked in zip(reference.rankings, named.rankings):
+                np.testing.assert_array_equal(expected, ranked)
+
+    def test_unknown_executor_name_rejected(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        with pytest.raises(ConfigurationError):
+            serve_sharded(engine, [0], executor="spark")
 
     def test_engine_is_picklable(self, fitted_movielens_model):
         engine = TopNEngine.from_model(fitted_movielens_model)
