@@ -34,11 +34,11 @@ properties guarantee it:
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.core.backends.base import Backend, SweepStats
 from repro.core.backends.plan import SweepSide
@@ -47,8 +47,12 @@ from repro.exceptions import ConfigurationError
 from repro.parallel.scheduler import ShardScheduler
 from repro.parallel.shared_memory import (
     SharedArraySpec,
+    SharedCsrSpec,
     SharedMemoryProcessExecutor,
     attach_shared_array,
+    attach_shared_csr,
+    close_stale_attachments,
+    register_attachment_holder,
 )
 from repro.utils.validation import check_positive_int
 
@@ -81,12 +85,13 @@ def shard_ranges(start: int, stop: int, n_shards: int) -> List[Tuple[int, int]]:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class SharedSideSpec:
-    """Shared-memory descriptors of one :class:`SweepSide` (picklable)."""
+    """Shared-memory descriptors of one :class:`SweepSide` (picklable).
 
-    shape: Tuple[int, int]
-    data: SharedArraySpec
-    indices: SharedArraySpec
-    indptr: SharedArraySpec
+    Composes the system-wide :class:`SharedCsrSpec` for the matrix, plus the
+    side's per-entry arrays.
+    """
+
+    csr: SharedCsrSpec
     row_index: SharedArraySpec
     entry_weights: Optional[SharedArraySpec]
 
@@ -98,6 +103,20 @@ class SharedSideSpec:
 _WORKER_SIDES: Dict[SharedSideSpec, SweepSide] = {}
 
 
+def _side_segment_names() -> list[str]:
+    """Segment names the cached sweep sides still view (must stay mapped)."""
+    names = []
+    for spec in _WORKER_SIDES:
+        names.extend(spec.csr.segment_names())
+        names.append(spec.row_index.shm_name)
+        if spec.entry_weights is not None:
+            names.append(spec.entry_weights.shm_name)
+    return names
+
+
+register_attachment_holder(_side_segment_names)
+
+
 def _attach_side(spec: SharedSideSpec) -> SweepSide:
     """Rebuild a :class:`SweepSide` over shared-memory buffers (worker side)."""
     side = _WORKER_SIDES.get(spec)
@@ -106,15 +125,8 @@ def _attach_side(spec: SharedSideSpec) -> SweepSide:
             # A worker outliving several fits would otherwise pin stale
             # mappings; the cache is tiny (2 sides per fit), so just reset.
             _WORKER_SIDES.clear()
-        matrix = sp.csr_matrix(spec.shape, dtype=np.dtype(spec.data.dtype))
-        # Assign the CSR arrays directly: the buffers are already a valid
-        # canonical CSR (they came from the publisher's matrix), and the
-        # constructor's validation pass would copy them out of shared memory.
-        matrix.data = attach_shared_array(spec.data)
-        matrix.indices = attach_shared_array(spec.indices)
-        matrix.indptr = attach_shared_array(spec.indptr)
         side = SweepSide(
-            matrix=matrix,
+            matrix=attach_shared_csr(spec.csr),
             row_index=attach_shared_array(spec.row_index),
             entry_weights=(
                 None
@@ -123,6 +135,11 @@ def _attach_side(spec: SharedSideSpec) -> SweepSide:
             ),
         )
         _WORKER_SIDES[spec] = side
+        # A cache miss marks a new fit reaching this worker: close mappings
+        # of segments no cache still views (dead fits' plans, stale factor
+        # slots), or a warm pool refitting in a loop would pin every past
+        # fit's unlinked memory.  Registered holders protect live views.
+        close_stale_attachments(())
     return side
 
 
@@ -203,6 +220,17 @@ class ParallelBackend(Backend):
         self._scheduler = ShardScheduler(
             executor, max_workers=self.n_workers if isinstance(executor, str) else None
         )
+        # Keys this backend published on a shared-memory executor, so a
+        # backend borrowing someone else's executor (e.g. the runtime's warm
+        # pool) can remove exactly its own footprint on shutdown.
+        self._published_keys: set = set()
+        # Shared-memory sweeps publish into slots keyed by (name, shape,
+        # dtype): two concurrent sweeps through one backend (a refit racing
+        # a fold-in on the runtime's warm pool) would overwrite each other's
+        # factor bytes mid-task.  The lock serialises publish+dispatch of
+        # the shared-memory path; the thread/serial paths pass arrays by
+        # reference and need no serialisation.
+        self._sweep_lock = threading.Lock()
 
     def _sweep_rows(
         self,
@@ -234,27 +262,33 @@ class ParallelBackend(Backend):
         executor = self._scheduler.executor
         common = (regularization, sigma, beta, max_backtracks)
         if isinstance(executor, SharedMemoryProcessExecutor):
-            side_spec = self._publish_side(executor, plan)
-            row_spec = executor.publish(
-                ("row_factors", row_factors.shape, row_factors.dtype.str), row_factors
-            )
-            col_spec = executor.publish(
-                ("col_factors", col_factors.shape, col_factors.dtype.str), col_factors
-            )
-            tasks = [
-                (side_spec, row_spec, col_spec, *common, shard_start, shard_stop, total_col_sum)
-                for shard_start, shard_stop in shards
-            ]
-            worker = _sweep_shard_shared
+            with self._sweep_lock:
+                side_spec = self._publish_side(executor, plan)
+                row_spec = self._publish_slot(
+                    executor,
+                    ("row_factors", row_factors.shape, row_factors.dtype.str),
+                    row_factors,
+                )
+                col_spec = self._publish_slot(
+                    executor,
+                    ("col_factors", col_factors.shape, col_factors.dtype.str),
+                    col_factors,
+                )
+                tasks = [
+                    (side_spec, row_spec, col_spec, *common, shard_start, shard_stop, total_col_sum)
+                    for shard_start, shard_stop in shards
+                ]
+                # starmap returns results in submission (= shard) order, so
+                # stitching is deterministic no matter which shard finishes
+                # first.  Dispatch stays under the lock: the slots must not
+                # be refreshed by another sweep while workers read them.
+                results = executor.starmap(_sweep_shard_shared, tasks)
         else:
             tasks = [
                 (plan, row_factors, col_factors, *common, shard_start, shard_stop, total_col_sum)
                 for shard_start, shard_stop in shards
             ]
-            worker = self._inner._sweep_rows
-        # starmap returns results in submission (= shard) order, so stitching
-        # is deterministic no matter which shard finishes first.
-        results = executor.starmap(worker, tasks)
+            results = executor.starmap(self._inner._sweep_rows, tasks)
         factors = np.concatenate([shard_factors for shard_factors, _ in results], axis=0)
         stats = SweepStats.combined(shard_stats for _, shard_stats in results)
         return factors, stats
@@ -262,9 +296,24 @@ class ParallelBackend(Backend):
     # ------------------------------------------------------------------ #
     # Shared-memory publication
     # ------------------------------------------------------------------ #
-    @staticmethod
+    def _publish_slot(
+        self, executor: SharedMemoryProcessExecutor, key, array: np.ndarray
+    ) -> SharedArraySpec:
+        """Publish a refreshable slot, remembering the key for cleanup."""
+        spec = executor.publish(key, array)
+        self._published_keys.add(key)
+        return spec
+
+    def _publish_static(
+        self, executor: SharedMemoryProcessExecutor, array: np.ndarray
+    ) -> SharedArraySpec:
+        """Publish write-once data, remembering its slot key for cleanup."""
+        spec = executor.publish_static(array)
+        self._published_keys.add(("static", id(array)))
+        return spec
+
     def _publish_side(
-        executor: SharedMemoryProcessExecutor, plan: SweepSide
+        self, executor: SharedMemoryProcessExecutor, plan: SweepSide
     ) -> SharedSideSpec:
         """Place a sweep side's arrays in shared memory (copy-once per fit).
 
@@ -274,23 +323,55 @@ class ParallelBackend(Backend):
         """
         matrix = plan.matrix
         return SharedSideSpec(
-            shape=tuple(matrix.shape),
-            data=executor.publish_static(matrix.data),
-            indices=executor.publish_static(matrix.indices),
-            indptr=executor.publish_static(matrix.indptr),
-            row_index=executor.publish_static(plan.row_index),
+            csr=SharedCsrSpec(
+                shape=tuple(matrix.shape),
+                data=self._publish_static(executor, matrix.data),
+                indices=self._publish_static(executor, matrix.indices),
+                indptr=self._publish_static(executor, matrix.indptr),
+            ),
+            row_index=self._publish_static(executor, plan.row_index),
             entry_weights=(
                 None
                 if plan.entry_weights is None
-                else executor.publish_static(plan.entry_weights)
+                else self._publish_static(executor, plan.entry_weights)
             ),
         )
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
     # ------------------------------------------------------------------ #
+    def release_published(self) -> None:
+        """Unpublish every segment this backend placed on the executor.
+
+        Scoped to the backend's own keys — never executor-wide — so a
+        backend sharing a warm executor with serving publications removes
+        only its plan arrays and factor slots.  Taken under the sweep lock:
+        an in-flight sweep's workers keep their segments until the sweep
+        completes, and the next sweep simply republishes.  Long-lived
+        holders (the runtime) call this between fits so dead plans do not
+        ride the executor's LRU.
+        """
+        with self._sweep_lock:
+            executor = self._scheduler.live_executor
+            if (
+                self._published_keys
+                and isinstance(executor, SharedMemoryProcessExecutor)
+                and not executor.is_shut_down
+            ):
+                for key in self._published_keys:
+                    executor.unpublish(key)
+            self._published_keys.clear()
+
     def shutdown(self) -> None:
-        """Release workers and unlink shared memory (a later sweep recreates them)."""
+        """Release what this backend holds (a later sweep recreates it all).
+
+        An *owned* (name-configured) executor is torn down with everything
+        it contains.  A *borrowed* executor is left running — but the
+        segments this backend published on it (plan arrays, factor slots)
+        are unpublished first, so the borrower's footprint disappears while
+        the owner's pool and other publications survive.
+        """
+        self.release_published()
         self._scheduler.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

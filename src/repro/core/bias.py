@@ -30,7 +30,6 @@ from repro.core.backends import SweepPlan
 from repro.core.factors import FactorModel
 from repro.core.init import initialize_factors
 from repro.core.ocular import OCuLaR
-from repro.core.optimizer import BlockCoordinateTrainer
 from repro.data.interactions import InteractionMatrix
 
 
@@ -52,7 +51,11 @@ class BiasedOCuLaR(OCuLaR):
         self.user_biases_: Optional[np.ndarray] = None
         self.item_biases_: Optional[np.ndarray] = None
 
-    def fit(self, matrix: InteractionMatrix, callback=None) -> "BiasedOCuLaR":
+    def fit(
+        self, matrix: InteractionMatrix, callback=None, backend=None
+    ) -> "BiasedOCuLaR":
+        """Fit with biases; ``backend`` is an optional borrowed instance
+        override, exactly as in :meth:`OCuLaR.fit`."""
         csr = matrix.csr()
         n_users, n_items = csr.shape
         user_factors, item_factors = initialize_factors(
@@ -91,17 +94,8 @@ class BiasedOCuLaR(OCuLaR):
         # (and, for "parallel", its thread pool) and the precomputed sweep
         # structure are reused across the whole fit.
         plan = SweepPlan.build(csr, user_weights=user_weights, dtype=self.dtype)
-        single_step_trainer = BlockCoordinateTrainer(
-            regularization=self.regularization,
-            max_iterations=1,
-            tolerance=0.0,
-            sigma=self.sigma,
-            beta=self.beta,
-            max_backtracks=self.max_backtracks,
-            backend=self.backend,
-            n_workers=self.n_workers,
-            executor=self.executor,
-            inner_sweeps=self.inner_sweeps,
+        single_step_trainer = self._build_trainer(
+            backend, max_iterations=1, tolerance=0.0
         )
         user_aug_view = user_aug
         item_aug_view = item_aug
@@ -134,8 +128,9 @@ class BiasedOCuLaR(OCuLaR):
                 if callback is not None and callback(history.n_iterations, history):
                     break
         finally:
-            # One trainer serves every clamped iteration, so its pools and
-            # shared memory are released once, after the whole fit.
+            # One trainer serves every clamped iteration, so an owned
+            # backend's pools and shared memory are released once, after the
+            # whole fit; a borrowed (runtime-warm) backend is left running.
             single_step_trainer.shutdown()
         assert history is not None
 

@@ -154,7 +154,9 @@ class OCuLaR(Recommender):
     # ------------------------------------------------------------------ #
     # Fitting
     # ------------------------------------------------------------------ #
-    def fit(self, matrix: InteractionMatrix, callback=None) -> "OCuLaR":
+    def fit(
+        self, matrix: InteractionMatrix, callback=None, backend: Optional[Backend] = None
+    ) -> "OCuLaR":
         """Fit the co-cluster affiliation factors to a one-class matrix.
 
         Parameters
@@ -164,6 +166,13 @@ class OCuLaR(Recommender):
         callback:
             Optional ``callback(iteration, history)``; returning ``True``
             stops training early (used by the time-budgeted benchmarks).
+        backend:
+            Optional :class:`~repro.core.backends.Backend` *instance* that
+            overrides the configured backend for this fit only.  It is
+            **borrowed** — never shut down by the fit — which is how
+            :class:`~repro.runtime.RecommenderRuntime` threads one warm
+            worker pool through every fit it runs.  The model's configured
+            ``backend``/``n_workers``/``executor`` are left untouched.
         """
         csr = matrix.csr()
         user_factors, item_factors = initialize_factors(
@@ -174,31 +183,56 @@ class OCuLaR(Recommender):
             random_state=self.random_state,
             dtype=self.dtype,
         )
-        trainer = BlockCoordinateTrainer(
-            regularization=self.regularization,
-            max_iterations=self.max_iterations,
-            tolerance=self.tolerance,
-            sigma=self.sigma,
-            beta=self.beta,
-            max_backtracks=self.max_backtracks,
-            backend=self.backend,
-            n_workers=self.n_workers,
-            executor=self.executor,
-            inner_sweeps=self.inner_sweeps,
-        )
+        trainer = self._build_trainer(backend)
         user_weights = self._user_weights(csr)
         try:
             user_factors, item_factors, history = trainer.train(
                 csr, user_factors, item_factors, user_weights=user_weights, callback=callback
             )
         finally:
-            # A name-configured backend is owned by this fit: its worker
-            # pools and shared-memory segments must not outlive it.
+            # The trainer's BackendLease makes ownership explicit: a
+            # name-configured backend is owned by this fit (pools and
+            # shared-memory segments must not outlive it), while an instance
+            # — including a runtime's warm backend — is borrowed and
+            # survives.
             trainer.shutdown()
         self.factors_ = FactorModel(user_factors, item_factors)
         self.history_ = history
         self._set_train_matrix(matrix)
         return self
+
+    def _build_trainer(
+        self, backend: Optional[Backend] = None, **overrides
+    ) -> BlockCoordinateTrainer:
+        """Build the trainer for one fit, honouring a borrowed backend override.
+
+        With ``backend=None`` the trainer resolves the model's configured
+        backend (and owns it when that is a name); with an instance the
+        trainer borrows it and ``n_workers``/``executor`` — which only make
+        sense when the trainer constructs the pool itself — are not passed.
+        A non-``Backend`` override is rejected here, so every fit entry
+        point (:class:`OCuLaR` and its subclasses) enforces the
+        borrowed-instance-only contract identically.
+        """
+        if backend is not None and not isinstance(backend, Backend):
+            raise ConfigurationError(
+                "the fit backend override must be a Backend instance (a borrowed "
+                f"warm backend), got {backend!r}; configure names on the model"
+            )
+        settings = dict(
+            regularization=self.regularization,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            sigma=self.sigma,
+            beta=self.beta,
+            max_backtracks=self.max_backtracks,
+            backend=self.backend if backend is None else backend,
+            n_workers=self.n_workers if backend is None else None,
+            executor=self.executor if backend is None else None,
+            inner_sweeps=self.inner_sweeps,
+        )
+        settings.update(overrides)
+        return BlockCoordinateTrainer(**settings)
 
     def _user_weights(self, csr) -> Optional[np.ndarray]:
         """Positive-term weights; ``None`` for OCuLaR, ``w_u`` for R-OCuLaR."""

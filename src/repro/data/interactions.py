@@ -101,6 +101,34 @@ class InteractionMatrix:
         return cls(csr, user_labels=user_labels, item_labels=item_labels)
 
     @classmethod
+    def from_validated_csr(
+        cls,
+        csr: sp.csr_matrix,
+        user_labels: Optional[Sequence[str]] = None,
+        item_labels: Optional[Sequence[str]] = None,
+    ) -> "InteractionMatrix":
+        """Wrap an already-canonical binary CSR **without copying or writing**.
+
+        The normal constructor normalises its input in place (data rewritten
+        to 1.0, duplicates summed, zeros eliminated), which both copies the
+        arrays and mutates the buffers.  The shared-memory serving path
+        cannot afford either: worker processes rebuild the training matrix
+        over read-only views of segments published by another process.  This
+        trusted constructor therefore skips normalisation entirely — the
+        caller guarantees ``csr`` is a canonical CSR whose data is all 1.0
+        (e.g. it came out of :meth:`csr` on a validated matrix).
+        """
+        if not sp.issparse(csr) or csr.format != "csr":
+            raise DataError("from_validated_csr requires a scipy CSR matrix")
+        instance = cls.__new__(cls)
+        instance._csr = csr
+        instance._csc = None
+        instance._pair_set = None
+        instance.user_labels = cls._check_labels(user_labels, csr.shape[0], "user_labels")
+        instance.item_labels = cls._check_labels(item_labels, csr.shape[1], "item_labels")
+        return instance
+
+    @classmethod
     def from_dense(
         cls,
         dense: np.ndarray,

@@ -14,7 +14,11 @@ from repro.experiments.paper_reference import (
     PAPER_CLAIMS,
 )
 from repro.experiments.toy import run_toy_example, run_community_comparison
-from repro.experiments.accuracy import run_table1, run_recall_curves
+from repro.experiments.accuracy import (
+    run_precision_study,
+    run_recall_curves,
+    run_table1,
+)
 from repro.experiments.parameters import run_parameter_study
 from repro.experiments.scalability import (
     run_scalability_study,
@@ -34,6 +38,7 @@ __all__ = [
     "run_community_comparison",
     "run_table1",
     "run_recall_curves",
+    "run_precision_study",
     "run_parameter_study",
     "run_scalability_study",
     "run_worker_scaling_study",

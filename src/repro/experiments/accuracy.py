@@ -1,10 +1,12 @@
-"""Accuracy experiments: Table I and the Figure 5 recall/MAP curves.
+"""Accuracy experiments: Table I, the Figure 5 curves, and the precision study.
 
 ``run_table1`` evaluates the six Table I algorithms on one of the paper's
 (stand-in) datasets with the 75/25 repeated-hold-out protocol and returns a
 comparison table.  ``run_recall_curves`` produces recall@M and MAP@M series
 over a sweep of M for the same algorithms on the MovieLens-like corpus
-(Figure 5).
+(Figure 5).  ``run_precision_study`` fits OCuLaR at ``float32`` and
+``float64`` from identical initial factors and compares recall@M / MAP@M —
+the ROADMAP's float32 question: does halving factor memory cost accuracy?
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.ocular import OCuLaR
 from repro.data.datasets import dataset_by_name
 from repro.data.splitting import train_test_split
 from repro.evaluation.evaluator import evaluate_curves, evaluate_recommender
@@ -188,6 +191,119 @@ class RecallCurvesResult:
             + "\n\nFigure 5 (right): MAP@M\n"
             + format_table(header, map_rows)
         )
+
+
+@dataclass
+class PrecisionStudyResult:
+    """float32 vs float64 training precision on one dataset.
+
+    Attributes
+    ----------
+    dataset, m:
+        Dataset key and metric cut-off.
+    metrics:
+        ``metrics[dtype]["recall"|"map"]`` for ``dtype`` in
+        ``("float32", "float64")``.
+    factor_bytes:
+        ``factor_bytes[dtype]`` — total bytes of the fitted factor matrices,
+        the quantity float32 halves.
+    n_iterations:
+        Outer iterations each fit ran (same budget for both precisions).
+    """
+
+    dataset: str
+    m: int
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    factor_bytes: Dict[str, int] = field(default_factory=dict)
+    n_iterations: int = 0
+
+    def recall_gap(self) -> float:
+        """``recall@M(float64) - recall@M(float32)`` (positive = float64 better)."""
+        return self.metrics["float64"]["recall"] - self.metrics["float32"]["recall"]
+
+    def map_gap(self) -> float:
+        """``MAP@M(float64) - MAP@M(float32)``."""
+        return self.metrics["float64"]["map"] - self.metrics["float32"]["map"]
+
+    def memory_ratio(self) -> float:
+        """Factor memory of float32 relative to float64 (0.5 by construction)."""
+        return self.factor_bytes["float32"] / self.factor_bytes["float64"]
+
+    def to_text(self) -> str:
+        """Render the precision comparison."""
+        rows = [
+            [
+                dtype,
+                self.metrics[dtype]["recall"],
+                self.metrics[dtype]["map"],
+                f"{self.factor_bytes[dtype]:,}",
+            ]
+            for dtype in ("float64", "float32")
+        ]
+        header = ["dtype", f"recall@{self.m}", f"MAP@{self.m}", "factor bytes"]
+        title = (
+            f"float32 precision study — {self.dataset} "
+            f"({self.n_iterations} iterations)"
+        )
+        verdict = (
+            f"recall gap (float64 - float32): {self.recall_gap():+.4f}, "
+            f"MAP gap: {self.map_gap():+.4f}, "
+            f"factor memory ratio: {self.memory_ratio():.2f}"
+        )
+        return title + "\n" + format_table(header, rows) + "\n" + verdict
+
+
+def run_precision_study(
+    dataset: str = "movielens",
+    m: int = 50,
+    scale: float = 0.5,
+    max_users: Optional[int] = 150,
+    n_coclusters: Optional[int] = None,
+    regularization: Optional[float] = None,
+    max_iterations: int = 60,
+    tolerance: float = 1e-5,
+    random_state: RandomStateLike = 0,
+) -> PrecisionStudyResult:
+    """Fit OCuLaR at float32 and float64 and compare recall@M / MAP@M.
+
+    Both fits share the dataset, the split, the evaluated users, the
+    hyper-parameters and the random seed (so the float32 run starts from the
+    float32 cast of the same initial factors).  At converged tolerances the
+    expected recall@M gap is zero up to split noise — single precision only
+    perturbs iterates well below the scale ranking cares about — while the
+    factor memory is exactly halved.
+    """
+    matrix, _spec = dataset_by_name(dataset, random_state=random_state, scale=scale)
+    split = train_test_split(matrix, test_fraction=0.25, random_state=random_state)
+    seeds = spawn_seeds(random_state, 1)
+    users = _subsample_users(split, max_users, seeds[0])
+    defaults = DATASET_ZOO_DEFAULTS.get(dataset, {})
+    if n_coclusters is None:
+        n_coclusters = defaults.get("n_coclusters", 20)
+    if regularization is None:
+        regularization = defaults.get("regularization", 10.0)
+
+    result = PrecisionStudyResult(dataset=dataset, m=m)
+    for dtype in ("float64", "float32"):
+        model = OCuLaR(
+            n_coclusters=n_coclusters,
+            regularization=regularization,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+            dtype=dtype,
+            random_state=random_state,
+        )
+        model.fit(split.train)
+        evaluation = evaluate_recommender(model, split, m=m, users=users)
+        result.metrics[dtype] = {
+            "recall": float(evaluation.recall),
+            "map": float(evaluation.map),
+        }
+        result.factor_bytes[dtype] = int(
+            model.factors_.user_factors.nbytes + model.factors_.item_factors.nbytes
+        )
+        result.n_iterations = max(result.n_iterations, model.history_.n_iterations)
+    return result
 
 
 def run_recall_curves(

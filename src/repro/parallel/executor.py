@@ -55,6 +55,7 @@ class _PoolExecutor:
 
     def __init__(self, pool: concurrent.futures.Executor) -> None:
         self._pool = pool
+        self._shut_down = False
 
     def map(self, function: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``function`` to each item concurrently; results keep input order."""
@@ -85,8 +86,21 @@ class _PoolExecutor:
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
-        """Release the worker pool."""
+        """Release the worker pool.
+
+        Waits for in-flight tasks, then tears the pool down.  Idempotent:
+        lifecycle code (trainer ``finally`` blocks, context exits, a runtime
+        ``close``) may run more than once and a second call is a no-op.
+        """
+        if self._shut_down:
+            return
+        self._shut_down = True
         self._pool.shutdown()
+
+    @property
+    def is_shut_down(self) -> bool:
+        """Whether :meth:`shutdown` has completed."""
+        return self._shut_down
 
     def __enter__(self) -> "_PoolExecutor":
         return self

@@ -87,7 +87,8 @@ def resolve_executor(executor: Any, max_workers: Optional[int] = None) -> Any:
         return factory(max_workers)
     if not hasattr(executor, "starmap"):
         raise ConfigurationError(
-            f"executor must be a registered name or expose starmap, got {executor!r}"
+            f"executor must be a registered name ({available_executors()}) or an "
+            f"instance exposing starmap, got {executor!r}"
         )
     if max_workers is not None:
         raise ConfigurationError(
@@ -134,10 +135,28 @@ class ShardScheduler:
         return self._spec
 
     @property
+    def owns_executor(self) -> bool:
+        """Whether :meth:`shutdown` tears the executor down.
+
+        True iff the scheduler was configured with a *name* (it builds and
+        owns the executor); a borrowed instance is never shut down here.
+        """
+        return self._owns_executor
+
+    @property
     def executor(self) -> Any:
         """The live executor, constructing it on first access."""
         if self._executor is None:
             self._executor = _EXECUTOR_FACTORIES[self._spec](self._max_workers)
+        return self._executor
+
+    @property
+    def live_executor(self) -> Any:
+        """The executor if one is currently built, else ``None``.
+
+        Unlike :attr:`executor` this never constructs — cleanup paths use it
+        to avoid spinning up a pool just to shut it down.
+        """
         return self._executor
 
     def map(self, function: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
@@ -151,7 +170,12 @@ class ShardScheduler:
         return self.executor.starmap(function, argument_tuples)
 
     def shutdown(self) -> None:
-        """Release the owned executor (a later use recreates it)."""
+        """Release the owned executor (a later use recreates it).
+
+        Idempotent — a second call (or a call on a scheduler that never
+        built its executor) is a no-op — and never touches a borrowed
+        instance: the owner that passed it in keeps its lifecycle.
+        """
         if self._executor is not None and self._owns_executor:
             self._executor.shutdown()
             self._executor = None

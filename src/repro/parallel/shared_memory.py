@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Callable, Collection, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.parallel.executor import _PoolExecutor, _resolve_workers
 
@@ -59,6 +61,25 @@ class SharedArraySpec:
     def nbytes(self) -> int:
         """Size of the described array in bytes."""
         return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class SharedCsrSpec:
+    """Shared-memory descriptors of one CSR matrix (picklable).
+
+    The three-array (``data``/``indices``/``indptr``) form every CSR
+    publication in the system uses — the training plan sides and the
+    serving seen-mask both compose it.
+    """
+
+    shape: Tuple[int, int]
+    data: "SharedArraySpec"
+    indices: "SharedArraySpec"
+    indptr: "SharedArraySpec"
+
+    def segment_names(self) -> list:
+        """Names of the segments backing this matrix."""
+        return [self.data.shm_name, self.indices.shm_name, self.indptr.shm_name]
 
 
 def _unregister_attachment(segment: shared_memory.SharedMemory) -> None:
@@ -104,20 +125,76 @@ def attach_shared_array(spec: SharedArraySpec) -> np.ndarray:
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
 
 
+def attach_shared_csr(spec: SharedCsrSpec) -> sp.csr_matrix:
+    """Rebuild a CSR matrix over shared buffers (worker side, zero-copy).
+
+    The arrays are assigned directly — they are already a canonical CSR from
+    the publisher, and the constructor's validation pass would copy them out
+    of shared memory.  Callers must treat the result as read-only.
+    """
+    matrix = sp.csr_matrix(spec.shape, dtype=np.dtype(spec.data.dtype))
+    matrix.data = attach_shared_array(spec.data)
+    matrix.indices = attach_shared_array(spec.indices)
+    matrix.indptr = attach_shared_array(spec.indptr)
+    return matrix
+
+
+#: Worker-side caches that hold NumPy views over attached segments register a
+#: provider of the segment names they currently reference.  Closing a mapping
+#: that a cached object still views is a **use-after-unmap segfault** —
+#: ``SharedMemory.close()`` does NOT fail while ndarray views exist — so
+#: :func:`close_stale_attachments` may only close names no provider claims.
+_ATTACHMENT_HOLDERS: List[Callable[[], Collection[str]]] = []
+
+
+def register_attachment_holder(provider: Callable[[], Collection[str]]) -> None:
+    """Register a provider of segment names a worker-side cache references."""
+    _ATTACHMENT_HOLDERS.append(provider)
+
+
+def close_stale_attachments(active: Collection[str]) -> int:
+    """Close cached attachments outside ``active`` + every holder's claims.
+
+    A long-lived worker that serves successive model generations (or
+    per-call fold-in blocks) would otherwise keep every old segment mapped
+    forever — the publisher's unlink removes the ``/dev/shm`` *name*, not
+    existing mappings.  Only run between tasks of the single-threaded worker
+    loop: names claimed by a registered holder (cached sweep sides, cached
+    engines) are never touched, because closing a mapped view segfaults on
+    the next read.  Returns the number of attachments closed.
+    """
+    protected = set(active)
+    for provider in _ATTACHMENT_HOLDERS:
+        protected.update(provider())
+    closed = 0
+    for name in list(_ATTACHMENTS):
+        if name in protected:
+            continue
+        try:
+            _ATTACHMENTS[name].close()
+        except Exception:  # pragma: no cover - platform-specific close errors
+            continue
+        del _ATTACHMENTS[name]
+        closed += 1
+    return closed
+
+
 class _Segment:
     """One owned shared-memory segment plus its publication bookkeeping."""
 
-    __slots__ = ("memory", "spec", "pinned")
+    __slots__ = ("memory", "spec", "pinned", "evictable")
 
     def __init__(
         self,
         memory: shared_memory.SharedMemory,
         spec: SharedArraySpec,
         pinned: Optional[np.ndarray],
+        evictable: bool = True,
     ) -> None:
         self.memory = memory
         self.spec = spec
         self.pinned = pinned
+        self.evictable = evictable
 
 
 class SharedMemoryProcessExecutor(_PoolExecutor):
@@ -145,6 +222,12 @@ class SharedMemoryProcessExecutor(_PoolExecutor):
             raise ValueError("max_segments must be at least 1")
         self._max_segments = max_segments
         self._segments: "OrderedDict[Hashable, _Segment]" = OrderedDict()
+        # The segment table is shared by every publisher thread — a serving
+        # runtime publishes per-call fold-in blocks from request threads
+        # while a refit publishes sweep slots from the training thread.
+        # All table access (publish/unpublish/evict/shutdown) holds this
+        # lock; task submission itself is the pool's own thread-safe path.
+        self._segments_lock = threading.RLock()
         super().__init__(
             concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
         )
@@ -152,26 +235,35 @@ class SharedMemoryProcessExecutor(_PoolExecutor):
     # ------------------------------------------------------------------ #
     # Publication
     # ------------------------------------------------------------------ #
-    def publish(self, key: Hashable, array: np.ndarray) -> SharedArraySpec:
+    def publish(
+        self, key: Hashable, array: np.ndarray, evictable: bool = True
+    ) -> SharedArraySpec:
         """Place (or refresh) a mutable slot in shared memory.
 
         The slot identified by ``key`` keeps its segment as long as the
         published shape and dtype stay the same; the bytes are rewritten on
         every call, so per-sweep data like factor matrices costs one memcpy
         per sweep rather than one pickle per task.
+
+        ``evictable=False`` exempts the slot from the ``max_segments`` LRU —
+        for publications that must stay attachable until explicitly
+        unpublished (a serving runtime's live model generation), where a
+        silent eviction would surface as ``FileNotFoundError`` in a worker.
         """
         array = np.ascontiguousarray(array)
-        segment = self._segments.get(key)
-        if segment is not None and (
-            segment.spec.shape != array.shape or segment.spec.dtype != array.dtype.str
-        ):
-            self._unlink(key)
-            segment = None
-        if segment is None:
-            segment = self._allocate(key, array, pinned=None)
-        self._segments.move_to_end(key)
-        self._view(segment)[...] = array
-        return segment.spec
+        with self._segments_lock:
+            segment = self._segments.get(key)
+            if segment is not None and (
+                segment.spec.shape != array.shape
+                or segment.spec.dtype != array.dtype.str
+            ):
+                self._unlink(key)
+                segment = None
+            if segment is None:
+                segment = self._allocate(key, array, pinned=None, evictable=evictable)
+            self._segments.move_to_end(key)
+            self._view(segment)[...] = array
+            return segment.spec
 
     def publish_static(self, array: np.ndarray) -> SharedArraySpec:
         """Place write-once data in shared memory, copying at most once.
@@ -190,33 +282,86 @@ class SharedMemoryProcessExecutor(_PoolExecutor):
                 "(a non-contiguous source would silently republish every call)"
             )
         key = ("static", id(array))
-        segment = self._segments.get(key)
-        if segment is not None and segment.pinned is array:
-            self._segments.move_to_end(key)
+        with self._segments_lock:
+            segment = self._segments.get(key)
+            if segment is not None and segment.pinned is array:
+                self._segments.move_to_end(key)
+                return segment.spec
+            segment = self._allocate(key, array, pinned=array)
+            self._view(segment)[...] = array
             return segment.spec
-        segment = self._allocate(key, array, pinned=array)
-        self._view(segment)[...] = array
-        return segment.spec
+
+    def unpublish(self, key: Hashable) -> bool:
+        """Unlink one published slot; returns whether the key was live.
+
+        The model-version swap of the serving runtime uses this: a new
+        generation's segments are published under fresh keys, then the old
+        generation is unpublished.  Workers still attached to the old
+        segments keep valid mappings (POSIX unlink removes the name, not
+        existing maps), so in-flight tasks finish safely while the
+        ``/dev/shm`` entries disappear immediately.
+        """
+        with self._segments_lock:
+            if key not in self._segments:
+                return False
+            self._unlink(key)
+            return True
+
+    def release_static(self) -> int:
+        """Unlink every ``publish_static`` segment; returns how many.
+
+        Static segments are pinned to their source arrays for the duration
+        of one computation (a fit's plan arrays).  A long-lived executor
+        reused across many fits calls this between them so dead plans do not
+        ride the LRU until eviction.
+        """
+        with self._segments_lock:
+            static_keys = [
+                key
+                for key in self._segments
+                if isinstance(key, tuple) and key and key[0] == "static"
+            ]
+            for key in static_keys:
+                self._unlink(key)
+            return len(static_keys)
 
     def active_segment_names(self) -> list[str]:
         """Names of every segment this executor currently owns (for tests)."""
-        return [segment.spec.shm_name for segment in self._segments.values()]
+        with self._segments_lock:
+            return [segment.spec.shm_name for segment in self._segments.values()]
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _allocate(
-        self, key: Hashable, array: np.ndarray, pinned: Optional[np.ndarray]
+        self,
+        key: Hashable,
+        array: np.ndarray,
+        pinned: Optional[np.ndarray],
+        evictable: bool = True,
     ) -> _Segment:
+        if self.is_shut_down:
+            raise RuntimeError(
+                "cannot publish to a shut-down SharedMemoryProcessExecutor; "
+                "segments created now would never be unlinked"
+            )
         while len(self._segments) >= self._max_segments:
-            oldest = next(iter(self._segments))
+            # Evict the least recently used *evictable* segment.  Pinned-off
+            # (non-evictable) publications are skipped: max_segments is a
+            # soft cap, and silently unlinking a live serving generation
+            # would be far worse than exceeding it.
+            oldest = next(
+                (k for k, seg in self._segments.items() if seg.evictable), None
+            )
+            if oldest is None:
+                break
             self._unlink(oldest)
         # Zero-size arrays (empty matrices) still need a valid segment.
         memory = shared_memory.SharedMemory(create=True, size=max(int(array.nbytes), 1))
         spec = SharedArraySpec(
             shm_name=memory.name, shape=tuple(array.shape), dtype=array.dtype.str
         )
-        segment = _Segment(memory=memory, spec=spec, pinned=pinned)
+        segment = _Segment(memory=memory, spec=spec, pinned=pinned, evictable=evictable)
         self._segments[key] = segment
         return segment
 
@@ -240,10 +385,19 @@ class SharedMemoryProcessExecutor(_PoolExecutor):
     # Lifecycle
     # ------------------------------------------------------------------ #
     def shutdown(self) -> None:
-        """Unlink every owned segment and release the worker pool."""
-        for key in list(self._segments):
-            self._unlink(key)
+        """Drain the worker pool, then unlink every owned segment.
+
+        The pool is shut down first (waiting for in-flight tasks) so a task
+        that has not yet attached its descriptors never races a disappearing
+        segment; only then are the segments unlinked.  Idempotent, like the
+        base executor's shutdown.
+        """
+        if self.is_shut_down:
+            return
         super().shutdown()
+        with self._segments_lock:
+            for key in list(self._segments):
+                self._unlink(key)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,12 @@
+"""Long-lived recommender runtime (the paper's persistent deployment shape).
+
+:class:`RecommenderRuntime` owns one warm executor for its whole life and
+threads it through training (warm-pool fits/refits), publication (factor
+matrices and the seen-mask in shared memory, once per model version) and
+serving (process shards carry only descriptors).  See
+:mod:`repro.runtime.service` for the full story.
+"""
+
+from repro.runtime.service import RecommenderRuntime, ServingStats
+
+__all__ = ["RecommenderRuntime", "ServingStats"]

@@ -1,0 +1,593 @@
+"""The long-lived recommender runtime: warm pools + published serving state.
+
+The paper's deployment (Section VIII) is a persistent service: models are
+retrained on a schedule and serve heavy top-N traffic in between.  The
+one-shot lifecycle of ``OCuLaR(...).fit(...)`` cannot express that — every
+name-configured fit builds a worker pool, uses it for one fit, and tears it
+down (correct for ``/dev/shm`` hygiene, wasteful for a service that refits
+hourly), and every ``serve_sharded`` call republishes or pickles its engine.
+
+:class:`RecommenderRuntime` owns the long-lived resources exactly once:
+
+* **one warm executor** (resolved through the
+  :mod:`repro.parallel.scheduler` registry) lives for the whole runtime and
+  is *borrowed* — never shut down — by everything the runtime drives:
+  :meth:`fit` / :meth:`refit` thread it through the trainer via a borrowed
+  :class:`~repro.core.backends.ParallelBackend`, fold-in sweeps run on it,
+  and serving shards fan out on it.  Pool start-up is paid once, not once
+  per fit (``benchmarks/bench_runtime.py`` measures the difference);
+
+* **one publication per model version**: :meth:`publish` pushes the trained
+  factor matrices and the CSR seen-mask through the
+  :class:`~repro.parallel.shared_memory.SharedArraySpec` machinery, so every
+  process-sharded :meth:`topn` / :meth:`recommend_folded` call ships only
+  ``(row_range, descriptors)`` — no factor bytes per task — and workers
+  attach zero-copy.  Rankings are byte-identical to the single-process
+  :class:`~repro.serving.engine.TopNEngine`;
+
+* **generation swap semantics**: :meth:`update` republishes under a fresh
+  generation and retires the old one — unlinked immediately when idle, or
+  when its last in-flight serving call drains (each call holds a reference
+  on the generation it snapshotted), so a swap never races a worker that
+  has yet to attach.  Workers prune stale attachments when the new
+  generation reaches them.  On :meth:`close` (or context exit) the owned
+  executor is drained and every segment unlinked — ``/dev/shm`` is
+  verifiably clean afterwards, which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.backends import ParallelBackend
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
+from repro.serving.batch import BatchServingResult, _serve_shard
+from repro.serving.engine import DEFAULT_CHUNK_SIZE, TopNEngine
+from repro.core.factors import FactorModel
+from repro.serving.fold_in import _interactions_to_csr, fold_in_scores
+from repro.serving.shared import (
+    SharedEngineSpec,
+    _rank_scored_shard,
+    _topn_shard,
+    next_generation,
+    publish_csr,
+    publish_engine,
+    unpublish_engine,
+)
+from repro.utils.validation import check_positive_int
+
+
+def _probe_pid(task_index: int) -> int:
+    """Worker-side probe used by :meth:`RecommenderRuntime.worker_pids`.
+
+    The short sleep keeps the probe task alive long enough that the pool
+    spreads the batch over several workers instead of letting one worker
+    drain the queue.
+    """
+    time.sleep(0.005)
+    return os.getpid()
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """How the last serving call was dispatched (introspection for tests).
+
+    Attributes
+    ----------
+    path:
+        ``"shared"`` when shards carried only shm descriptors, ``"local"``
+        when the engine ran in (or was shipped from) the calling process.
+    n_shards:
+        Number of shard tasks dispatched.
+    generation:
+        Generation of the published engine the call served from (shared
+        path only).
+    spec_bytes:
+        Pickled size of the :class:`~repro.serving.shared.SharedEngineSpec`
+        — the entire model-dependent payload of a shared-path task.  A few
+        hundred bytes regardless of model size; compare with the megabytes
+        a pickled engine costs per task.
+    max_task_bytes:
+        Pickled size of the largest complete task tuple (descriptors plus
+        the shard's user list / row range).
+    """
+
+    path: str
+    n_shards: int
+    generation: Optional[int] = None
+    spec_bytes: Optional[int] = None
+    max_task_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class _PublishedSolver:
+    """Frozen fold-in view of one model version, captured at publish time.
+
+    Serving must keep answering from the published version even after the
+    runtime refits the *same model object* (which replaces its ``factors_``
+    in place on the instance).  This snapshot pins the
+    :class:`~repro.core.factors.FactorModel` and the solver constants the
+    fold-in subproblem needs; it quacks like a fitted model for
+    :func:`~repro.serving.fold_in.fold_in_users`.
+    """
+
+    factors_: FactorModel
+    regularization: float
+    sigma: float
+    beta: float
+    max_backtracks: int
+
+
+class RecommenderRuntime:
+    """Warm-pool training and zero-copy serving under one lifecycle.
+
+    Parameters
+    ----------
+    executor:
+        Executor name from the :mod:`repro.parallel.scheduler` registry
+        (``"process"`` — the default and the reason this class exists —
+        ``"thread"`` or ``"serial"``), or a prebuilt instance.  A name is
+        owned: the runtime builds the executor once and shuts it down in
+        :meth:`close`.  An instance is borrowed: the runtime unpublishes its
+        own segments on close but leaves the executor running.
+    max_workers:
+        Pool size for a name-built executor (default: the CPU count).
+    n_shards:
+        Shards per training sweep and default serving fan-out width
+        (default: the pool size).
+    chunk_size:
+        Users per BLAS call inside the serving engine (and the default
+        serving shard size, so one shard is one chunk in the worker).
+
+    Typical service loop::
+
+        with RecommenderRuntime(executor="process", max_workers=8) as runtime:
+            runtime.fit(OCuLaR(n_coclusters=100, regularization=10.0), matrix)
+            runtime.publish()                       # model version 1 serves
+            lists = runtime.topn(range(matrix.n_users), n_items=10)
+            ...
+            runtime.refit(new_matrix)               # same warm pool
+            runtime.update()                        # swap to version 2
+        # pool drained, every /dev/shm segment unlinked
+    """
+
+    def __init__(
+        self,
+        executor="process",
+        max_workers: Optional[int] = None,
+        n_shards: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        # Validate everything cheap BEFORE the scheduler builds the executor
+        # — a pool spawned and then abandoned by a constructor error would
+        # leak worker processes with no handle to close them.
+        if n_shards is not None:
+            check_positive_int(n_shards, "n_shards")
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self._scheduler = ShardScheduler(executor, max_workers=max_workers)
+        # Built eagerly: the runtime's whole point is holding the pool warm.
+        self._executor = self._scheduler.executor
+        if n_shards is None:
+            n_shards = (
+                getattr(self._executor, "max_workers", None)
+                or max_workers
+                or os.cpu_count()
+                or 1
+            )
+        self.n_shards = int(n_shards)
+        # Borrowed by every fit and fold-in this runtime runs: the trainer's
+        # BackendLease sees an instance and never shuts it down.
+        self._backend = ParallelBackend(n_shards=self.n_shards, executor=self._executor)
+        self.model = None
+        self.train_matrix = None
+        self.generation = 0
+        self.last_serving_stats: Optional[ServingStats] = None
+        self._engine: Optional[TopNEngine] = None
+        self._published: Optional[SharedEngineSpec] = None
+        self._published_model = None
+        # Serving calls in flight per publication generation, and retired
+        # generations whose unlink waits for their last in-flight call — a
+        # swap must never pull segments out from under a call that already
+        # snapshotted them (a worker that had not attached yet would fail).
+        self._inflight: Dict[int, int] = {}
+        self._retired: Dict[int, SharedEngineSpec] = {}
+        self._swap_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self):
+        """The warm executor every fit and serving call runs on."""
+        return self._executor
+
+    @property
+    def backend(self) -> ParallelBackend:
+        """The warm training backend (borrowed by fits; never torn down by them)."""
+        return self._backend
+
+    @property
+    def engine(self) -> Optional[TopNEngine]:
+        """The serving engine of the currently published model version."""
+        return self._engine
+
+    @property
+    def published_spec(self) -> Optional[SharedEngineSpec]:
+        """Descriptors of the published generation (``None`` on the local path)."""
+        return self._published
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def worker_pids(self, n_probes: Optional[int] = None) -> Set[int]:
+        """PIDs observed executing probe tasks on the warm pool.
+
+        For a process executor this is a subset of the pool's worker PIDs —
+        stable across fits iff the pool is genuinely warm, which the
+        test-suite asserts.  Thread and serial executors report the calling
+        process.
+        """
+        self._check_open()
+        if n_probes is None:
+            n_probes = 4 * (getattr(self._executor, "max_workers", None) or 1)
+        return set(self._executor.map(_probe_pid, range(n_probes)))
+
+    # ------------------------------------------------------------------ #
+    # Training on the warm pool
+    # ------------------------------------------------------------------ #
+    def fit(self, model, matrix, callback=None):
+        """Fit ``model`` on ``matrix`` using the runtime's warm pool.
+
+        Models whose ``fit`` accepts a ``backend`` override (the OCuLaR
+        family) train through the runtime's borrowed
+        :class:`~repro.core.backends.ParallelBackend` — their own configured
+        backend is neither used nor modified, and the pool survives the fit.
+        Other recommenders (the baselines) fit as themselves.  The fitted
+        model becomes the runtime's current model; call :meth:`publish` to
+        serve it.
+        """
+        self._check_open()
+        if "backend" in inspect.signature(model.fit).parameters:
+            model.fit(matrix, callback=callback, backend=self._backend)
+        elif callback is not None:
+            model.fit(matrix, callback=callback)
+        else:
+            model.fit(matrix)
+        self.model = model
+        self.train_matrix = matrix
+        # The fit's plan arrays are dead weight between fits; drop them now
+        # instead of letting them ride the executor's LRU.  Scoped to the
+        # warm backend's own keys (and serialised against its in-flight
+        # sweeps), so concurrent fold-ins and other executor users are
+        # untouched.
+        self._backend.release_published()
+        return model
+
+    def refit(self, matrix=None, callback=None):
+        """Refit the current model (on ``matrix`` or the stored one), warm pool."""
+        if self.model is None:
+            raise NotFittedError("refit requires a previous runtime.fit")
+        target = self.train_matrix if matrix is None else matrix
+        if target is None:
+            raise ConfigurationError("refit needs a matrix (none stored)")
+        return self.fit(self.model, target, callback=callback)
+
+    # ------------------------------------------------------------------ #
+    # Publication / model-version swap
+    # ------------------------------------------------------------------ #
+    def publish(self, model=None) -> int:
+        """Make ``model`` (default: the last fitted) the serving version.
+
+        Builds the serving engine and — on a shared-memory process executor
+        with a factor-path engine — publishes its factor matrices and CSR
+        seen-mask once, under a fresh generation.  The previously published
+        generation is unlinked after the swap — immediately when idle, or as
+        soon as its last in-flight serving call completes (each call holds a
+        reference on the generation it snapshotted, so a swap can never pull
+        segments out from under it).  Returns the runtime's generation
+        number.
+        """
+        self._check_open()
+        model = self.model if model is None else model
+        if model is None or not getattr(model, "is_fitted", False):
+            raise NotFittedError("publish requires a fitted model")
+        engine = TopNEngine.from_model(model, chunk_size=self.chunk_size)
+        spec = None
+        if (
+            isinstance(self._executor, SharedMemoryProcessExecutor)
+            and engine.factors is not None
+        ):
+            spec = publish_engine(self._executor, engine)
+        factors = getattr(model, "factors_", None)
+        solver = (
+            _PublishedSolver(
+                factors_=factors,
+                regularization=getattr(model, "regularization", 0.0),
+                sigma=getattr(model, "sigma", 0.1),
+                beta=getattr(model, "beta", 0.5),
+                max_backtracks=getattr(model, "max_backtracks", 20),
+            )
+            if isinstance(factors, FactorModel)
+            else None
+        )
+        with self._swap_lock:
+            previous = self._published
+            self.model = model
+            self._engine = engine
+            self._published = spec
+            self._published_model = solver
+            self.generation += 1
+            generation = self.generation
+            if previous is not None and self._inflight.get(previous.generation):
+                # Unlink deferred to _release_spec of the last in-flight call.
+                self._retired[previous.generation] = previous
+                previous = None
+        if previous is not None:
+            unpublish_engine(self._executor, previous)
+        return generation
+
+    def update(self, model=None) -> int:
+        """Swap the serving state to a new model version.
+
+        Alias of :meth:`publish` with swap-first phrasing: republishes the
+        segments under a new generation and unlinks the old one.
+        """
+        return self.publish(model)
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def topn(
+        self,
+        users: Sequence[int],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        shard_size: Optional[int] = None,
+    ) -> BatchServingResult:
+        """Top-``n_items`` lists for ``users``, sharded over the warm pool.
+
+        On the shared path each task carries only the published engine's
+        descriptors and its user shard; rankings are ``np.array_equal`` to
+        the single-process engine's for every user.  Thread-safe: concurrent
+        calls may interleave with :meth:`update` and each call serves one
+        consistent model version.
+        """
+        self._check_open()
+        engine, spec, _model, generation = self._serving_snapshot()
+        try:
+            user_list = [int(user) for user in users]
+            if shard_size is None:
+                shard_size = engine.chunk_size
+            check_positive_int(shard_size, "shard_size")
+            shards = [
+                user_list[start : start + shard_size]
+                for start in range(0, len(user_list), shard_size)
+            ]
+            if spec is not None and shards:
+                tasks = [(spec, shard, n_items, exclude_seen) for shard in shards]
+                shard_results = self._executor.starmap(_topn_shard, tasks)
+                stats = self._shared_stats(spec, generation, tasks, key=lambda t: len(t[1]))
+            else:
+                shard_results = self._scheduler.starmap(
+                    _serve_shard,
+                    [(engine, shard, n_items, exclude_seen) for shard in shards],
+                )
+                stats = ServingStats(path="local", n_shards=len(shards))
+        finally:
+            self._release_spec(spec)
+        rankings: List[np.ndarray] = []
+        for result in shard_results:
+            rankings.extend(result)
+        self.last_serving_stats = stats
+        return BatchServingResult(
+            users=user_list, rankings=rankings, n_shards=len(shards)
+        )
+
+    def recommend_folded(
+        self,
+        interactions,
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        n_sweeps: int = 30,
+        tolerance: float = 1e-8,
+        shard_size: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Cold-start serving through the runtime.
+
+        Folds the unseen interaction vectors into the **published** model
+        version — the one :meth:`topn` serves, even if a later :meth:`fit`
+        has since replaced :attr:`model` — on the warm backend (all backends
+        sweep bit-identically, so the folded factors match a vectorized fold
+        exactly), scores them, and ranks: on the shared path the score block
+        and the seen-mask are published once for the call and each shard
+        task ranks its ``(row_range)`` from descriptors; rankings equal
+        :func:`repro.serving.fold_in.recommend_folded` exactly.
+        """
+        self._check_open()
+        engine, spec, model, generation = self._serving_snapshot()
+        try:
+            if engine.factors is None:
+                raise ConfigurationError(
+                    "cold-start serving requires a factor-path model version"
+                )
+            csr = _interactions_to_csr(interactions, engine.n_items)
+            scores = fold_in_scores(
+                engine,
+                csr,
+                model=model,  # the publish-time solver snapshot (or None)
+                n_sweeps=n_sweeps,
+                tolerance=tolerance,
+                backend=self._backend,
+            )
+            n_rows = scores.shape[0]
+            if spec is None or n_rows == 0:
+                self.last_serving_stats = ServingStats(path="local", n_shards=1)
+                return engine.rank_scored(
+                    scores, n_items=n_items, seen=csr if exclude_seen else None
+                )
+            if shard_size is None:
+                shard_size = max(1, -(-n_rows // self.n_shards))
+            check_positive_int(shard_size, "shard_size")
+            # Non-evictable like the engine segments: these are unpublished
+            # in the ``finally`` below, so pinning them costs nothing, and a
+            # silent LRU eviction under concurrent-call pressure would fail
+            # a worker's attach mid-call.
+            call_key = ("folded", next_generation())
+            scores_spec = self._executor.publish(
+                call_key + ("scores",), scores, evictable=False
+            )
+            seen_spec = (
+                publish_csr(self._executor, csr, call_key + ("seen",), evictable=False)
+                if exclude_seen
+                else None
+            )
+            try:
+                ranges = [
+                    (start, min(start + shard_size, n_rows))
+                    for start in range(0, n_rows, shard_size)
+                ]
+                tasks = [
+                    (spec, scores_spec, seen_spec, start, stop, n_items)
+                    for start, stop in ranges
+                ]
+                shard_results = self._executor.starmap(_rank_scored_shard, tasks)
+            finally:
+                self._executor.unpublish(call_key + ("scores",))
+                if seen_spec is not None:
+                    for field in ("data", "indices", "indptr"):
+                        self._executor.unpublish(call_key + ("seen", field))
+        finally:
+            self._release_spec(spec)
+        self.last_serving_stats = self._shared_stats(
+            spec, generation, tasks, key=lambda task: 0
+        )
+        lists: List[np.ndarray] = []
+        for result in shard_results:
+            lists.extend(result)
+        return lists
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release everything the runtime owns; idempotent.
+
+        An owned (name-built) executor is drained — in-flight serving tasks
+        finish — and then every shared-memory segment it holds is unlinked,
+        leaving ``/dev/shm`` clean.  A borrowed executor instance is left
+        running; only the runtime's own publications are unlinked from it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._swap_lock:
+            candidates = [self._published, *self._retired.values()]
+            self._published = None
+            self._published_model = None
+            self._retired.clear()
+            self._engine = None
+            idle, busy = [], []
+            for spec in candidates:
+                if spec is None:
+                    continue
+                (busy if self._inflight.get(spec.generation) else idle).append(spec)
+            # Generations with serving calls still in flight go back on the
+            # retired list: _release_spec unlinks each when its last call
+            # drains, exactly like a publish-time swap.  (Only reachable on
+            # a borrowed executor — the owned path below drains the pool
+            # before any unlink.)
+            for spec in busy:
+                self._retired[spec.generation] = spec
+        if not self._scheduler.owns_executor:
+            # Borrowed executor: remove exactly the runtime's idle
+            # publications and leave everything else (the backend's shutdown
+            # below does the same for its plan/factor slots).
+            for spec in idle:
+                unpublish_engine(self._executor, spec)
+        self._backend.shutdown()
+        self._scheduler.shutdown()
+
+    def __enter__(self) -> "RecommenderRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _serving_snapshot(self):
+        """One consistent (engine, spec, model, generation) view for a serving call.
+
+        When the snapshot carries a published spec, the call also takes a
+        reference on its generation; the caller **must** pair this with
+        :meth:`_release_spec` (``try``/``finally``) so a retired generation
+        is unlinked exactly when its last call drains.
+        """
+        with self._swap_lock:
+            engine = self._engine
+            spec = self._published
+            model = self._published_model
+            generation = self.generation
+            if spec is not None:
+                self._inflight[spec.generation] = (
+                    self._inflight.get(spec.generation, 0) + 1
+                )
+        if engine is None:
+            raise NotFittedError(
+                "no model version is published; call runtime.publish() first"
+            )
+        return engine, spec, model, generation
+
+    def _release_spec(self, spec: Optional[SharedEngineSpec]) -> None:
+        """Drop a serving call's generation reference; unlink if retired + idle."""
+        if spec is None:
+            return
+        retired = None
+        with self._swap_lock:
+            count = self._inflight.get(spec.generation, 0) - 1
+            if count > 0:
+                self._inflight[spec.generation] = count
+            else:
+                self._inflight.pop(spec.generation, None)
+                retired = self._retired.pop(spec.generation, None)
+        if retired is not None:
+            unpublish_engine(self._executor, retired)
+
+    def _shared_stats(self, spec, generation, tasks, key) -> ServingStats:
+        """Stats for a shared-path call, pickling one representative task.
+
+        ``starmap`` already serialised every task; re-pickling the whole
+        list just for a statistic would double that work on the hot path,
+        so only the task ``key`` selects as largest is measured.
+        """
+        return ServingStats(
+            path="shared",
+            n_shards=len(tasks),
+            generation=generation,
+            spec_bytes=len(pickle.dumps(spec)),
+            max_task_bytes=len(pickle.dumps(max(tasks, key=key))),
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("the runtime is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"generation={self.generation}"
+        return (
+            f"{type(self).__name__}(executor={self._scheduler.executor_name!r}, "
+            f"n_shards={self.n_shards}, {state})"
+        )

@@ -17,6 +17,13 @@ from repro.serving.fold_in import (
     fold_in_users,
     recommend_folded,
 )
+from repro.serving.shared import (
+    SharedCsrSpec,
+    SharedEngineSpec,
+    attach_engine,
+    publish_engine,
+    unpublish_engine,
+)
 
 __all__ = [
     "TopNEngine",
@@ -27,4 +34,9 @@ __all__ = [
     "fold_in_user",
     "fold_in_users",
     "recommend_folded",
+    "SharedCsrSpec",
+    "SharedEngineSpec",
+    "attach_engine",
+    "publish_engine",
+    "unpublish_engine",
 ]

@@ -5,8 +5,17 @@ chunked :class:`~repro.serving.engine.TopNEngine` already removes the
 per-user Python overhead; this module adds the scale-out axis, splitting the
 user list into shards and mapping them over an executor resolved through the
 :mod:`repro.parallel.scheduler` registry — by name (``"thread"`` for
-BLAS-bound scoring, ``"process"`` when the model is cheap to pickle,
-``"serial"`` for tests) or as a prebuilt instance.
+BLAS-bound scoring, ``"process"`` for GIL-free workers, ``"serial"`` for
+tests) or as a prebuilt instance.
+
+When the executor is a
+:class:`~repro.parallel.shared_memory.SharedMemoryProcessExecutor` (the
+``"process"`` registry entry) and the engine runs on the factor path, the
+engine is **published, not pickled**: its factor matrices and seen-mask go
+to shared memory once for the whole call and each shard task carries only a
+:class:`~repro.serving.shared.SharedEngineSpec` — no factor bytes per task.
+Rankings are unchanged; the workers run the same engine kernels over the
+same bytes.
 
 Executors return results in submission order, so the output is order-stable:
 the list of rankings is aligned with the input users no matter which
@@ -20,8 +29,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.parallel import ShardScheduler
+from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
 from repro.serving.engine import TopNEngine
+from repro.serving.shared import _topn_shard, publish_engine, unpublish_engine
 from repro.utils.validation import check_positive_int
 
 
@@ -68,9 +78,11 @@ def serve_sharded(
     Parameters
     ----------
     engine:
-        The scoring engine; shipped to workers, so it must be picklable
-        when a :class:`~repro.parallel.ProcessExecutor` is used (it is —
-        the engine holds only arrays and sparse matrices).
+        The scoring engine.  Factor-path engines served on a
+        :class:`~repro.parallel.SharedMemoryProcessExecutor` are published
+        to shared memory (descriptors per task, zero factor bytes); on any
+        other process executor — or for model-path engines — the engine is
+        pickled per shard, so it must be picklable there.
     users:
         Users to serve, any order, duplicates allowed.
     n_items:
@@ -96,9 +108,23 @@ def serve_sharded(
     # The scheduler owns a name-built executor (shut down on exit) and
     # borrows an instance (left running for its owner).
     with ShardScheduler("serial" if executor is None else executor) as scheduler:
-        shard_results = scheduler.starmap(
-            _serve_shard, [(engine, shard, n_items, exclude_seen) for shard in shards]
-        )
+        live = scheduler.executor if shards else None
+        if isinstance(live, SharedMemoryProcessExecutor) and engine.factors is not None:
+            # Descriptor path: one publication per call, no factor bytes per
+            # task.  Unpublished in ``finally`` so a borrowed executor is
+            # left exactly as it was handed in.
+            spec = publish_engine(live, engine)
+            try:
+                shard_results = scheduler.starmap(
+                    _topn_shard,
+                    [(spec, shard, n_items, exclude_seen) for shard in shards],
+                )
+            finally:
+                unpublish_engine(live, spec)
+        else:
+            shard_results = scheduler.starmap(
+                _serve_shard, [(engine, shard, n_items, exclude_seen) for shard in shards]
+            )
     rankings: List[np.ndarray] = []
     for result in shard_results:
         rankings.extend(result)

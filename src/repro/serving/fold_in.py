@@ -19,13 +19,14 @@ once.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.backends import Backend, SweepSide, get_backend
+from repro.core.backends import Backend, BackendLease, SweepSide
 from repro.core.factors import FactorModel
 from repro.data.interactions import InteractionMatrix
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
@@ -85,8 +86,14 @@ def _interactions_to_csr(interactions: InteractionsLike, n_items: int) -> sp.csr
 #: batches reuse the prior plan instead.  Keyed on a content digest of the
 #: batch's CSR arrays plus the training dtype, so any change to the
 #: interactions (or a float32 vs float64 model) misses cleanly.
+#:
+#: The cache is shared by every thread of a serving runtime, so all access
+#: goes through :data:`_SIDE_CACHE_LOCK` — a plain dict-based LRU corrupts
+#: (lost inserts, ``move_to_end`` on evicted keys) when concurrent
+#: ``fold_in_users`` calls race on it.
 _SIDE_CACHE: "OrderedDict[Tuple, SweepSide]" = OrderedDict()
 _SIDE_CACHE_SIZE = 16
+_SIDE_CACHE_LOCK = threading.Lock()
 
 
 def _side_cache_key(interactions: sp.csr_matrix, dtype: np.dtype) -> Tuple:
@@ -98,25 +105,35 @@ def _side_cache_key(interactions: sp.csr_matrix, dtype: np.dtype) -> Tuple:
 
 
 def _cached_sweep_side(interactions: sp.csr_matrix, dtype: np.dtype) -> SweepSide:
-    """Return the sweep side for a fold-in batch, reusing identical batches."""
+    """Return the sweep side for a fold-in batch, reusing identical batches.
+
+    Thread-safe: the digest is computed outside the lock (pure function of
+    the inputs), the lookup/insert/evict critical sections hold it.  Two
+    threads presenting the same new batch may both build a side; the second
+    insert simply wins — both sides are equivalent, so correctness is
+    unaffected and the build happens outside the lock.
+    """
     key = _side_cache_key(interactions, dtype)
-    side = _SIDE_CACHE.get(key)
-    if side is None:
-        # Build from a private copy: SweepSide.build may alias the caller's
-        # CSR buffers, and a cached side must stay frozen at the digested
-        # content even if the caller later mutates their matrix in place.
-        side = SweepSide.build(interactions.copy(), dtype=dtype)
+    with _SIDE_CACHE_LOCK:
+        side = _SIDE_CACHE.get(key)
+        if side is not None:
+            _SIDE_CACHE.move_to_end(key)
+            return side
+    # Build from a private copy: SweepSide.build may alias the caller's
+    # CSR buffers, and a cached side must stay frozen at the digested
+    # content even if the caller later mutates their matrix in place.
+    side = SweepSide.build(interactions.copy(), dtype=dtype)
+    with _SIDE_CACHE_LOCK:
         _SIDE_CACHE[key] = side
         while len(_SIDE_CACHE) > _SIDE_CACHE_SIZE:
             _SIDE_CACHE.popitem(last=False)
-    else:
-        _SIDE_CACHE.move_to_end(key)
     return side
 
 
 def clear_fold_in_plan_cache() -> None:
     """Drop every cached fold-in sweep side (e.g. between unrelated models)."""
-    _SIDE_CACHE.clear()
+    with _SIDE_CACHE_LOCK:
+        _SIDE_CACHE.clear()
 
 
 def fold_in_factors(
@@ -173,9 +190,10 @@ def fold_in_factors(
     check_unit_interval_open(beta, "beta")
     check_positive_int(max_backtracks, "max_backtracks")
     # A backend built here from a name is owned by this call; its pools and
-    # shared memory (process executor) must not outlive the fold-in.
-    owns_backend = not isinstance(backend, Backend)
-    backend = get_backend(backend)
+    # shared memory (process executor) must not outlive the fold-in.  An
+    # instance — e.g. a runtime's warm backend — is borrowed and survives.
+    lease = BackendLease(backend)
+    backend = lease.backend
 
     n_items, n_coclusters = item_factors.shape
     interactions = sp.csr_matrix(interactions)
@@ -229,8 +247,7 @@ def fold_in_factors(
             if change / reference < tolerance:
                 break
     finally:
-        if owns_backend:
-            backend.shutdown()
+        lease.release()
     return factors
 
 
@@ -240,6 +257,7 @@ def fold_in_users(
     n_sweeps: int = 30,
     tolerance: float = 1e-8,
     init: Optional[np.ndarray] = None,
+    backend: Optional[Union[Backend, str]] = None,
 ) -> np.ndarray:
     """Fold a batch of unseen users into a fitted OCuLaR-family model.
 
@@ -255,6 +273,11 @@ def fold_in_users(
         matrix of shape ``(m, n_items)``, or an :class:`InteractionMatrix`.
     n_sweeps, tolerance, init:
         See :func:`fold_in_factors`.
+    backend:
+        Optional override of the model's configured backend — a borrowed
+        instance (e.g. a runtime's warm pool) or a name.  All backends
+        produce bit-identical sweeps, so the override changes where the
+        work runs, never the folded factors.
 
     Returns
     -------
@@ -269,7 +292,7 @@ def fold_in_users(
         factors.item_factors,
         csr,
         regularization=getattr(model, "regularization", 0.0),
-        backend=getattr(model, "backend", "vectorized"),
+        backend=getattr(model, "backend", "vectorized") if backend is None else backend,
         n_sweeps=n_sweeps,
         tolerance=tolerance,
         sigma=getattr(model, "sigma", 0.1),
@@ -297,6 +320,7 @@ def recommend_folded(
     exclude_seen: bool = True,
     n_sweeps: int = 30,
     tolerance: float = 1e-8,
+    backend: Optional[Union[Backend, str]] = None,
 ) -> list[np.ndarray]:
     """Serve top-N lists for users that are not in the training matrix.
 
@@ -314,12 +338,38 @@ def recommend_folded(
         Optional fitted model to read the solver constants
         (regularisation, backend, line-search) from; defaults to the
         OCuLaR defaults when omitted.
+    backend:
+        Optional backend override for the fold-in sweeps (see
+        :func:`fold_in_users`); the rankings are unaffected.
     """
     if engine.factors is None:
         raise ConfigurationError("cold-start serving requires a factor-path TopNEngine")
     csr = _interactions_to_csr(interactions, engine.n_items)
+    scores = fold_in_scores(
+        engine, csr, model=model, n_sweeps=n_sweeps, tolerance=tolerance, backend=backend
+    )
+    return engine.rank_scored(scores, n_items=n_items, seen=csr if exclude_seen else None)
+
+
+def fold_in_scores(
+    engine,
+    csr: sp.csr_matrix,
+    model=None,
+    n_sweeps: int = 30,
+    tolerance: float = 1e-8,
+    backend: Optional[Union[Backend, str]] = None,
+) -> np.ndarray:
+    """Fold a cold-start CSR batch in and return its dense score block.
+
+    The fold-and-score half of :func:`recommend_folded`, shared with the
+    runtime's cold-start path (which ranks the block through shard workers
+    instead of in process).  ``csr`` must already be validated against the
+    engine's catalogue (:func:`_interactions_to_csr`).
+    """
     if model is not None:
-        folded = fold_in_users(model, csr, n_sweeps=n_sweeps, tolerance=tolerance)
+        folded = fold_in_users(
+            model, csr, n_sweeps=n_sweeps, tolerance=tolerance, backend=backend
+        )
         # Score with the same item factors the users were folded against
         # (``model.factors_``).  For bias-extended models these are the plain
         # co-cluster columns: cold users have no learned bias, so cold-start
@@ -330,10 +380,10 @@ def recommend_folded(
             engine.factors.item_factors,
             csr,
             regularization=0.0,
+            backend="vectorized" if backend is None else backend,
             n_sweeps=n_sweeps,
             tolerance=tolerance,
         )
         item_factors = engine.factors.item_factors
     affinities = folded @ item_factors.T
-    scores = 1.0 - np.exp(-affinities)
-    return engine.rank_scored(scores, n_items=n_items, seen=csr if exclude_seen else None)
+    return 1.0 - np.exp(-affinities)

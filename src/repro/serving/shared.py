@@ -1,0 +1,244 @@
+"""Zero-copy shared-memory serving: publish a ``TopNEngine`` as descriptors.
+
+``serve_sharded(executor="process")`` originally pickled the whole
+:class:`~repro.serving.engine.TopNEngine` — factor matrices and training CSR
+included — into every shard task, which swamps task dispatch for any model
+worth sharding.  This module removes that cost with the same
+:class:`~repro.parallel.shared_memory.SharedArraySpec` machinery the training
+engine uses: the engine's factor matrices and the training-CSR seen-mask are
+placed in shared memory **once per model version**, and shard tasks carry
+only a :class:`SharedEngineSpec` — a handful of segment names — plus their
+user lists.  Workers attach the segments zero-copy and rebuild an engine
+whose rankings are byte-identical to the publishing process's engine (the
+arrays are literally the same bytes and the kernels are the same code).
+
+Producers: :func:`publish_engine` / :func:`unpublish_engine` (used per call
+by :func:`~repro.serving.batch.serve_sharded`, and per model *generation* by
+:class:`~repro.runtime.RecommenderRuntime`, which holds one publication
+across many serving calls and swaps it atomically on model updates).
+
+Workers: :func:`attach_engine` caches the rebuilt engine per spec; when a new
+generation arrives it drops engines of old generations and closes their now
+unreferenced attachments, so long-lived workers do not accumulate mappings of
+unlinked segments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.interactions import InteractionMatrix
+from repro.core.factors import FactorModel
+from repro.parallel.shared_memory import (
+    SharedArraySpec,
+    SharedCsrSpec,
+    SharedMemoryProcessExecutor,
+    attach_shared_array,
+    attach_shared_csr,
+    close_stale_attachments,
+    register_attachment_holder,
+)
+from repro.serving.engine import TopNEngine
+
+
+@dataclass(frozen=True)
+class SharedEngineSpec:
+    """Everything a worker needs to rebuild a factor-path ``TopNEngine``.
+
+    Pickles to a few hundred bytes regardless of model size — this is the
+    entire per-task payload of descriptor-based sharded serving, next to the
+    shard's user list.
+    """
+
+    generation: int
+    chunk_size: int
+    user_factors: SharedArraySpec
+    item_factors: SharedArraySpec
+    seen: SharedCsrSpec
+
+    def segment_names(self) -> List[str]:
+        """Names of every segment backing this engine."""
+        return [
+            self.user_factors.shm_name,
+            self.item_factors.shm_name,
+            *self.seen.segment_names(),
+        ]
+
+
+#: Process-wide source of unique publication generations.  ``itertools.count``
+#: is atomic under the GIL, so concurrent publishers never collide on keys.
+_GENERATIONS = itertools.count(1)
+
+
+def next_generation() -> int:
+    """Reserve a fresh, process-unique publication generation."""
+    return next(_GENERATIONS)
+
+
+def _engine_keys(generation: int) -> List[Tuple]:
+    """The executor slot keys one engine generation occupies.
+
+    The single source of truth for the key layout — :func:`publish_engine`
+    and :func:`unpublish_engine` both derive from it, so they cannot drift.
+    """
+    return [
+        ("engine", generation, "user_factors"),
+        ("engine", generation, "item_factors"),
+        ("engine", generation, "seen", "data"),
+        ("engine", generation, "seen", "indices"),
+        ("engine", generation, "seen", "indptr"),
+    ]
+
+
+def publish_csr(
+    executor: SharedMemoryProcessExecutor,
+    matrix: sp.csr_matrix,
+    key_prefix: Tuple,
+    evictable: bool = True,
+) -> SharedCsrSpec:
+    """Publish a CSR matrix's three arrays under ``key_prefix``-derived keys."""
+    return SharedCsrSpec(
+        shape=tuple(matrix.shape),
+        data=executor.publish(key_prefix + ("data",), matrix.data, evictable=evictable),
+        indices=executor.publish(
+            key_prefix + ("indices",), matrix.indices, evictable=evictable
+        ),
+        indptr=executor.publish(
+            key_prefix + ("indptr",), matrix.indptr, evictable=evictable
+        ),
+    )
+
+
+def publish_engine(
+    executor: SharedMemoryProcessExecutor,
+    engine: TopNEngine,
+    generation: Optional[int] = None,
+) -> SharedEngineSpec:
+    """Place an engine's factor matrices and seen-mask in shared memory.
+
+    One copy per array per model version; the returned spec is the complete
+    task payload for :func:`_topn_shard`.  Requires a factor-path engine —
+    model-path engines have no arrays to share and must be pickled instead.
+    """
+    if engine.factors is None:
+        raise ValueError(
+            "publish_engine requires a factor-path TopNEngine; model-path "
+            "engines must be shipped by value"
+        )
+    if generation is None:
+        generation = next_generation()
+    csr = engine.train_matrix.csr()
+    user_key, item_key = _engine_keys(generation)[:2]
+    # Non-evictable: a published model version must stay attachable until
+    # unpublish_engine — LRU churn from per-call publications (fold-in
+    # blocks) must never silently unlink a generation workers still serve.
+    return SharedEngineSpec(
+        generation=generation,
+        chunk_size=engine.chunk_size,
+        user_factors=executor.publish(
+            user_key, engine.factors.user_factors, evictable=False
+        ),
+        item_factors=executor.publish(
+            item_key, engine.factors.item_factors, evictable=False
+        ),
+        seen=publish_csr(
+            executor, csr, ("engine", generation, "seen"), evictable=False
+        ),
+    )
+
+
+def unpublish_engine(
+    executor: SharedMemoryProcessExecutor, spec: SharedEngineSpec
+) -> None:
+    """Unlink one published engine generation.
+
+    Safe while serving tasks are in flight: workers already attached keep
+    valid mappings until their processes exit or prune them; only the
+    ``/dev/shm`` names disappear now.
+    """
+    for key in _engine_keys(spec.generation):
+        executor.unpublish(key)
+
+
+#: Worker-process-local cache of rebuilt engines, keyed by spec.  A serving
+#: burst sends many shard tasks with one spec; the engine is rebuilt once.
+_WORKER_ENGINES: Dict[SharedEngineSpec, TopNEngine] = {}
+
+
+def _engine_segment_names() -> List[str]:
+    """Segment names the cached engines still view (must stay mapped)."""
+    return [
+        name for spec in _WORKER_ENGINES for name in spec.segment_names()
+    ]
+
+
+register_attachment_holder(_engine_segment_names)
+
+
+def attach_engine(spec: SharedEngineSpec) -> TopNEngine:
+    """Rebuild (or fetch the cached) engine for ``spec`` inside a worker.
+
+    A spec the worker has not seen marks a generation swap: cached engines
+    of other generations are dropped and their attachments closed, so the
+    worker's mapped memory tracks the live model rather than every model it
+    ever served.
+    """
+    engine = _WORKER_ENGINES.get(spec)
+    if engine is None:
+        for old_spec in [s for s in _WORKER_ENGINES if s != spec]:
+            del _WORKER_ENGINES[old_spec]
+        train_matrix = InteractionMatrix.from_validated_csr(attach_shared_csr(spec.seen))
+        factors = FactorModel(
+            attach_shared_array(spec.user_factors),
+            attach_shared_array(spec.item_factors),
+        )
+        engine = TopNEngine(
+            train_matrix, factors=factors, chunk_size=spec.chunk_size
+        )
+        _WORKER_ENGINES[spec] = engine
+        close_stale_attachments(set(spec.segment_names()))
+    return engine
+
+
+def _topn_shard(
+    spec: SharedEngineSpec, users: List[int], n_items: int, exclude_seen: bool
+) -> List[np.ndarray]:
+    """Serve one user shard from shared-memory descriptors (worker side)."""
+    return attach_engine(spec).recommend_batch(
+        users, n_items=n_items, exclude_seen=exclude_seen
+    )
+
+
+def _rank_scored_shard(
+    spec: SharedEngineSpec,
+    scores: SharedArraySpec,
+    seen: Optional[SharedCsrSpec],
+    start: int,
+    stop: int,
+    n_items: int,
+) -> List[np.ndarray]:
+    """Rank rows ``[start, stop)`` of a published score block (worker side).
+
+    Used by the runtime's cold-start path: the fold-in scores are published
+    once per call and each shard ranks its row slice.  Per-row ranking is
+    row-independent, so the slice's rankings are bitwise the rankings the
+    single-process :meth:`TopNEngine.rank_scored` produces for those rows.
+    """
+    engine = attach_engine(spec)
+    score_rows = attach_shared_array(scores)[start:stop]
+    seen_rows = attach_shared_csr(seen)[start:stop] if seen is not None else None
+    ranked = engine.rank_scored(score_rows, n_items=n_items, seen=seen_rows)
+    # The score/seen segments are per *call*, not per model version: drop
+    # their attachments now (the views above die with this frame) or a
+    # cold-start service would grow one mapped block per call until the next
+    # generation swap.  Segments any worker-side cache still views — this
+    # engine, other cached engines, the training plan sides — are protected
+    # by the registered attachment holders.
+    del score_rows, seen_rows
+    close_stale_attachments(set(spec.segment_names()))
+    return ranked

@@ -14,6 +14,7 @@ from repro.experiments import (
     run_deployment_example,
     run_grid_search_experiment,
     run_parameter_study,
+    run_precision_study,
     run_recall_curves,
     run_scalability_study,
     run_table1,
@@ -294,6 +295,28 @@ class TestGridSearchExperiment:
         assert not np.isnan(result.grid).any()
         assert result.best_fine["score"] >= np.nanmax(result.grid) - 1e-12
         assert "Figure 9" in result.to_text()
+
+
+class TestPrecisionStudy:
+    def test_float32_halves_memory_with_matching_structure(self):
+        result = run_precision_study(
+            scale=0.15,
+            max_users=40,
+            n_coclusters=8,
+            max_iterations=15,
+            tolerance=1e-4,
+            random_state=0,
+        )
+        assert set(result.metrics) == {"float32", "float64"}
+        for dtype in ("float32", "float64"):
+            assert 0.0 <= result.metrics[dtype]["recall"] <= 1.0
+            assert 0.0 <= result.metrics[dtype]["map"] <= 1.0
+        # The memory claim is exact by construction; the accuracy-parity
+        # claim at full benchmark scale lives in bench_float32_accuracy.py.
+        assert result.memory_ratio() == 0.5
+        assert result.factor_bytes["float64"] > 0
+        text = result.to_text()
+        assert "float32" in text and "memory ratio" in text
 
 
 class TestDeploymentExperiment:

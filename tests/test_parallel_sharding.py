@@ -134,8 +134,17 @@ class TestExecutorRegistry:
         assert resolve_executor(executor) is executor
 
     def test_unknown_name_rejected(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as excinfo:
             resolve_executor("spark")
+        # The error teaches: every registered name is listed.
+        for name in available_executors():
+            assert name in str(excinfo.value)
+
+    def test_non_executor_error_lists_registered_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_executor(object())
+        assert "serial" in str(excinfo.value)
+        assert "process" in str(excinfo.value)
 
     def test_instance_with_max_workers_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -179,9 +188,21 @@ class TestShardScheduler:
         with ThreadExecutor(max_workers=2) as executor:
             scheduler = ShardScheduler(executor)
             assert scheduler.executor is executor
+            assert not scheduler.owns_executor
             scheduler.shutdown()
+            scheduler.shutdown()  # idempotent on a borrowed instance too
             # The borrowed executor must survive the scheduler's shutdown.
             assert executor.map(abs, [-3]) == [3]
+
+    def test_owned_scheduler_reports_ownership_and_live_executor(self):
+        scheduler = ShardScheduler("serial")
+        assert scheduler.owns_executor
+        assert scheduler.live_executor is None  # lazy: nothing built yet
+        scheduler.map(abs, [-1])
+        assert scheduler.live_executor is not None
+        scheduler.shutdown()
+        assert scheduler.live_executor is None
+        scheduler.shutdown()  # double shutdown is a no-op
 
     def test_context_manager(self):
         with ShardScheduler("thread", max_workers=2) as scheduler:
@@ -281,11 +302,67 @@ class TestSharedMemoryPublication:
             executor.publish("c", np.zeros(4))
             assert len(executor.active_segment_names()) == 2
 
+    def test_non_evictable_segments_survive_lru_churn(self):
+        with SharedMemoryProcessExecutor(max_workers=1, max_segments=3) as executor:
+            pinned = executor.publish("model", np.arange(4.0), evictable=False)
+            for call in range(6):  # churn past the cap with per-call slots
+                executor.publish(("call", call), np.zeros(4))
+            # The pinned publication is never the eviction victim...
+            assert pinned.shm_name in executor.active_segment_names()
+            np.testing.assert_array_equal(attach_shared_array(pinned), np.arange(4.0))
+            # ...but an explicit unpublish still removes it.
+            assert executor.unpublish("model") is True
+
+    def test_all_non_evictable_exceeds_soft_cap(self):
+        with SharedMemoryProcessExecutor(max_workers=1, max_segments=2) as executor:
+            for index in range(4):
+                executor.publish(("pin", index), np.zeros(2), evictable=False)
+            # max_segments is a soft cap: pinned slots are not sacrificed.
+            assert len(executor.active_segment_names()) == 4
+
     def test_plain_starmap_still_works(self):
         # The process entry of the registry doubles as an ordinary process
         # pool for pickled tasks (serving shards, grid-search combinations).
         with SharedMemoryProcessExecutor(max_workers=2) as executor:
             assert executor.starmap(divmod, [(7, 3), (9, 2)]) == [(2, 1), (4, 1)]
+
+    def test_unpublish_single_slot(self):
+        before = _dev_shm_entries()
+        with SharedMemoryProcessExecutor(max_workers=1) as executor:
+            spec = executor.publish("slot", np.zeros(8))
+            assert spec.shm_name in _dev_shm_entries()
+            assert executor.unpublish("slot") is True
+            assert spec.shm_name not in _dev_shm_entries()
+            assert executor.active_segment_names() == []
+            # Unknown keys report False instead of raising.
+            assert executor.unpublish("slot") is False
+            assert executor.unpublish("never-published") is False
+        assert _dev_shm_entries() <= before
+
+    def test_release_static_only_drops_static_segments(self):
+        with SharedMemoryProcessExecutor(max_workers=1) as executor:
+            slot = executor.publish("slot", np.zeros(4))
+            executor.publish_static(np.ones(4))
+            executor.publish_static(np.full(4, 2.0))
+            assert executor.release_static() == 2
+            assert executor.active_segment_names() == [slot.shm_name]
+            assert executor.release_static() == 0
+
+    def test_double_shutdown_is_idempotent(self):
+        executor = SharedMemoryProcessExecutor(max_workers=1)
+        executor.publish("slot", np.zeros(4))
+        executor.shutdown()
+        assert executor.is_shut_down
+        executor.shutdown()  # second call must be a no-op, not an error
+        assert executor.active_segment_names() == []
+
+    def test_publish_after_shutdown_rejected(self):
+        executor = SharedMemoryProcessExecutor(max_workers=1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.publish("slot", np.zeros(4))
+        with pytest.raises(RuntimeError):
+            executor.publish_static(np.zeros(4))
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,465 @@
+"""Tests for the long-lived recommender runtime: warm pools, zero-copy
+serving publication, model-version swaps, and shm hygiene on exit."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.backends import BackendLease, ParallelBackend, VectorizedBackend
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import make_netflix_like
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.parallel import SharedMemoryProcessExecutor
+from repro.runtime import RecommenderRuntime
+from repro.serving import TopNEngine, recommend_folded, serve_sharded
+from repro.serving.shared import _topn_shard
+
+
+def _dev_shm_entries() -> set:
+    """Current /dev/shm entries (empty set where the mount does not exist)."""
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    matrix, _spec = make_netflix_like(n_users=150, n_items=60, random_state=0)
+    return matrix
+
+
+def _model(**overrides):
+    settings = dict(
+        n_coclusters=6,
+        regularization=5.0,
+        max_iterations=3,
+        tolerance=0.0,
+        random_state=0,
+    )
+    settings.update(overrides)
+    return OCuLaR(**settings)
+
+
+@pytest.fixture(scope="module")
+def fitted_reference(corpus):
+    """A vectorized fit plus its single-process serving engine."""
+    # Module-scoped, so it runs outside the function-scoped warning
+    # silencer; the tiny iteration budget's convergence warning is expected.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model = _model().fit(corpus)
+    return model, TopNEngine.from_model(model)
+
+
+# --------------------------------------------------------------------------- #
+# Warm pool across fits
+# --------------------------------------------------------------------------- #
+class TestWarmPool:
+    def test_worker_pids_stable_across_three_fits(self, corpus):
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            initial = runtime.worker_pids()
+            assert initial and os.getpid() not in initial
+            for seed in (1, 2):
+                runtime.fit(_model(random_state=seed), corpus)
+                # A warm pool never restarts its processes, so every PID
+                # observed after later fits was already serving fit #1.
+                assert runtime.worker_pids() <= initial
+
+    def test_fit_backend_override_is_borrowed_and_config_untouched(self, corpus):
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            model = _model(backend="vectorized")
+            runtime.fit(model, corpus)
+            assert model.backend == "vectorized"  # config not mutated
+            assert model.is_fitted
+            # The warm executor survived the fit (a borrower never shuts down).
+            assert runtime.executor.starmap(divmod, [(7, 3)]) == [(2, 1)]
+
+    def test_warm_fit_factors_match_vectorized(self, corpus, fitted_reference):
+        reference, _engine = fitted_reference
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            warm = runtime.fit(_model(), corpus)
+            assert np.array_equal(
+                reference.factors_.user_factors, warm.factors_.user_factors
+            )
+            assert np.array_equal(
+                reference.factors_.item_factors, warm.factors_.item_factors
+            )
+
+    def test_refit_uses_stored_matrix(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            with pytest.raises(NotFittedError):
+                runtime.refit()
+            model = runtime.fit(_model(), corpus)
+            again = runtime.refit()
+            assert again is model
+            assert again.is_fitted
+
+    def test_fit_supports_models_without_backend_override(self, corpus):
+        from repro.baselines.popularity import PopularityRecommender
+
+        with RecommenderRuntime(executor="serial") as runtime:
+            model = runtime.fit(PopularityRecommender(), corpus)
+            assert model.is_fitted
+
+    def test_fit_backend_override_rejects_names(self, corpus):
+        from repro.core.bias import BiasedOCuLaR
+
+        # Both fit entry points enforce the borrowed-instance-only contract.
+        with pytest.raises(ConfigurationError):
+            _model().fit(corpus, backend="parallel")
+        with pytest.raises(ConfigurationError):
+            BiasedOCuLaR(n_coclusters=4, max_iterations=1).fit(corpus, backend="parallel")
+
+
+# --------------------------------------------------------------------------- #
+# Publication / generation swap
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="requires a /dev/shm mount")
+class TestGenerationLifecycle:
+    def test_publish_swap_unlinks_old_generation(self, corpus):
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            first = runtime.publish()
+            first_spec = runtime.published_spec
+            assert first_spec is not None
+            first_names = set(first_spec.segment_names())
+            assert first_names <= _dev_shm_entries()
+
+            second = runtime.update()
+            assert second == first + 1
+            second_spec = runtime.published_spec
+            assert second_spec is not None
+            assert second_spec.generation != first_spec.generation
+            # The old generation's names are gone from /dev/shm and from the
+            # executor's books; the new one is live.
+            assert not (first_names & _dev_shm_entries())
+            assert not (
+                first_names & set(runtime.executor.active_segment_names())
+            )
+            assert set(second_spec.segment_names()) <= _dev_shm_entries()
+            # Serving still works after the swap.
+            assert runtime.topn([0, 1, 2], n_items=3).rankings
+
+    def test_swap_defers_unlink_until_inflight_calls_drain(self, corpus):
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            old_spec = runtime.published_spec
+            old_names = set(old_spec.segment_names())
+            # Simulate a serving call that snapshotted generation 1 and has
+            # not dispatched yet (the race a swap must tolerate).
+            _engine, spec, _mod, _gen = runtime._serving_snapshot()
+            assert spec is old_spec
+            runtime.update()
+            # Old generation retired, not unlinked: the in-flight call's
+            # workers can still attach by name.
+            assert old_names <= _dev_shm_entries()
+            result = runtime._executor.starmap(
+                _topn_shard, [(old_spec, [0, 1, 2], 3, True)]
+            )
+            assert len(result[0]) == 3
+            runtime._release_spec(spec)
+            # Last reference dropped: the retired generation unlinks now.
+            assert not (old_names & _dev_shm_entries())
+            # The new generation serves normally.
+            assert runtime.topn([0, 1], n_items=3).rankings
+
+    def test_recommend_folded_serves_published_version(self, corpus, fitted_reference):
+        reference_model, engine = fitted_reference
+        cold = [[1, 5, 9], [2, 3]]
+        expected = recommend_folded(engine, cold, model=reference_model, n_items=6, n_sweeps=8)
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            # A refit WITHOUT update() must not leak into serving: cold-start
+            # lists still come from the published version, like topn.
+            runtime.refit(callback=lambda i, h: True)  # perturb self.model
+            runtime.fit(_model(random_state=9), corpus)
+            got = runtime.recommend_folded(cold, n_items=6, n_sweeps=8)
+            for want, have in zip(expected, got):
+                assert np.array_equal(want, have)
+
+    def test_close_leaves_dev_shm_clean(self, corpus):
+        before = _dev_shm_entries()
+        runtime = RecommenderRuntime(executor="process", max_workers=2)
+        runtime.fit(_model(), corpus)
+        runtime.publish()
+        runtime.topn(range(30), n_items=5)
+        runtime.recommend_folded([[1, 2, 3]], n_items=5, n_sweeps=5)
+        runtime.close()
+        assert _dev_shm_entries() <= before
+        runtime.close()  # idempotent
+
+    def test_close_with_serving_in_flight(self, corpus):
+        """Concurrent serving while the runtime closes: /dev/shm still ends clean."""
+        before = _dev_shm_entries()
+        runtime = RecommenderRuntime(executor="process", max_workers=2)
+        runtime.fit(_model(), corpus)
+        runtime.publish()
+        stop = threading.Event()
+        errors: list = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    runtime.topn(range(60), n_items=5, shard_size=20)
+                except Exception as exc:  # expected once the pool drains
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for _ in range(3):
+                runtime.topn(range(60), n_items=5, shard_size=20)
+        finally:
+            runtime.close()
+            stop.set()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert _dev_shm_entries() <= before
+
+    def test_borrowed_executor_survives_close_and_is_unpublished(self, corpus):
+        before = _dev_shm_entries()
+        with SharedMemoryProcessExecutor(max_workers=2) as executor:
+            runtime = RecommenderRuntime(executor=executor)
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            assert runtime.topn(range(20), n_items=5).rankings
+            runtime.close()
+            # The borrowed executor is still alive...
+            assert executor.starmap(divmod, [(9, 2)]) == [(4, 1)]
+            # ...but holds nothing the runtime published.
+            assert executor.active_segment_names() == []
+        assert _dev_shm_entries() <= before
+
+    def test_borrowed_close_defers_unlink_for_inflight_calls(self, corpus):
+        with SharedMemoryProcessExecutor(max_workers=2) as executor:
+            runtime = RecommenderRuntime(executor=executor)
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            _engine, spec, _mod, _gen = runtime._serving_snapshot()  # in flight
+            runtime.close()
+            # close() must honor the in-flight reference: the generation
+            # stays attachable until the call drains.
+            names = set(spec.segment_names())
+            assert names <= _dev_shm_entries()
+            result = executor.starmap(_topn_shard, [(spec, [0, 1], 3, True)])
+            assert len(result[0]) == 2
+            runtime._release_spec(spec)
+            assert not (names & _dev_shm_entries())
+            assert executor.active_segment_names() == []
+
+    def test_publish_requires_fitted_model(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            with pytest.raises(NotFittedError):
+                runtime.publish()
+            with pytest.raises(NotFittedError):
+                runtime.topn([0])
+
+    def test_invalid_arguments_rejected_before_pool_spawn(self):
+        # Validation precedes executor construction, so a bad argument
+        # cannot leak a spawned worker pool with no handle to close it.
+        with pytest.raises(ConfigurationError):
+            RecommenderRuntime(executor="process", chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            RecommenderRuntime(executor="process", n_shards=-1)
+
+    def test_closed_runtime_rejects_use(self, corpus):
+        runtime = RecommenderRuntime(executor="serial")
+        runtime.close()
+        with pytest.raises(ConfigurationError):
+            runtime.fit(_model(), corpus)
+        with pytest.raises(ConfigurationError):
+            runtime.topn([0])
+
+
+# --------------------------------------------------------------------------- #
+# Ranking equality: process shards vs the single-process engine
+# --------------------------------------------------------------------------- #
+class TestServingParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_topn_equals_single_process_engine(
+        self, corpus, fitted_reference, n_shards
+    ):
+        model, engine = fitted_reference
+        users = list(range(corpus.n_users))
+        reference = engine.recommend_batch(users, n_items=7)
+        shard_size = -(-len(users) // n_shards)
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            result = runtime.topn(users, n_items=7, shard_size=shard_size)
+            assert result.n_shards == n_shards
+            assert runtime.last_serving_stats.path == "shared"
+            assert len(result.rankings) == len(users)
+            for expected, got in zip(reference, result.rankings):
+                assert np.array_equal(expected, got)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_recommend_folded_equals_single_process(
+        self, corpus, fitted_reference, n_shards
+    ):
+        model, engine = fitted_reference
+        cold = [[1, 5, 9], [2, 3], [0, 10, 20, 30], [], [7]]
+        reference = recommend_folded(engine, cold, model=model, n_items=6, n_sweeps=8)
+        shard_size = -(-len(cold) // n_shards)
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            got = runtime.recommend_folded(
+                cold, n_items=6, n_sweeps=8, shard_size=shard_size
+            )
+            assert runtime.last_serving_stats.n_shards == n_shards
+            assert len(got) == len(cold)
+            for expected, lists in zip(reference, got):
+                assert np.array_equal(expected, lists)
+
+    def test_tasks_carry_descriptors_not_factors(self, corpus, fitted_reference):
+        _model_ref, engine = fitted_reference
+        pickled_engine_bytes = len(pickle.dumps(engine))
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            runtime.topn(range(corpus.n_users), n_items=5, shard_size=50)
+            stats = runtime.last_serving_stats
+            assert stats.path == "shared"
+            # The model-dependent payload is a handful of segment names —
+            # far below the factor matrices a pickled engine would ship.
+            assert stats.spec_bytes < 2048
+            assert stats.spec_bytes < engine.factors.user_factors.nbytes
+            assert stats.max_task_bytes < pickled_engine_bytes
+            factor_bytes = (
+                engine.factors.user_factors.nbytes + engine.factors.item_factors.nbytes
+            )
+            assert stats.max_task_bytes < factor_bytes
+
+    def test_thread_runtime_serves_locally(self, corpus, fitted_reference):
+        _model_ref, engine = fitted_reference
+        users = list(range(40))
+        reference = engine.recommend_batch(users, n_items=5)
+        with RecommenderRuntime(executor="thread", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            result = runtime.topn(users, n_items=5, shard_size=16)
+            assert runtime.last_serving_stats.path == "local"
+            for expected, got in zip(reference, result.rankings):
+                assert np.array_equal(expected, got)
+            folded = runtime.recommend_folded([[1, 2]], n_items=5, n_sweeps=5)
+            assert len(folded) == 1
+
+    def test_concurrent_folds_match_serial_results(self, corpus, fitted_reference):
+        # Concurrent cold-start calls share the runtime's warm backend; the
+        # backend's sweep lock must keep their shared-memory factor slots
+        # from clobbering each other (same-shape batches collide on slot
+        # keys without it).
+        reference_model, engine = fitted_reference
+        batches = [[[1 + i, 5 + i, 9 + i], [2 + i, 3 + i]] for i in range(6)]
+        expected = [
+            recommend_folded(engine, batch, model=reference_model, n_items=6, n_sweeps=8)
+            for batch in batches
+        ]
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            results: dict = {}
+            errors: list = []
+
+            def fold(index: int) -> None:
+                try:
+                    results[index] = runtime.recommend_folded(
+                        batches[index], n_items=6, n_sweeps=8, shard_size=1
+                    )
+                except Exception as exc:  # pragma: no cover - failure mode
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=fold, args=(index,))
+                for index in range(len(batches))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            for index, want in enumerate(expected):
+                assert len(results[index]) == len(want)
+                for expected_row, got_row in zip(want, results[index]):
+                    assert np.array_equal(expected_row, got_row), index
+
+    def test_float32_model_serves_through_descriptors(self, corpus):
+        model32 = _model(dtype="float32").fit(corpus)
+        engine32 = TopNEngine.from_model(model32)
+        reference = engine32.recommend_batch(range(60), n_items=5)
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(dtype="float32"), corpus)
+            runtime.publish()
+            result = runtime.topn(range(60), n_items=5, shard_size=20)
+            assert runtime.last_serving_stats.path == "shared"
+            for expected, got in zip(reference, result.rankings):
+                assert np.array_equal(expected, got)
+
+
+# --------------------------------------------------------------------------- #
+# serve_sharded's descriptor path (the per-call flavour of the same machinery)
+# --------------------------------------------------------------------------- #
+class TestServeShardedDescriptorPath:
+    def test_process_serving_matches_serial(self, fitted_reference):
+        _model_ref, engine = fitted_reference
+        users = list(range(engine.train_matrix.n_users))
+        serial = serve_sharded(engine, users, n_items=5, shard_size=40)
+        process = serve_sharded(
+            engine, users, n_items=5, shard_size=40, executor="process"
+        )
+        assert serial.n_shards == process.n_shards
+        for expected, got in zip(serial.rankings, process.rankings):
+            assert np.array_equal(expected, got)
+
+    def test_borrowed_shm_executor_left_clean(self, fitted_reference):
+        _model_ref, engine = fitted_reference
+        with SharedMemoryProcessExecutor(max_workers=2) as executor:
+            result = serve_sharded(
+                engine, range(50), n_items=5, shard_size=25, executor=executor
+            )
+            assert len(result.rankings) == 50
+            # The call unpublishes what it published on the borrowed executor.
+            assert executor.active_segment_names() == []
+
+
+# --------------------------------------------------------------------------- #
+# BackendLease ownership (the contract the runtime relies on)
+# --------------------------------------------------------------------------- #
+class TestBackendLease:
+    def test_name_is_owned_instance_is_borrowed(self):
+        owned = BackendLease("vectorized")
+        assert owned.owned
+        backend = VectorizedBackend()
+        borrowed = BackendLease(backend)
+        assert not borrowed.owned
+        assert borrowed.backend is backend
+
+    def test_release_only_touches_owned(self):
+        calls = []
+
+        class Probe(VectorizedBackend):
+            def shutdown(self):
+                calls.append("shutdown")
+
+        probe = Probe()
+        with BackendLease(probe):
+            pass
+        assert calls == []  # borrowed: context exit must not shut down
+
+    def test_trainer_reports_ownership(self):
+        from repro.core.optimizer import BlockCoordinateTrainer
+
+        assert BlockCoordinateTrainer(backend="vectorized").owns_backend
+        with ParallelBackend(n_workers=1, executor="serial") as backend:
+            assert not BlockCoordinateTrainer(backend=backend).owns_backend

@@ -285,6 +285,50 @@ class TestFoldInPlanCache:
         refolded = fold_in_factors(item_factors, fresh, model.regularization)
         np.testing.assert_array_equal(refolded, baseline)
 
+    def test_cache_safe_under_concurrent_fold_ins(self, fitted_movielens_model):
+        # A serving runtime folds batches from many threads at once; the LRU
+        # must neither corrupt (lost entries, evicted-key moves) nor change
+        # results.  Distinct batches per thread overflow the 16-entry cache
+        # while a shared batch exercises the hit path concurrently.
+        import threading
+
+        model = fitted_movielens_model
+        batches = [[[i % 40, (3 * i + 1) % 40]] for i in range(24)]
+        shared_batch = [[5, 11, 23]]
+        expected = {
+            index: fold_in_users(model, batch, n_sweeps=5)
+            for index, batch in enumerate(batches)
+        }
+        expected_shared = fold_in_users(model, shared_batch, n_sweeps=5)
+        clear_fold_in_plan_cache()
+
+        results: dict = {}
+        errors: list = []
+
+        def fold(index: int) -> None:
+            try:
+                results[index] = fold_in_users(model, batches[index], n_sweeps=5)
+                results[("shared", index)] = fold_in_users(
+                    model, shared_batch, n_sweeps=5
+                )
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fold, args=(index,))
+            for index in range(len(batches))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for index in range(len(batches)):
+            np.testing.assert_array_equal(results[index], expected[index])
+            np.testing.assert_array_equal(
+                results[("shared", index)], expected_shared
+            )
+
 
 # --------------------------------------------------------------------------- #
 # Sharded serving
