@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import threading
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.utils.validation import check_positive_int
@@ -107,6 +108,88 @@ class _PoolExecutor:
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
+
+
+class DispatcherThread:
+    """A named daemon thread that runs ``step()`` in a loop until stopped.
+
+    The building block for accumulating front-ends (the runtime's
+    micro-batching dispatcher): ``step`` is expected to block on its own
+    condition variable or queue — with a timeout, so the loop stays
+    responsive — and return when it has processed one unit of work.
+    :meth:`stop` flips :attr:`stop_requested`, invokes the optional ``wake``
+    callable (typically ``condition.notify_all`` under the condition's lock,
+    to unblock a waiting ``step``) and joins the thread.
+
+    The thread is a daemon: a crashed owner that never calls :meth:`stop`
+    cannot keep the interpreter alive, which is exactly the failure mode a
+    deadlocked test-suite guard needs.
+    """
+
+    def __init__(
+        self,
+        step: Callable[[], Any],
+        name: str = "dispatcher",
+        wake: Optional[Callable[[], None]] = None,
+        on_failure: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        if not callable(step):
+            raise TypeError("step must be callable")
+        self._step = step
+        self._wake = wake
+        self._on_failure = on_failure
+        self._stop_event = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._failure: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                self._step()
+            except BaseException as error:  # pragma: no cover - defensive
+                # A dispatcher that dies silently turns every later submit
+                # into a hang; record the error, let the owner fail whatever
+                # work is already queued behind the dead loop, and stop.
+                self._failure = error
+                if self._on_failure is not None:
+                    try:
+                        self._on_failure(error)
+                    except Exception:
+                        pass
+                return
+
+    def start(self) -> "DispatcherThread":
+        """Start the loop; returns self for one-line construction."""
+        self._thread.start()
+        return self
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether :meth:`stop` has been called (``step`` should return soon)."""
+        return self._stop_event.is_set()
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        """The exception that killed the loop, if any (``None`` while healthy)."""
+        return self._failure
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the loop thread is still running."""
+        return self._thread.is_alive()
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Request the loop to exit and join it; returns whether it ended.
+
+        Idempotent.  ``wake`` is called after the stop flag is set so a
+        ``step`` blocked on its condition variable observes the request.
+        """
+        self._stop_event.set()
+        if self._wake is not None:
+            self._wake()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()
 
 
 class ProcessExecutor(_PoolExecutor):

@@ -32,11 +32,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable, Collection, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Collection, Hashable, List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -103,11 +104,13 @@ def _unregister_attachment(segment: shared_memory.SharedMemory) -> None:
         pass
 
 
-#: Worker-process-local cache of attached segments, keyed by segment name.
+#: Worker-process-local cache of attached segments, keyed by segment name and
+#: ordered by recency of use (least recently attached first), so the byte
+#: budget of :func:`close_stale_attachments` can evict in LRU order.
 #: Attachments are kept open for the worker's lifetime: repeated tasks of one
 #: fit hit the same plan segments, and the mappings are released by the OS
 #: when the pool's processes exit.
-_ATTACHMENTS: Dict[str, shared_memory.SharedMemory] = {}
+_ATTACHMENTS: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
 
 
 def attach_shared_array(spec: SharedArraySpec) -> np.ndarray:
@@ -122,7 +125,41 @@ def attach_shared_array(spec: SharedArraySpec) -> np.ndarray:
         segment = shared_memory.SharedMemory(name=spec.shm_name)
         _unregister_attachment(segment)
         _ATTACHMENTS[spec.shm_name] = segment
+    else:
+        _ATTACHMENTS.move_to_end(spec.shm_name)
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+
+
+def segment_exists(name: str) -> bool:
+    """Whether the shared-memory segment ``name`` is still linked.
+
+    Fast path on Linux: the segment is a file under ``/dev/shm``.  On hosts
+    without that mount (macOS) a probe attach answers the same question —
+    opened and closed immediately, with the attach-side resource-tracker
+    registration undone so the probe can never unlink the segment at exit.
+    """
+    if os.path.isdir("/dev/shm"):
+        return os.path.exists(os.path.join("/dev/shm", name))
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    _unregister_attachment(probe)
+    probe.close()
+    return True
+
+
+def touch_attachments(names: Collection[str]) -> None:
+    """Refresh the LRU recency of already-mapped segments (worker side).
+
+    Caches that serve from rebuilt objects (an engine-cache hit) never call
+    :func:`attach_shared_array` again, so without this their hottest
+    segments would look least-recently-used to the byte budget and be
+    evicted first.
+    """
+    for name in names:
+        if name in _ATTACHMENTS:
+            _ATTACHMENTS.move_to_end(name)
 
 
 def attach_shared_csr(spec: SharedCsrSpec) -> sp.csr_matrix:
@@ -144,15 +181,42 @@ def attach_shared_csr(spec: SharedCsrSpec) -> sp.csr_matrix:
 #: that a cached object still views is a **use-after-unmap segfault** —
 #: ``SharedMemory.close()`` does NOT fail while ndarray views exist — so
 #: :func:`close_stale_attachments` may only close names no provider claims.
-_ATTACHMENT_HOLDERS: List[Callable[[], Collection[str]]] = []
+#: A holder may also register an ``evict`` callback that *drops* the cached
+#: objects viewing one segment name; only holders with such a callback can
+#: participate in byte-budget eviction (their claim becomes releasable).
+_ATTACHMENT_HOLDERS: List[Tuple[Callable[[], Collection[str]], Optional[Callable[[str], None]]]] = []
 
 
-def register_attachment_holder(provider: Callable[[], Collection[str]]) -> None:
-    """Register a provider of segment names a worker-side cache references."""
-    _ATTACHMENT_HOLDERS.append(provider)
+def register_attachment_holder(
+    provider: Callable[[], Collection[str]],
+    evict: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Register a provider of segment names a worker-side cache references.
+
+    ``evict``, when given, is called with a segment name to ask the cache to
+    drop every object viewing that segment (after which the provider must no
+    longer claim it).  Caches without an ``evict`` callback are simply never
+    evicted by the byte budget — their claims are permanent protection.
+    """
+    _ATTACHMENT_HOLDERS.append((provider, evict))
 
 
-def close_stale_attachments(active: Collection[str]) -> int:
+def _holder_claims() -> set:
+    """The union of every registered holder's currently claimed names."""
+    claimed = set()
+    for provider, _evict in _ATTACHMENT_HOLDERS:
+        claimed.update(provider())
+    return claimed
+
+
+def attached_bytes() -> int:
+    """Total size of this process's currently mapped attachments."""
+    return sum(segment.size for segment in _ATTACHMENTS.values())
+
+
+def close_stale_attachments(
+    active: Collection[str], max_bytes: Optional[int] = None
+) -> int:
     """Close cached attachments outside ``active`` + every holder's claims.
 
     A long-lived worker that serves successive model generations (or
@@ -162,21 +226,64 @@ def close_stale_attachments(active: Collection[str]) -> int:
     loop: names claimed by a registered holder (cached sweep sides, cached
     engines) are never touched, because closing a mapped view segfaults on
     the next read.  Returns the number of attachments closed.
+
+    ``max_bytes`` additionally bounds the worker's total mapped bytes: while
+    the remaining attachments exceed the budget, the least-recently-used
+    names outside ``active`` are evicted — holders that registered an
+    ``evict`` callback are asked to drop their cached objects first, so a
+    worker A/B-serving two model generations keeps the recent one mapped and
+    releases the older.  The ``active`` set is never evicted (the current
+    task views it), so the budget is best-effort: a single live generation
+    larger than ``max_bytes`` stays fully mapped.
     """
     protected = set(active)
-    for provider in _ATTACHMENT_HOLDERS:
-        protected.update(provider())
+    claimed = _holder_claims()
     closed = 0
     for name in list(_ATTACHMENTS):
+        if name in protected or name in claimed:
+            continue
+        if not _close_attachment(name):
+            continue
+        closed += 1
+    if max_bytes is None:
+        return closed
+    # Budget pass, LRU first: ask evict-capable holders to release their
+    # cached objects for a segment, then close it once nothing claims it.
+    evicted = False
+    for name in list(_ATTACHMENTS):
+        if attached_bytes() <= max_bytes:
+            break
         if name in protected:
             continue
-        try:
-            _ATTACHMENTS[name].close()
-        except Exception:  # pragma: no cover - platform-specific close errors
-            continue
-        del _ATTACHMENTS[name]
-        closed += 1
+        for provider, evict in _ATTACHMENT_HOLDERS:
+            if evict is not None and name in set(provider()):
+                evict(name)
+                evicted = True
+        if name in _holder_claims():
+            continue  # an evict-less holder still views this mapping
+        if _close_attachment(name):
+            closed += 1
+    if evicted:
+        # Evicting a cached object (an engine spanning several segments)
+        # orphans its sibling mappings; close them now instead of letting
+        # them ride until the next stale pass.
+        claimed = _holder_claims()
+        for name in list(_ATTACHMENTS):
+            if name in protected or name in claimed:
+                continue
+            if _close_attachment(name):
+                closed += 1
     return closed
+
+
+def _close_attachment(name: str) -> bool:
+    """Close and forget one cached attachment; False on platform close errors."""
+    try:
+        _ATTACHMENTS[name].close()
+    except Exception:  # pragma: no cover - platform-specific close errors
+        return False
+    del _ATTACHMENTS[name]
+    return True
 
 
 class _Segment:

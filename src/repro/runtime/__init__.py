@@ -5,8 +5,21 @@ threads it through training (warm-pool fits/refits), publication (factor
 matrices and the seen-mask in shared memory, once per model version) and
 serving (process shards carry only descriptors).  See
 :mod:`repro.runtime.service` for the full story.
+
+:class:`BatchingFrontEnd` sits in front of a runtime and coalesces many
+small concurrent requests into micro-batches under a latency bound, serving
+each batch against one pinned model version (:class:`ServingSession`); see
+:mod:`repro.runtime.batching`.
 """
 
-from repro.runtime.service import RecommenderRuntime, ServingStats
+from repro.runtime.batching import BatchedResponse, BatchingFrontEnd, BatchingStats
+from repro.runtime.service import RecommenderRuntime, ServingSession, ServingStats
 
-__all__ = ["RecommenderRuntime", "ServingStats"]
+__all__ = [
+    "BatchedResponse",
+    "BatchingFrontEnd",
+    "BatchingStats",
+    "RecommenderRuntime",
+    "ServingSession",
+    "ServingStats",
+]

@@ -1,0 +1,571 @@
+"""Micro-batching request front-end for the long-lived runtime.
+
+The paper's deployment serves many concurrent B2B clients, each asking for
+recommendations for a handful of users at a time.  Dispatching every such
+request through :meth:`~repro.runtime.RecommenderRuntime.topn` individually
+wastes the sharded serving machinery on tiny fan-outs: a four-user request
+pays one executor round-trip for four rows of BLAS work, so under high
+request concurrency the dispatch overhead — not the scoring — bounds
+users/s.
+
+:class:`BatchingFrontEnd` closes that gap with classic micro-batching:
+
+* **accumulate** — :meth:`submit` / :meth:`submit_folded` enqueue a request
+  and return a :class:`~concurrent.futures.Future` immediately; a dispatcher
+  thread (:class:`~repro.parallel.executor.DispatcherThread`) holds the
+  queue open until ``max_batch_users`` rows have gathered or the *oldest*
+  request has waited ``max_delay_ms`` — whichever comes first, so a lone
+  request is never held past the latency bound;
+* **merge** — the sealed batch is grouped by request shape (known-user
+  top-N vs fold-in cold-start, and by serving options), each group's user
+  lists are flattened by :func:`~repro.serving.batch.merge_request_lists`,
+  and one runtime call serves the merged list through the existing sharded
+  descriptor path — the batch rides the same machinery, just with real
+  occupancy;
+* **scatter** — per-user rankings are sliced back per request
+  (:func:`~repro.serving.batch.scatter_results`) and delivered through the
+  futures as :class:`BatchedResponse` objects.
+
+Generation safety: every batch is sealed against one
+:class:`~repro.runtime.service.ServingSession`, pinned at dispatch time, so
+all requests in a batch are answered by a single model version even when
+:meth:`~repro.runtime.RecommenderRuntime.update` lands mid-flight — the
+response records which generation served it.  Rankings are exactly the
+unbatched per-request rankings (merging never changes per-row math; the
+test-suite asserts ``np.array_equal`` request by request).
+
+The front-end *borrows* the runtime: closing the front-end drains every
+pending request and stops the dispatcher, but never closes the runtime —
+close the front-end first, the runtime second (nested ``with`` blocks give
+that order for free).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.executor import DispatcherThread
+from repro.serving.batch import merge_request_lists, scatter_results
+from repro.utils.validation import check_non_negative_float, check_positive_int
+
+
+@dataclass(frozen=True)
+class BatchedResponse:
+    """What a coalesced request's future resolves to.
+
+    Attributes
+    ----------
+    rankings:
+        One ranked item array per requested row, aligned with the request's
+        users (or fold-in interaction vectors) — exactly what the unbatched
+        runtime call would have returned for this request alone.
+    generation:
+        The runtime generation the request's batch was served by.  Every
+        request of one batch shares it: the batch was sealed against a
+        pinned serving session.
+    batch_id:
+        Sequence number of the micro-batch this request rode.
+    batch_requests:
+        How many requests the batch coalesced.
+    batch_users:
+        Total merged rows in the batch (its occupancy).
+    queue_seconds:
+        How long this request waited between submission and dispatch —
+        bounded by ``max_delay_ms`` plus the dispatch time of the batch in
+        front of it.
+    """
+
+    rankings: List[np.ndarray]
+    generation: int
+    batch_id: int
+    batch_requests: int
+    batch_users: int
+    queue_seconds: float
+
+
+@dataclass(frozen=True)
+class BatchingStats:
+    """Aggregate front-end behaviour (complements the runtime's ServingStats).
+
+    Attributes
+    ----------
+    batches:
+        Micro-batches dispatched so far.
+    requests:
+        Requests coalesced into those batches.
+    users:
+        Total merged rows served (occupancy numerator).
+    mean_occupancy:
+        Mean merged rows per batch — the lever micro-batching exists to
+        raise; 1.0 means batching bought nothing.
+    mean_requests_per_batch:
+        Mean requests coalesced per batch.
+    queue_p50_ms / queue_p95_ms / queue_max_ms:
+        Percentiles of request queue latency (submission to dispatch) over
+        the recent-request window, in milliseconds.
+    """
+
+    batches: int
+    requests: int
+    users: int
+    mean_occupancy: float
+    mean_requests_per_batch: float
+    queue_p50_ms: float
+    queue_p95_ms: float
+    queue_max_ms: float
+
+
+class _Request:
+    """One enqueued request: payload rows, serving options, and its future."""
+
+    __slots__ = ("kind", "rows", "options", "future", "enqueued")
+
+    def __init__(self, kind: str, rows: list, options: Tuple, future: Future) -> None:
+        self.kind = kind
+        self.rows = rows
+        self.options = options
+        self.future = future
+        self.enqueued = time.monotonic()
+
+
+#: Queue-latency samples retained for the percentile stats.
+_LATENCY_WINDOW = 4096
+
+
+class BatchingFrontEnd:
+    """Coalesce concurrent small serving requests into micro-batches.
+
+    Parameters
+    ----------
+    runtime:
+        The :class:`~repro.runtime.RecommenderRuntime` to serve through
+        (borrowed — never closed by the front-end).  It must have a
+        published model version by the time requests are dispatched.
+    max_delay_ms:
+        Latency bound: the longest a sealed batch's *oldest* request is held
+        waiting for company.  ``0`` dispatches every poll immediately
+        (batching then only coalesces requests that were already queued
+        together).
+    max_batch_users:
+        Size cap: a batch is sealed as soon as this many merged rows have
+        gathered.  A single request larger than the cap is dispatched alone
+        (requests are never split).
+
+    Use as a context manager; :meth:`close` drains pending requests::
+
+        with RecommenderRuntime(executor="process") as runtime:
+            runtime.fit(model, matrix)
+            runtime.publish()
+            with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
+                futures = [front.submit(req) for req in requests]
+                lists = [f.result().rankings for f in futures]
+    """
+
+    def __init__(
+        self,
+        runtime,
+        max_delay_ms: float = 5.0,
+        max_batch_users: int = 256,
+    ) -> None:
+        self.max_delay_ms = check_non_negative_float(max_delay_ms, "max_delay_ms")
+        self.max_batch_users = check_positive_int(max_batch_users, "max_batch_users")
+        self._runtime = runtime
+        self._cond = threading.Condition()
+        self._pending: Deque[_Request] = deque()
+        self._pending_rows = 0
+        self._closed = False
+        self._draining = False
+        self._batches = 0
+        self._requests = 0
+        self._rows = 0
+        self._queue_seconds: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        # Assign before starting: the loop's first step may run before
+        # start() returns and reads self._dispatcher.
+        self._dispatcher = DispatcherThread(
+            self._dispatch_once,
+            name="batching-dispatcher",
+            wake=self._wake,
+            on_failure=self._fail_pending,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def runtime(self):
+        """The borrowed runtime requests are served through."""
+        return self._runtime
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently queued (not yet sealed into a batch)."""
+        with self._cond:
+            return len(self._pending)
+
+    def stats(self) -> BatchingStats:
+        """A consistent snapshot of the front-end's aggregate behaviour."""
+        with self._cond:
+            batches = self._batches
+            requests = self._requests
+            rows = self._rows
+            waits = list(self._queue_seconds)
+        if waits:
+            p50, p95 = np.percentile(waits, [50, 95])
+            worst = max(waits)
+        else:
+            p50 = p95 = worst = 0.0
+        return BatchingStats(
+            batches=batches,
+            requests=requests,
+            users=rows,
+            mean_occupancy=rows / batches if batches else 0.0,
+            mean_requests_per_batch=requests / batches if batches else 0.0,
+            queue_p50_ms=float(p50) * 1000.0,
+            queue_p95_ms=float(p95) * 1000.0,
+            queue_max_ms=float(worst) * 1000.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        users: Sequence[int],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+    ) -> "Future[BatchedResponse]":
+        """Enqueue a known-users top-N request; returns its future.
+
+        The future resolves to a :class:`BatchedResponse` whose rankings are
+        ``np.array_equal`` to ``runtime.topn(users, ...)`` run unbatched
+        against the same model version.  Duplicate users — within the
+        request or across concurrently queued requests — are fine; every
+        request receives rankings for exactly the users it asked for.
+        """
+        check_positive_int(n_items, "n_items")
+        rows = [int(user) for user in users]
+        return self._enqueue("topn", rows, (n_items, bool(exclude_seen)))
+
+    def submit_folded(
+        self,
+        interactions: Sequence[Sequence[int]],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        n_sweeps: int = 30,
+        tolerance: float = 1e-8,
+    ) -> "Future[BatchedResponse]":
+        """Enqueue a cold-start (fold-in) request; returns its future.
+
+        ``interactions`` is one item-index list per unseen user — the
+        list-of-lists form, which is the only one that can be merged across
+        requests.  The future's rankings equal
+        ``runtime.recommend_folded(interactions, ...)`` unbatched against
+        the same model version.
+        """
+        check_positive_int(n_items, "n_items")
+        check_positive_int(n_sweeps, "n_sweeps")
+        rows = [
+            [int(item) for item in np.asarray(list(items), dtype=np.int64).ravel()]
+            for items in interactions
+        ]
+        return self._enqueue(
+            "folded", rows, (n_items, bool(exclude_seen), n_sweeps, float(tolerance))
+        )
+
+    def topn_blocking(
+        self,
+        users: Sequence[int],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        timeout: Optional[float] = None,
+    ) -> List[np.ndarray]:
+        """Submit a top-N request and wait for its rankings (client shape)."""
+        future = self.submit(users, n_items=n_items, exclude_seen=exclude_seen)
+        return future.result(timeout=timeout).rankings
+
+    def recommend_folded_blocking(
+        self,
+        interactions: Sequence[Sequence[int]],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        n_sweeps: int = 30,
+        tolerance: float = 1e-8,
+        timeout: Optional[float] = None,
+    ) -> List[np.ndarray]:
+        """Submit a fold-in request and wait for its rankings."""
+        future = self.submit_folded(
+            interactions,
+            n_items=n_items,
+            exclude_seen=exclude_seen,
+            n_sweeps=n_sweeps,
+            tolerance=tolerance,
+        )
+        return future.result(timeout=timeout).rankings
+
+    def _enqueue(self, kind: str, rows: list, options: Tuple) -> Future:
+        future: Future = Future()
+        request = _Request(kind, rows, options, future)
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError("the batching front-end is closed")
+            failure = self._dispatcher.failure
+            if failure is not None:  # pragma: no cover - defensive
+                raise ConfigurationError(
+                    "the batching dispatcher died; the front-end cannot accept "
+                    "requests"
+                ) from failure
+            self._pending.append(request)
+            self._pending_rows += len(rows)
+            self._cond.notify_all()
+        return future
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher side
+    # ------------------------------------------------------------------ #
+    def _wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def _dispatch_once(self) -> None:
+        """One dispatcher-loop iteration: seal a batch (or idle) and serve it."""
+        batch = self._collect_batch()
+        if not batch:
+            return
+        try:
+            self._dispatch(batch)
+        except BaseException as error:  # pragma: no cover - defensive
+            # A sealed batch is no longer in the queue, so the loop-death
+            # cleanup (_fail_pending) cannot see it: resolve its futures
+            # here, then let the failure propagate to kill the loop.
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(error)
+            raise
+
+    def _collect_batch(self) -> List[_Request]:
+        """Block until a batch is due, then seal and return it.
+
+        A batch is due when ``max_batch_users`` merged rows are pending,
+        when the oldest pending request has waited ``max_delay_ms``, or
+        immediately when draining.  Returns ``[]`` on idle polls so the
+        dispatcher loop stays responsive to stop requests.
+        """
+        with self._cond:
+            while not self._pending:
+                if self._draining or self._dispatcher.stop_requested:
+                    return []
+                self._cond.wait(timeout=0.05)
+            deadline = self._pending[0].enqueued + self.max_delay_ms / 1000.0
+            while (
+                not self._draining
+                and not self._dispatcher.stop_requested
+                and self._pending_rows < self.max_batch_users
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch: List[_Request] = []
+            rows = 0
+            while self._pending:
+                head = self._pending[0]
+                if batch and rows + len(head.rows) > self.max_batch_users:
+                    break  # leave for the next batch; never split a request
+                self._pending.popleft()
+                batch.append(head)
+                rows += len(head.rows)
+            self._pending_rows -= rows
+            return batch
+
+    def _dispatch(self, batch: List[_Request]) -> None:
+        """Serve one sealed batch against a single pinned model version."""
+        # Transition every future to RUNNING now: a client may have
+        # cancelled while its request was queued (the future was PENDING),
+        # and set_result on a cancelled future raises — which would kill the
+        # dispatcher and strand every other waiter.  Cancelled requests are
+        # simply dropped; the survivors can no longer be cancelled.
+        batch = [
+            request
+            for request in batch
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if not batch:
+            return
+        dispatch_start = time.monotonic()
+        batch_rows = sum(len(request.rows) for request in batch)
+        with self._cond:
+            self._batches += 1
+            batch_id = self._batches
+            self._requests += len(batch)
+            self._rows += batch_rows
+            for request in batch:
+                self._queue_seconds.append(dispatch_start - request.enqueued)
+        try:
+            session = self._runtime.serving_session()
+        except Exception as error:
+            # No published model version (or a closed runtime): the whole
+            # batch fails with the runtime's own diagnostic.
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        with session:
+            groups: Dict[Tuple, List[_Request]] = {}
+            for request in batch:
+                groups.setdefault((request.kind, request.options), []).append(request)
+            for (kind, options), requests in groups.items():
+                self._serve_group(
+                    session,
+                    kind,
+                    options,
+                    requests,
+                    batch_id,
+                    len(batch),
+                    batch_rows,
+                    dispatch_start,
+                )
+
+    def _serve_group(
+        self,
+        session,
+        kind: str,
+        options: Tuple,
+        requests: List[_Request],
+        batch_id: int,
+        batch_requests: int,
+        batch_users: int,
+        dispatch_start: float,
+    ) -> None:
+        """Merge one option-group, serve it in a single runtime call, scatter.
+
+        The whole body — merge, serve, scatter, delivery — is guarded: any
+        exception resolves the group's futures instead of escaping into the
+        dispatcher loop, where it would kill the thread and strand every
+        other waiter.
+        """
+        try:
+            merged, spans = merge_request_lists(
+                [request.rows for request in requests]
+            )
+            if kind == "topn":
+                n_items, exclude_seen = options
+                result = session.topn(
+                    merged, n_items=n_items, exclude_seen=exclude_seen
+                )
+                per_row = result.rankings
+            else:
+                n_items, exclude_seen, n_sweeps, tolerance = options
+                per_row = session.recommend_folded(
+                    merged,
+                    n_items=n_items,
+                    exclude_seen=exclude_seen,
+                    n_sweeps=n_sweeps,
+                    tolerance=tolerance,
+                )
+            for request, rankings in zip(requests, scatter_results(per_row, spans)):
+                request.future.set_result(
+                    BatchedResponse(
+                        rankings=rankings,
+                        generation=session.generation,
+                        batch_id=batch_id,
+                        batch_requests=batch_requests,
+                        batch_users=batch_users,
+                        queue_seconds=dispatch_start - request.enqueued,
+                    )
+                )
+        except Exception as error:
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_exception(error)
+
+    def _fail_pending(self, cause: BaseException) -> None:
+        """Resolve every queued future after the dispatcher loop died.
+
+        Without this, requests already in the queue would keep PENDING
+        futures forever — a client blocked in ``future.result()`` with no
+        timeout would hang while only *new* submits learned of the failure.
+        """
+        with self._cond:
+            leftovers = list(self._pending)
+            self._pending.clear()
+            self._pending_rows = 0
+        for request in leftovers:  # pragma: no cover - requires a dead dispatcher
+            if not request.future.done():
+                failure = ConfigurationError(
+                    "the batching dispatcher died before this request could "
+                    "be dispatched"
+                )
+                failure.__cause__ = cause
+                request.future.set_exception(failure)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Drain pending requests, stop the dispatcher; idempotent.
+
+        New submissions are rejected immediately; every request already
+        queued is dispatched (without further accumulation delay) and its
+        future resolved before the dispatcher stops.  The runtime is
+        untouched — it is borrowed.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = True
+            self._cond.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._dispatcher.is_alive:
+            with self._cond:
+                if not self._pending:
+                    break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0.002)
+        # Share the remaining budget with the join: close(timeout=T) bounds
+        # the WHOLE close at ~T, not drain-T plus another join-T.
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        self._dispatcher.stop(timeout=remaining)
+        # Only reachable if the dispatcher died or the drain timed out:
+        # fail any stragglers rather than leaving their futures hanging.
+        with self._cond:
+            leftovers = list(self._pending)
+            self._pending.clear()
+            self._pending_rows = 0
+        for request in leftovers:  # pragma: no cover - requires a dead dispatcher
+            if not request.future.done():
+                request.future.set_exception(
+                    ConfigurationError(
+                        "the batching front-end closed before this request "
+                        "could be dispatched"
+                    )
+                )
+
+    def __enter__(self) -> "BatchingFrontEnd":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"pending={len(self._pending)}"
+        return (
+            f"{type(self).__name__}(max_delay_ms={self.max_delay_ms}, "
+            f"max_batch_users={self.max_batch_users}, {state})"
+        )

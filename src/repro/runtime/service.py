@@ -127,6 +127,95 @@ class _PublishedSolver:
     max_backtracks: int
 
 
+class ServingSession:
+    """A pinned view of one published model version.
+
+    Acquired through :meth:`RecommenderRuntime.serving_session`: the session
+    takes one in-flight reference on the generation published at acquisition
+    time, and every :meth:`topn` / :meth:`recommend_folded` routed through it
+    serves **that** version — even if :meth:`RecommenderRuntime.update`
+    swaps the runtime to a newer generation mid-flight (the pinned
+    generation's segments stay attachable until the session releases).  This
+    is the generation-safety hook the micro-batching front-end builds on: a
+    micro-batch is sealed against one session, so every request in it is
+    answered by the model version the batch was formed against.
+
+    Use as a context manager (or call :meth:`release` exactly once)::
+
+        with runtime.serving_session() as session:
+            result = session.topn(users, n_items=10)
+    """
+
+    def __init__(self, runtime: "RecommenderRuntime") -> None:
+        self._runtime = runtime
+        (
+            self._engine,
+            self._spec,
+            self._model,
+            self._generation,
+        ) = runtime._serving_snapshot()
+        self._released = False
+        # Guards the release flag: sessions may be shared across threads
+        # (the documented "series of calls" shape), so release() must be
+        # atomic and a call must never acquire after release dropped the
+        # session's reference.
+        self._lock = threading.Lock()
+
+    @property
+    def generation(self) -> int:
+        """The runtime generation this session is pinned to."""
+        return self._generation
+
+    @property
+    def released(self) -> bool:
+        """Whether :meth:`release` has run."""
+        return self._released
+
+    def _acquire_for_call(self):
+        """Snapshot plus one per-call generation reference (caller releases).
+
+        The extra reference means a concurrent :meth:`release` — or another
+        thread's call finishing — can never drop the pinned generation to
+        zero while this call is between snapshot and worker attach.
+        """
+        with self._lock:
+            if self._released:
+                raise ConfigurationError("the serving session has been released")
+            self._runtime._acquire_spec(self._spec)
+        return self._engine, self._spec, self._model, self._generation
+
+    def topn(self, users: Sequence[int], **kwargs) -> BatchServingResult:
+        """:meth:`RecommenderRuntime.topn` against the pinned generation."""
+        return self._runtime.topn(users, session=self, **kwargs)
+
+    def recommend_folded(self, interactions, **kwargs) -> List[np.ndarray]:
+        """:meth:`RecommenderRuntime.recommend_folded` against the pinned generation."""
+        return self._runtime.recommend_folded(interactions, session=self, **kwargs)
+
+    def release(self) -> None:
+        """Drop the session's generation reference; idempotent.
+
+        If the generation was retired by a swap while the session was open,
+        its segments unlink when the last reference (possibly this one)
+        drains — exactly like a long-running direct serving call.
+        """
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        self._runtime._release_spec(self._spec)
+
+    def __enter__(self) -> "ServingSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self._released else "pinned"
+        return f"{type(self).__name__}(generation={self._generation}, {state})"
+
+
 class RecommenderRuntime:
     """Warm-pool training and zero-copy serving under one lifecycle.
 
@@ -190,6 +279,10 @@ class RecommenderRuntime:
         self.model = None
         self.train_matrix = None
         self.generation = 0
+        # Sharded serving dispatches this runtime has performed — the
+        # coalescing ratio of a batching front-end is visible as
+        # serving_calls << requests submitted.
+        self.serving_calls = 0
         self.last_serving_stats: Optional[ServingStats] = None
         self._engine: Optional[TopNEngine] = None
         self._published: Optional[SharedEngineSpec] = None
@@ -349,12 +442,25 @@ class RecommenderRuntime:
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
+    def serving_session(self) -> ServingSession:
+        """Pin the currently published model version for a series of calls.
+
+        Returns a :class:`ServingSession` holding one in-flight reference on
+        the current generation; calls routed through the session keep
+        serving that version across concurrent :meth:`update` swaps.  The
+        caller must release the session (context manager or
+        :meth:`ServingSession.release`).
+        """
+        self._check_open()
+        return ServingSession(self)
+
     def topn(
         self,
         users: Sequence[int],
         n_items: int = 10,
         exclude_seen: bool = True,
         shard_size: Optional[int] = None,
+        session: Optional[ServingSession] = None,
     ) -> BatchServingResult:
         """Top-``n_items`` lists for ``users``, sharded over the warm pool.
 
@@ -362,10 +468,15 @@ class RecommenderRuntime:
         descriptors and its user shard; rankings are ``np.array_equal`` to
         the single-process engine's for every user.  Thread-safe: concurrent
         calls may interleave with :meth:`update` and each call serves one
-        consistent model version.
+        consistent model version — the currently published one, or the one
+        pinned by ``session`` when given (the session then owns the
+        generation reference; this call does not release it).
         """
         self._check_open()
-        engine, spec, _model, generation = self._serving_snapshot()
+        if session is None:
+            engine, spec, _model, generation = self._serving_snapshot()
+        else:
+            engine, spec, _model, generation = session._acquire_for_call()
         try:
             user_list = [int(user) for user in users]
             if shard_size is None:
@@ -386,11 +497,14 @@ class RecommenderRuntime:
                 )
                 stats = ServingStats(path="local", n_shards=len(shards))
         finally:
+            # Per-call reference: taken by _serving_snapshot on the direct
+            # path and by _acquire_for_call on the session path (the session
+            # keeps its own reference until it is released).
             self._release_spec(spec)
         rankings: List[np.ndarray] = []
         for result in shard_results:
             rankings.extend(result)
-        self.last_serving_stats = stats
+        self._record_serving_call(stats)
         return BatchServingResult(
             users=user_list, rankings=rankings, n_shards=len(shards)
         )
@@ -403,20 +517,25 @@ class RecommenderRuntime:
         n_sweeps: int = 30,
         tolerance: float = 1e-8,
         shard_size: Optional[int] = None,
+        session: Optional[ServingSession] = None,
     ) -> List[np.ndarray]:
         """Cold-start serving through the runtime.
 
         Folds the unseen interaction vectors into the **published** model
         version — the one :meth:`topn` serves, even if a later :meth:`fit`
-        has since replaced :attr:`model` — on the warm backend (all backends
-        sweep bit-identically, so the folded factors match a vectorized fold
+        has since replaced :attr:`model` (or the one pinned by ``session``
+        when given) — on the warm backend (all backends sweep
+        bit-identically, so the folded factors match a vectorized fold
         exactly), scores them, and ranks: on the shared path the score block
         and the seen-mask are published once for the call and each shard
         task ranks its ``(row_range)`` from descriptors; rankings equal
         :func:`repro.serving.fold_in.recommend_folded` exactly.
         """
         self._check_open()
-        engine, spec, model, generation = self._serving_snapshot()
+        if session is None:
+            engine, spec, model, generation = self._serving_snapshot()
+        else:
+            engine, spec, model, generation = session._acquire_for_call()
         try:
             if engine.factors is None:
                 raise ConfigurationError(
@@ -433,7 +552,7 @@ class RecommenderRuntime:
             )
             n_rows = scores.shape[0]
             if spec is None or n_rows == 0:
-                self.last_serving_stats = ServingStats(path="local", n_shards=1)
+                self._record_serving_call(ServingStats(path="local", n_shards=1))
                 return engine.rank_scored(
                     scores, n_items=n_items, seen=csr if exclude_seen else None
                 )
@@ -469,9 +588,10 @@ class RecommenderRuntime:
                     for field in ("data", "indices", "indptr"):
                         self._executor.unpublish(call_key + ("seen", field))
         finally:
+            # Per-call reference, exactly as in topn.
             self._release_spec(spec)
-        self.last_serving_stats = self._shared_stats(
-            spec, generation, tasks, key=lambda task: 0
+        self._record_serving_call(
+            self._shared_stats(spec, generation, tasks, key=lambda task: 0)
         )
         lists: List[np.ndarray] = []
         for result in shard_results:
@@ -551,6 +671,20 @@ class RecommenderRuntime:
             )
         return engine, spec, model, generation
 
+    def _acquire_spec(self, spec: Optional[SharedEngineSpec]) -> None:
+        """Take one additional in-flight reference on an already-held generation.
+
+        Only valid while another reference is live (a session's own), which
+        the session's lock guarantees: the generation cannot have been
+        unlinked between the check and the increment.
+        """
+        if spec is None:
+            return
+        with self._swap_lock:
+            self._inflight[spec.generation] = (
+                self._inflight.get(spec.generation, 0) + 1
+            )
+
     def _release_spec(self, spec: Optional[SharedEngineSpec]) -> None:
         """Drop a serving call's generation reference; unlink if retired + idle."""
         if spec is None:
@@ -565,6 +699,12 @@ class RecommenderRuntime:
                 retired = self._retired.pop(spec.generation, None)
         if retired is not None:
             unpublish_engine(self._executor, retired)
+
+    def _record_serving_call(self, stats: ServingStats) -> None:
+        """Count one completed serving dispatch and expose its stats."""
+        with self._swap_lock:
+            self.serving_calls += 1
+            self.last_serving_stats = stats
 
     def _shared_stats(self, spec, generation, tasks, key) -> ServingStats:
         """Stats for a shared-path call, pickling one representative task.

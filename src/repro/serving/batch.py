@@ -25,7 +25,7 @@ executor ran the shards — the test-suite asserts all three agree exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,45 @@ from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
 from repro.serving.engine import TopNEngine
 from repro.serving.shared import _topn_shard, publish_engine, unpublish_engine
 from repro.utils.validation import check_positive_int
+
+
+def merge_request_lists(
+    lists: Sequence[Sequence[Any]],
+) -> Tuple[List[Any], List[Tuple[int, int]]]:
+    """Flatten per-request item lists into one batch, remembering each span.
+
+    The gather half of micro-batching: many small requests become one merged
+    list the serving engine can process in a single sharded call, plus one
+    ``(start, stop)`` span per request for :func:`scatter_results` to slice
+    the merged output back apart.  Duplicates across requests are fine —
+    each request keeps its own span, so two requests asking for the same
+    user each receive that user's ranking.
+    """
+    merged: List[Any] = []
+    spans: List[Tuple[int, int]] = []
+    for request in lists:
+        start = len(merged)
+        merged.extend(request)
+        spans.append((start, len(merged)))
+    return merged, spans
+
+
+def scatter_results(
+    results: Sequence[Any], spans: Sequence[Tuple[int, int]]
+) -> List[List[Any]]:
+    """Slice a merged batch's per-row results back into per-request lists.
+
+    Inverse of :func:`merge_request_lists`: ``results`` must be aligned with
+    the merged list (one entry per merged row, in order), which every
+    serving path guarantees — executors return shard results in submission
+    order.
+    """
+    if spans and len(results) < spans[-1][1]:
+        raise ValueError(
+            f"merged results cover {len(results)} rows but the request spans "
+            f"extend to {spans[-1][1]}"
+        )
+    return [list(results[start:stop]) for start, stop in spans]
 
 
 def _serve_shard(

@@ -26,8 +26,10 @@ unlinked segments.
 from __future__ import annotations
 
 import itertools
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -42,6 +44,8 @@ from repro.parallel.shared_memory import (
     attach_shared_csr,
     close_stale_attachments,
     register_attachment_holder,
+    segment_exists,
+    touch_attachments,
 )
 from repro.serving.engine import TopNEngine
 
@@ -165,9 +169,39 @@ def unpublish_engine(
         executor.unpublish(key)
 
 
-#: Worker-process-local cache of rebuilt engines, keyed by spec.  A serving
-#: burst sends many shard tasks with one spec; the engine is rebuilt once.
-_WORKER_ENGINES: Dict[SharedEngineSpec, TopNEngine] = {}
+#: Worker-process-local cache of rebuilt engines, keyed by spec and ordered
+#: by recency (least recently served first).  A serving burst sends many
+#: shard tasks with one spec; the engine is rebuilt once.  Several
+#: generations may be cached at a time — a runtime A/B-serving two model
+#: versions alternates specs, and rebuilding on every alternation would
+#: defeat the cache — bounded by :data:`MAX_CACHED_ENGINES` and by the byte
+#: budget below.
+_WORKER_ENGINES: "OrderedDict[SharedEngineSpec, TopNEngine]" = OrderedDict()
+
+#: How many engine generations one worker keeps rebuilt at a time.  Two
+#: covers A/B serving; the headroom absorbs a swap racing a serving burst.
+MAX_CACHED_ENGINES = 4
+
+#: Environment knob for the worker-side attachment byte budget (in MiB).
+#: Read inside the worker on every shard task, so the value the *publisher*
+#: process exports before building the pool governs its workers (fork and
+#: spawn both inherit the environment).  Unset or non-positive: no budget —
+#: mapped memory is bounded only by :data:`MAX_CACHED_ENGINES`.
+ATTACHMENT_BUDGET_ENV = "REPRO_ATTACHMENT_BUDGET_MB"
+
+
+def attachment_budget_bytes() -> Optional[int]:
+    """The configured worker attachment budget in bytes, or ``None``."""
+    raw = os.environ.get(ATTACHMENT_BUDGET_ENV)
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
 
 
 def _engine_segment_names() -> List[str]:
@@ -177,21 +211,59 @@ def _engine_segment_names() -> List[str]:
     ]
 
 
-register_attachment_holder(_engine_segment_names)
+def _evict_engine_viewing(name: str) -> None:
+    """Drop every cached engine that views segment ``name`` (budget eviction).
+
+    Dropping the engine releases its ndarray views, after which the holder
+    no longer claims the segment and :func:`close_stale_attachments` may
+    close the mapping safely.
+    """
+    for spec in [s for s in _WORKER_ENGINES if name in s.segment_names()]:
+        del _WORKER_ENGINES[spec]
 
 
-def attach_engine(spec: SharedEngineSpec) -> TopNEngine:
+def _prune_unlinked_engines() -> None:
+    """Drop cached engines whose publisher has unlinked their segments.
+
+    The common deployment is a refit loop with ONE live generation: without
+    this, each worker would retain engines (and their mapped pages — unlink
+    removes the name, not existing maps) for the last
+    :data:`MAX_CACHED_ENGINES` generations, multiplying steady-state worker
+    memory for no benefit.  A generation still published — or retired but
+    pinned by an in-flight session (A/B serving) — keeps its segment names
+    and is kept; one whose names are gone can never be served again.
+    """
+    for spec in list(_WORKER_ENGINES):
+        if any(not segment_exists(name) for name in spec.segment_names()):
+            del _WORKER_ENGINES[spec]
+
+
+register_attachment_holder(_engine_segment_names, evict=_evict_engine_viewing)
+
+
+def attach_engine(
+    spec: SharedEngineSpec, max_bytes: Optional[int] = None
+) -> TopNEngine:
     """Rebuild (or fetch the cached) engine for ``spec`` inside a worker.
 
-    A spec the worker has not seen marks a generation swap: cached engines
-    of other generations are dropped and their attachments closed, so the
-    worker's mapped memory tracks the live model rather than every model it
+    A spec the worker has not seen marks a generation reaching it for the
+    first time: the least recently served engines beyond
+    :data:`MAX_CACHED_ENGINES` are dropped, then attachments no cache views
+    are closed — with ``max_bytes`` additionally evicting least-recently
+    used generation mappings until the worker's mapped memory fits the
+    budget (the new spec itself is never evicted).  So the worker's mapped
+    memory tracks the models it actively serves rather than every model it
     ever served.
     """
     engine = _WORKER_ENGINES.get(spec)
     if engine is None:
-        for old_spec in [s for s in _WORKER_ENGINES if s != spec]:
-            del _WORKER_ENGINES[old_spec]
+        # A new generation reaching this worker is the swap moment: first
+        # drop generations the publisher has since unlinked (their mapped
+        # pages are released by close_stale_attachments below), then bound
+        # the survivors by count.
+        _prune_unlinked_engines()
+        while len(_WORKER_ENGINES) >= MAX_CACHED_ENGINES:
+            _WORKER_ENGINES.popitem(last=False)
         train_matrix = InteractionMatrix.from_validated_csr(attach_shared_csr(spec.seen))
         factors = FactorModel(
             attach_shared_array(spec.user_factors),
@@ -201,7 +273,13 @@ def attach_engine(spec: SharedEngineSpec) -> TopNEngine:
             train_matrix, factors=factors, chunk_size=spec.chunk_size
         )
         _WORKER_ENGINES[spec] = engine
-        close_stale_attachments(set(spec.segment_names()))
+        close_stale_attachments(set(spec.segment_names()), max_bytes=max_bytes)
+    else:
+        _WORKER_ENGINES.move_to_end(spec)
+        # A cache hit serves from the rebuilt engine without re-attaching;
+        # refresh its segments' recency too, or the hottest generation's
+        # mappings would be the byte budget's first eviction victims.
+        touch_attachments(spec.segment_names())
     return engine
 
 
@@ -209,7 +287,7 @@ def _topn_shard(
     spec: SharedEngineSpec, users: List[int], n_items: int, exclude_seen: bool
 ) -> List[np.ndarray]:
     """Serve one user shard from shared-memory descriptors (worker side)."""
-    return attach_engine(spec).recommend_batch(
+    return attach_engine(spec, max_bytes=attachment_budget_bytes()).recommend_batch(
         users, n_items=n_items, exclude_seen=exclude_seen
     )
 
@@ -229,7 +307,7 @@ def _rank_scored_shard(
     row-independent, so the slice's rankings are bitwise the rankings the
     single-process :meth:`TopNEngine.rank_scored` produces for those rows.
     """
-    engine = attach_engine(spec)
+    engine = attach_engine(spec, max_bytes=attachment_budget_bytes())
     score_rows = attach_shared_array(scores)[start:stop]
     seen_rows = attach_shared_csr(seen)[start:stop] if seen is not None else None
     ranked = engine.rank_scored(score_rows, n_items=n_items, seen=seen_rows)

@@ -115,6 +115,45 @@ class TestNnzBalancedRanges:
         assert side.shard_ranges(3) == nnz_balanced_ranges(matrix.indptr, 0, 9, 3)
         assert side.shard_ranges(2, (1, 7)) == nnz_balanced_ranges(matrix.indptr, 1, 7, 2)
 
+    @staticmethod
+    def _assert_partition(ranges, start, stop):
+        """Every result must tile [start, stop) with non-empty ranges."""
+        assert ranges[0][0] == start and ranges[-1][1] == stop
+        for (_, left_stop), (right_start, _) in zip(ranges, ranges[1:]):
+            assert left_stop == right_start
+        assert all(range_stop > range_start for range_start, range_stop in ranges)
+
+    def test_giant_row_in_the_middle_with_many_shards(self):
+        # One row owns all the weight, surrounded by empties; the clamping
+        # must still hand every shard at least one row on both sides of it.
+        counts = np.array([0] * 5 + [10_000] + [0] * 5)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        ranges = nnz_balanced_ranges(indptr, 0, 11, 8)
+        self._assert_partition(ranges, 0, 11)
+        assert len(ranges) == 8
+
+    def test_all_empty_rows_with_more_shards_than_rows(self):
+        indptr = np.zeros(5, dtype=np.int64)
+        ranges = nnz_balanced_ranges(indptr, 0, 4, 9)
+        assert ranges == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_single_row_any_shard_count(self):
+        indptr = np.array([0, 123])
+        for n_shards in (1, 2, 16):
+            assert nnz_balanced_ranges(indptr, 0, 1, n_shards) == [(0, 1)]
+
+    def test_giant_row_inside_a_sub_range(self):
+        # Sub-range sharding around a giant row: the offsets must hold and
+        # the giant row may not leak rows from outside [start, stop).
+        counts = np.array([3, 0, 5_000, 0, 0, 2, 1])
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        ranges = nnz_balanced_ranges(indptr, 1, 6, 3)
+        self._assert_partition(ranges, 1, 6)
+        assert len(ranges) == 3
+        # The giant row (index 2) is isolated in its own shard.
+        giant = [r for r in ranges if r[0] <= 2 < r[1]]
+        assert giant == [(2, 3)] or giant[0][1] - giant[0][0] <= 2
+
 
 # --------------------------------------------------------------------------- #
 # Executor registry and scheduler
@@ -319,6 +358,98 @@ class TestSharedMemoryPublication:
                 executor.publish(("pin", index), np.zeros(2), evictable=False)
             # max_segments is a soft cap: pinned slots are not sacrificed.
             assert len(executor.active_segment_names()) == 4
+
+    def test_attachment_budget_evicts_lru_claimed_mappings(self):
+        # The worker-side byte budget: holder-claimed mappings (the shape a
+        # cached engine generation has) are evicted least-recently-used
+        # first, via the holder's evict callback, until the worker fits the
+        # budget — the active set is never touched.
+        from repro.parallel import shared_memory as shm
+
+        claims: dict = {}  # name -> True, the fake worker-side cache
+
+        def provider():
+            return set(claims)
+
+        def evict(name):
+            claims.pop(name, None)
+
+        holder = (provider, evict)
+        # Flush unclaimed mappings earlier tests left in this process, so
+        # the byte accounting below sees exactly our three segments.
+        shm.close_stale_attachments(())
+        shm._ATTACHMENT_HOLDERS.append(holder)
+        try:
+            with SharedMemoryProcessExecutor(max_workers=1) as executor:
+                specs = [
+                    executor.publish(("budget", index), np.zeros(1024))
+                    for index in range(3)
+                ]
+                for spec in specs:
+                    attach_shared_array(spec)
+                    claims[spec.shm_name] = True
+                # Refresh recency of the first mapping: 1 is now the LRU.
+                attach_shared_array(specs[0])
+                names = [spec.shm_name for spec in specs]
+                sizes = {
+                    name: shm._ATTACHMENTS[name].size for name in names
+                }
+                assert shm.attached_bytes() >= sum(sizes.values())
+
+                # Budget admits two mappings; 2 is active, so the LRU
+                # non-active mapping (1) is evicted, then the pass is under
+                # budget and 0 survives despite being older than 2.
+                budget = shm.attached_bytes() - 1
+                closed = shm.close_stale_attachments({names[2]}, max_bytes=budget)
+                assert closed == 1
+                assert names[1] not in shm._ATTACHMENTS
+                assert names[0] in shm._ATTACHMENTS
+                assert names[2] in shm._ATTACHMENTS
+                assert names[1] not in claims  # the cache was asked to drop it
+                assert shm.attached_bytes() <= budget
+
+                # An evict-less holder's claims are never evicted: its views
+                # would segfault.  Budget 0 closes everything else but not
+                # the active name or the permanently claimed one.
+                shm._ATTACHMENT_HOLDERS.remove(holder)
+                permanent = (lambda: {names[0]}, None)
+                shm._ATTACHMENT_HOLDERS.append(permanent)
+                try:
+                    shm.close_stale_attachments({names[2]}, max_bytes=0)
+                    assert names[0] in shm._ATTACHMENTS  # claimed, no evictor
+                    assert names[2] in shm._ATTACHMENTS  # active
+                finally:
+                    shm._ATTACHMENT_HOLDERS.remove(permanent)
+                    shm._ATTACHMENT_HOLDERS.append(holder)
+        finally:
+            claims.clear()
+            shm._ATTACHMENT_HOLDERS.remove(holder)
+            shm.close_stale_attachments(())
+
+    def test_no_budget_keeps_claimed_mappings(self):
+        # Without max_bytes the original contract holds: claimed mappings
+        # stay open no matter how many there are.
+        from repro.parallel import shared_memory as shm
+
+        claims: set = set()
+        holder = (lambda: set(claims), claims.discard)
+        shm._ATTACHMENT_HOLDERS.append(holder)
+        try:
+            with SharedMemoryProcessExecutor(max_workers=1) as executor:
+                specs = [
+                    executor.publish(("nobudget", index), np.zeros(256))
+                    for index in range(4)
+                ]
+                for spec in specs:
+                    attach_shared_array(spec)
+                    claims.add(spec.shm_name)
+                assert shm.close_stale_attachments(()) == 0
+                for spec in specs:
+                    assert spec.shm_name in shm._ATTACHMENTS
+        finally:
+            claims.clear()
+            shm._ATTACHMENT_HOLDERS.remove(holder)
+            shm.close_stale_attachments(())
 
     def test_plain_starmap_still_works(self):
         # The process entry of the registry doubles as an ordinary process

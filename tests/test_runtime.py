@@ -257,6 +257,35 @@ class TestGenerationLifecycle:
             assert not (names & _dev_shm_entries())
             assert executor.active_segment_names() == []
 
+    def test_session_call_reference_survives_racing_release(self, corpus):
+        # A session shared across threads: a call takes its own generation
+        # reference, so release() (or close) racing the call can never pull
+        # the segments out from under it mid-flight.
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(), corpus)
+            runtime.publish()
+            session = runtime.serving_session()
+            spec = session._spec
+            names = set(spec.segment_names())
+            # Simulate a call in progress: per-call reference acquired...
+            engine, call_spec, _mod, _gen = session._acquire_for_call()
+            assert call_spec is spec
+            # ...then the session is released and the model version swapped
+            # while the call is still in flight.
+            session.release()
+            session.release()  # double release: atomic, no double-decrement
+            runtime.update()
+            assert names <= _dev_shm_entries()  # still attachable
+            result = runtime._executor.starmap(
+                _topn_shard, [(spec, [0, 1], 3, True)]
+            )
+            assert len(result[0]) == 2
+            runtime._release_spec(call_spec)  # the call's own reference
+            assert not (names & _dev_shm_entries())
+            # A released session refuses new calls.
+            with pytest.raises(ConfigurationError):
+                session.topn([0])
+
     def test_publish_requires_fitted_model(self, corpus):
         with RecommenderRuntime(executor="serial") as runtime:
             with pytest.raises(NotFittedError):
@@ -463,3 +492,57 @@ class TestBackendLease:
         assert BlockCoordinateTrainer(backend="vectorized").owns_backend
         with ParallelBackend(n_workers=1, executor="serial") as backend:
             assert not BlockCoordinateTrainer(backend=backend).owns_backend
+
+    def test_owned_double_release_is_idempotent(self):
+        # Lifecycle code may release twice (explicit release + context
+        # exit); the second release must be a harmless no-op.
+        lease = BackendLease("parallel", n_workers=1, executor="thread")
+        assert lease.owned
+        assert lease.backend._scheduler.live_executor is None  # still lazy
+        lease.backend._scheduler.executor.map(abs, [-1])  # force the pool
+        lease.release()
+        assert lease.backend._scheduler.live_executor is None
+        lease.release()  # second release: no error, nothing to tear down
+        assert lease.backend._scheduler.live_executor is None
+
+    def test_owned_context_exit_after_explicit_release(self):
+        with BackendLease("parallel", n_workers=1, executor="serial") as lease:
+            lease.release()
+        # __exit__ ran release() again; reaching here without error is the
+        # contract.
+        assert lease.owned
+
+    def test_borrow_after_shutdown_stays_borrowed(self):
+        # Borrowing an instance whose pool was already shut down is legal:
+        # the lease never owns it, release() never touches it, and the
+        # scheduler transparently rebuilds the pool on next use (shutdown
+        # resets the owned executor to lazy, it does not poison it).
+        backend = ParallelBackend(n_workers=1, executor="thread")
+        backend._scheduler.executor.map(abs, [-1])
+        backend.shutdown()
+        assert backend._scheduler.live_executor is None
+        lease = BackendLease(backend)
+        assert not lease.owned
+        assert lease.backend is backend
+        lease.release()
+        lease.release()
+        # The borrowed backend still works after both releases: the lease
+        # neither shut it down again nor blocked its lazy rebuild.
+        assert backend._scheduler.executor.map(abs, [-2]) == [2]
+        backend.shutdown()
+
+    def test_borrowed_shut_down_backend_not_resurrected_by_release(self):
+        calls = []
+
+        class Probe(VectorizedBackend):
+            def shutdown(self):
+                calls.append("shutdown")
+
+        probe = Probe()
+        probe.shutdown()
+        with BackendLease(probe) as lease:
+            assert not lease.owned
+        lease.release()
+        # Exactly the caller's own shutdown: neither context exit nor the
+        # explicit releases added calls on a borrowed (even dead) instance.
+        assert calls == ["shutdown"]

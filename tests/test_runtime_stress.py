@@ -1,0 +1,295 @@
+"""Concurrency stress tests: the micro-batching front-end and the PR-4
+runtime under simultaneous serving traffic and generation churn.
+
+The contract under test: with >= 16 threads submitting mixed known-user and
+fold-in requests while a background thread refits and swaps model versions
+in a loop, (a) nothing raises, (b) every response's rankings are exactly the
+rankings of the generation it was batched against — not a torn mix of two
+versions — and (c) ``/dev/shm`` is clean after the runtime exits."""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import make_netflix_like
+from repro.runtime import BatchingFrontEnd, RecommenderRuntime
+from repro.serving import TopNEngine, recommend_folded
+
+#: Join/future timeout: a deadlock fails the assertion instead of hanging.
+STRESS_TIMEOUT = 120.0
+
+N_CLIENTS = 16
+REQUESTS_PER_CLIENT = 6
+MIN_GENERATIONS = 3
+
+N_USERS, N_ITEMS = 150, 60
+
+
+def _dev_shm_entries() -> set:
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(os.listdir("/dev/shm"))
+
+
+def _model(seed: int) -> OCuLaR:
+    return OCuLaR(
+        n_coclusters=6,
+        regularization=5.0,
+        max_iterations=2,
+        tolerance=0.0,
+        random_state=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    matrix, _spec = make_netflix_like(
+        n_users=N_USERS, n_items=N_ITEMS, random_state=0
+    )
+    return matrix
+
+
+class _GenerationLedger:
+    """Per-generation reference snapshots, recorded at publish time.
+
+    The updater thread records the engine and fold-in solver view of every
+    generation it publishes; verification replays each response against the
+    snapshot of the generation that served it.  ``factors_`` is safe to
+    reference without copying: every fit builds a fresh ``FactorModel``, so
+    a later refit never mutates a snapshotted one.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._snapshots: dict = {}
+
+    def record(self, generation: int, model) -> None:
+        engine = TopNEngine.from_model(model)
+        solver = SimpleNamespace(
+            factors_=model.factors_,
+            regularization=model.regularization,
+            sigma=model.sigma,
+            beta=model.beta,
+            max_backtracks=model.max_backtracks,
+        )
+        with self._lock:
+            self._snapshots[generation] = (engine, solver)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    def expect_topn(self, generation: int, users, n_items: int):
+        engine, _solver = self._snapshots[generation]
+        return engine.recommend_batch(users, n_items=n_items)
+
+    def expect_folded(self, generation: int, interactions, n_items: int, n_sweeps: int):
+        engine, solver = self._snapshots[generation]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return recommend_folded(
+                engine, interactions, model=solver, n_items=n_items, n_sweeps=n_sweeps
+            )
+
+
+def _run_updater(runtime, ledger, stop_event, errors):
+    """Refit + update in a loop (at least MIN_GENERATIONS swaps)."""
+    try:
+        seed = 1
+        while seed <= MIN_GENERATIONS or not stop_event.is_set():
+            runtime.model.random_state = seed  # distinct factors per version
+            runtime.refit()
+            generation = runtime.update()
+            ledger.record(generation, runtime.model)
+            seed += 1
+            if seed > 200:  # pragma: no cover - runaway guard
+                break
+    except Exception as exc:  # pragma: no cover - failure mode
+        errors.append(exc)
+
+
+def _join_all(threads):
+    for thread in threads:
+        thread.join(timeout=STRESS_TIMEOUT)
+    assert not any(thread.is_alive() for thread in threads), "stress thread hung"
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="requires a /dev/shm mount")
+class TestFrontEndUnderChurn:
+    def test_mixed_requests_vs_refit_update_loop(self, corpus):
+        before = _dev_shm_entries()
+        ledger = _GenerationLedger()
+        errors: list = []
+        responses: list = []  # (kind, payload, BatchedResponse); append is atomic
+
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(0), corpus)
+            ledger.record(runtime.publish(), runtime.model)
+            stop_updates = threading.Event()
+            updater = threading.Thread(
+                target=_run_updater, args=(runtime, ledger, stop_updates, errors)
+            )
+
+            def client(index: int) -> None:
+                rng = np.random.default_rng(index)
+                try:
+                    with warnings.catch_warnings():
+                        warnings.simplefilter("ignore")
+                        for round_no in range(REQUESTS_PER_CLIENT):
+                            if (index + round_no) % 3 == 2:
+                                batch = [
+                                    sorted(
+                                        int(x)
+                                        for x in rng.choice(
+                                            N_ITEMS, size=3, replace=False
+                                        )
+                                    )
+                                ]
+                                future = front.submit_folded(
+                                    batch, n_items=5, n_sweeps=4
+                                )
+                                responses.append(
+                                    ("folded", batch, future.result(STRESS_TIMEOUT))
+                                )
+                            else:
+                                users = [
+                                    int(x) for x in rng.integers(0, N_USERS, size=2)
+                                ]
+                                future = front.submit(users, n_items=5)
+                                responses.append(
+                                    ("topn", users, future.result(STRESS_TIMEOUT))
+                                )
+                except Exception as exc:  # pragma: no cover - failure mode
+                    errors.append(exc)
+
+            with BatchingFrontEnd(
+                runtime, max_delay_ms=2, max_batch_users=64
+            ) as front:
+                updater.start()
+                clients = [
+                    threading.Thread(target=client, args=(index,))
+                    for index in range(N_CLIENTS)
+                ]
+                for thread in clients:
+                    thread.start()
+                _join_all(clients)
+                # The front-end drains (context exit) while the updater is
+                # still churning generations — the harshest close ordering.
+            stop_updates.set()
+            _join_all([updater])
+
+            assert not errors
+            assert len(ledger) >= MIN_GENERATIONS + 1
+            assert len(responses) == N_CLIENTS * REQUESTS_PER_CLIENT
+            # Every response replays exactly against the generation that
+            # served it: a batch sealed against version N answered from N.
+            for kind, payload, response in responses:
+                if kind == "topn":
+                    want = ledger.expect_topn(response.generation, payload, 5)
+                else:
+                    want = ledger.expect_folded(response.generation, payload, 5, 4)
+                assert len(response.rankings) == len(payload)
+                for got, ref in zip(response.rankings, want):
+                    assert np.array_equal(got, ref), (kind, response.generation)
+            # All retired generations drained: the executor owns exactly the
+            # live publication (2 factor arrays + 3 seen-mask arrays).
+            assert len(runtime.executor.active_segment_names()) == 5
+        assert _dev_shm_entries() <= before
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="requires a /dev/shm mount")
+class TestRuntimeSessionsUnderChurn:
+    def test_pinned_sessions_vs_refit_update_loop(self, corpus):
+        """PR-4 runtime + session hook race-freedom, no front-end involved."""
+        before = _dev_shm_entries()
+        ledger = _GenerationLedger()
+        errors: list = []
+        observed: list = []  # (generation, users, rankings)
+
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            runtime.fit(_model(0), corpus)
+            ledger.record(runtime.publish(), runtime.model)
+            stop_updates = threading.Event()
+            updater = threading.Thread(
+                target=_run_updater, args=(runtime, ledger, stop_updates, errors)
+            )
+
+            def client(index: int) -> None:
+                rng = np.random.default_rng(1000 + index)
+                try:
+                    for _ in range(REQUESTS_PER_CLIENT):
+                        users = [int(x) for x in rng.integers(0, N_USERS, size=3)]
+                        with runtime.serving_session() as session:
+                            result = session.topn(users, n_items=5)
+                            observed.append(
+                                (session.generation, users, result.rankings)
+                            )
+                except Exception as exc:  # pragma: no cover - failure mode
+                    errors.append(exc)
+
+            updater.start()
+            clients = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(N_CLIENTS)
+            ]
+            for thread in clients:
+                thread.start()
+            _join_all(clients)
+            stop_updates.set()
+            _join_all([updater])
+
+            assert not errors
+            assert len(observed) == N_CLIENTS * REQUESTS_PER_CLIENT
+            for generation, users, rankings in observed:
+                want = ledger.expect_topn(generation, users, 5)
+                for got, ref in zip(rankings, want):
+                    assert np.array_equal(got, ref), generation
+            assert len(runtime.executor.active_segment_names()) == 5
+        assert _dev_shm_entries() <= before
+
+    def test_ab_serving_two_pinned_generations(self, corpus):
+        """A/B shape: two generations pinned and served alternately.
+
+        The older generation is retired by the swap but stays attachable
+        while its session holds a reference; workers keep engines for both
+        cached (MAX_CACHED_ENGINES >= 2), so alternation does not thrash."""
+        before = _dev_shm_entries()
+        with RecommenderRuntime(executor="process", max_workers=2) as runtime:
+            model_a = _model(0)
+            runtime.fit(model_a, corpus)
+            runtime.publish()
+            engine_a = TopNEngine.from_model(model_a)
+            session_a = runtime.serving_session()
+            names_a = set(session_a._spec.segment_names())
+
+            model_b = _model(7)
+            runtime.fit(model_b, corpus)
+            runtime.update()
+            engine_b = TopNEngine.from_model(model_b)
+            session_b = runtime.serving_session()
+
+            users = list(range(40))
+            want_a = engine_a.recommend_batch(users, n_items=5)
+            want_b = engine_b.recommend_batch(users, n_items=5)
+            for _round in range(3):  # alternate: A, B, A, B, ...
+                got_a = session_a.topn(users, n_items=5, shard_size=10).rankings
+                got_b = session_b.topn(users, n_items=5, shard_size=10).rankings
+                for got, ref in zip(got_a, want_a):
+                    assert np.array_equal(got, ref)
+                for got, ref in zip(got_b, want_b):
+                    assert np.array_equal(got, ref)
+            # While pinned, the retired A generation is still in /dev/shm...
+            assert names_a <= _dev_shm_entries()
+            session_a.release()
+            # ...and unlinks as soon as its last reference drains.
+            assert not (names_a & _dev_shm_entries())
+            session_b.release()
+            assert runtime.topn(users[:5], n_items=5).rankings  # still serving
+        assert _dev_shm_entries() <= before

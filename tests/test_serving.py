@@ -393,6 +393,198 @@ class TestServeSharded:
 
 
 # --------------------------------------------------------------------------- #
+# Worker-side engine cache: A/B generations under the attachment byte budget
+# --------------------------------------------------------------------------- #
+class TestWorkerEngineCacheBudget:
+    @pytest.fixture()
+    def two_engines(self, movielens_small):
+        matrix, _spec, split = movielens_small
+        engines = []
+        for seed in (0, 1):
+            model = OCuLaR(
+                n_coclusters=4,
+                regularization=5.0,
+                max_iterations=2,
+                tolerance=0.0,
+                random_state=seed,
+            ).fit(split.train)
+            engines.append(TopNEngine.from_model(model))
+        return engines
+
+    def test_ab_generations_cached_and_budget_evicts_lru(self, two_engines):
+        # This test process plays the worker: attach both published
+        # generations, prove A/B alternation reuses both cached engines,
+        # then shrink the budget so only the recent generation stays mapped.
+        from repro.parallel import shared_memory as shm
+        from repro.parallel.shared_memory import SharedMemoryProcessExecutor
+        from repro.serving import shared as serving_shared
+
+        engine_a, engine_b = two_engines
+        serving_shared._WORKER_ENGINES.clear()
+        shm.close_stale_attachments(())
+        try:
+            with SharedMemoryProcessExecutor(max_workers=1) as executor:
+                spec_a = serving_shared.publish_engine(executor, engine_a)
+                spec_b = serving_shared.publish_engine(executor, engine_b)
+
+                worker_a = serving_shared.attach_engine(spec_a)
+                worker_b = serving_shared.attach_engine(spec_b)
+                # A/B shape: re-serving generation A must NOT rebuild it —
+                # both generations stay cached side by side.
+                assert serving_shared.attach_engine(spec_a) is worker_a
+                assert serving_shared.attach_engine(spec_b) is worker_b
+                np.testing.assert_array_equal(
+                    worker_a.recommend_batch([3], n_items=5)[0],
+                    engine_a.recommend_batch([3], n_items=5)[0],
+                )
+                np.testing.assert_array_equal(
+                    worker_b.recommend_batch([3], n_items=5)[0],
+                    engine_b.recommend_batch([3], n_items=5)[0],
+                )
+
+                # Two live generations under a roomy budget: nothing evicted.
+                both = shm.attached_bytes()
+                serving_shared.attach_engine(spec_b, max_bytes=both)
+                assert len(serving_shared._WORKER_ENGINES) == 2
+                assert shm.attached_bytes() <= both
+
+                # Budget below both generations: serving B evicts the LRU
+                # generation (A) — engine dropped, mappings closed — while B
+                # keeps serving from its intact attachments.
+                shm.close_stale_attachments(
+                    set(spec_b.segment_names()), max_bytes=both - 1
+                )
+                assert spec_a not in serving_shared._WORKER_ENGINES
+                assert spec_b in serving_shared._WORKER_ENGINES
+                assert shm.attached_bytes() <= both - 1
+                for name in spec_a.segment_names():
+                    assert name not in shm._ATTACHMENTS
+                survivor = serving_shared.attach_engine(spec_b)
+                np.testing.assert_array_equal(
+                    survivor.recommend_batch([7], n_items=5)[0],
+                    engine_b.recommend_batch([7], n_items=5)[0],
+                )
+
+                # A is still published, so it reattaches on demand.
+                revived = serving_shared.attach_engine(spec_a)
+                np.testing.assert_array_equal(
+                    revived.recommend_batch([3], n_items=5)[0],
+                    engine_a.recommend_batch([3], n_items=5)[0],
+                )
+        finally:
+            serving_shared._WORKER_ENGINES.clear()
+            shm.close_stale_attachments(())
+
+    def test_cache_hit_refreshes_budget_recency(self, two_engines):
+        # Serving a cached generation must refresh its mappings' recency:
+        # the budget evicts the generation that stopped being served, not
+        # the hot one that merely stopped re-attaching.
+        from repro.parallel import shared_memory as shm
+        from repro.parallel.shared_memory import SharedMemoryProcessExecutor
+        from repro.serving import shared as serving_shared
+
+        engine_a, engine_b = two_engines
+        serving_shared._WORKER_ENGINES.clear()
+        shm.close_stale_attachments(())
+        try:
+            with SharedMemoryProcessExecutor(max_workers=1) as executor:
+                spec_a = serving_shared.publish_engine(executor, engine_a)
+                spec_b = serving_shared.publish_engine(executor, engine_b)
+                serving_shared.attach_engine(spec_a)
+                serving_shared.attach_engine(spec_b)
+                # A is attachment-LRU now; a cache-hit serve of A must make
+                # B the eviction victim instead.
+                serving_shared.attach_engine(spec_a)
+                shm.close_stale_attachments(
+                    set(spec_a.segment_names()),
+                    max_bytes=shm.attached_bytes() - 1,
+                )
+                assert spec_a in serving_shared._WORKER_ENGINES
+                assert spec_b not in serving_shared._WORKER_ENGINES
+                for name in spec_b.segment_names():
+                    assert name not in shm._ATTACHMENTS
+        finally:
+            serving_shared._WORKER_ENGINES.clear()
+            shm.close_stale_attachments(())
+
+    def test_unlinked_generations_pruned_on_swap(self, two_engines):
+        # The refit-loop shape: one live generation at a time.  When the
+        # publisher unlinks a generation, the next swap reaching the worker
+        # drops its cached engine and mappings — steady-state worker memory
+        # tracks the live model, not the last N models.
+        import os as os_module
+
+        from repro.parallel import shared_memory as shm
+        from repro.parallel.shared_memory import SharedMemoryProcessExecutor
+        from repro.serving import shared as serving_shared
+
+        if not os_module.path.isdir("/dev/shm"):
+            pytest.skip("requires a /dev/shm mount")
+        engine_a, engine_b = two_engines
+        serving_shared._WORKER_ENGINES.clear()
+        shm.close_stale_attachments(())
+        try:
+            with SharedMemoryProcessExecutor(max_workers=1) as executor:
+                spec_a = serving_shared.publish_engine(executor, engine_a)
+                spec_b = serving_shared.publish_engine(executor, engine_b)
+                serving_shared.attach_engine(spec_a)
+                serving_shared.attach_engine(spec_b)
+                serving_shared.unpublish_engine(executor, spec_a)  # swap out A
+                spec_c = serving_shared.publish_engine(executor, engine_a)
+                serving_shared.attach_engine(spec_c)  # the swap reaches us
+                assert spec_a not in serving_shared._WORKER_ENGINES
+                for name in spec_a.segment_names():
+                    assert name not in shm._ATTACHMENTS
+                # B is still published (A/B): kept cached and servable.
+                assert spec_b in serving_shared._WORKER_ENGINES
+                assert spec_c in serving_shared._WORKER_ENGINES
+        finally:
+            serving_shared._WORKER_ENGINES.clear()
+            shm.close_stale_attachments(())
+
+    def test_engine_cache_count_cap(self, two_engines):
+        from repro.parallel import shared_memory as shm
+        from repro.parallel.shared_memory import SharedMemoryProcessExecutor
+        from repro.serving import shared as serving_shared
+
+        engine_a, _engine_b = two_engines
+        serving_shared._WORKER_ENGINES.clear()
+        shm.close_stale_attachments(())
+        try:
+            with SharedMemoryProcessExecutor(max_workers=1) as executor:
+                specs = [
+                    serving_shared.publish_engine(executor, engine_a)
+                    for _ in range(serving_shared.MAX_CACHED_ENGINES + 2)
+                ]
+                for spec in specs:
+                    serving_shared.attach_engine(spec)
+                # The count cap bounds cached engines even without a budget;
+                # the most recent generations survive.
+                assert (
+                    len(serving_shared._WORKER_ENGINES)
+                    == serving_shared.MAX_CACHED_ENGINES
+                )
+                assert specs[-1] in serving_shared._WORKER_ENGINES
+                assert specs[0] not in serving_shared._WORKER_ENGINES
+        finally:
+            serving_shared._WORKER_ENGINES.clear()
+            shm.close_stale_attachments(())
+
+    def test_attachment_budget_env_parsing(self, monkeypatch):
+        from repro.serving.shared import ATTACHMENT_BUDGET_ENV, attachment_budget_bytes
+
+        monkeypatch.delenv(ATTACHMENT_BUDGET_ENV, raising=False)
+        assert attachment_budget_bytes() is None
+        monkeypatch.setenv(ATTACHMENT_BUDGET_ENV, "64")
+        assert attachment_budget_bytes() == 64 * 1024 * 1024
+        monkeypatch.setenv(ATTACHMENT_BUDGET_ENV, "0.5")
+        assert attachment_budget_bytes() == 512 * 1024
+        for bogus in ("", "not-a-number", "-3", "0"):
+            monkeypatch.setenv(ATTACHMENT_BUDGET_ENV, bogus)
+            assert attachment_budget_bytes() is None
+
+
+# --------------------------------------------------------------------------- #
 # Engine-routed consumers
 # --------------------------------------------------------------------------- #
 class TestEngineRoutedReports:
