@@ -24,6 +24,7 @@ import time
 import numpy as np
 from conftest import run_once, scaled, smoke_mode
 
+from repro.api import RecommendRequest
 from repro.core.ocular import OCuLaR
 from repro.data.datasets import make_netflix_like
 from repro.runtime import BatchingFrontEnd, RecommenderRuntime
@@ -111,14 +112,18 @@ def test_batched_vs_unbatched_small_requests(benchmark, report_writer):
         reference = runtime.engine.recommend_batch(
             [u for r in requests for u in r], n_items=params["top_n"]
         )
-        runtime.topn(requests[0], n_items=params["top_n"])  # warm the pool
+        runtime.recommend(  # warm the pool
+            RecommendRequest(users=requests[0], n_items=params["top_n"])
+        )
 
-        # Unbatched: each client request is its own runtime.topn dispatch.
+        # Unbatched: each client request is its own sharded runtime dispatch.
         calls_before = runtime.serving_calls
         unbatched_seconds, unbatched = _run_clients(
             CLIENTS,
             requests,
-            lambda users: runtime.topn(users, n_items=params["top_n"]).rankings,
+            lambda users: runtime.recommend(
+                RecommendRequest(users=users, n_items=params["top_n"])
+            ).rankings,
         )
         unbatched_calls = runtime.serving_calls - calls_before
 
@@ -133,9 +138,10 @@ def test_batched_vs_unbatched_small_requests(benchmark, report_writer):
                 seconds, results = _run_clients(
                     CLIENTS,
                     requests,
-                    lambda users: front.topn_blocking(
-                        users, n_items=params["top_n"], timeout=300
-                    ),
+                    lambda users: front.recommend(
+                        RecommendRequest(users=users, n_items=params["top_n"]),
+                        timeout=300,
+                    ).rankings,
                 )
                 stats = front.stats()
             return seconds, results, stats, runtime.serving_calls - calls_at_start

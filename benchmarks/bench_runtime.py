@@ -28,6 +28,7 @@ import time
 import numpy as np
 from conftest import run_once, scaled, smoke_mode
 
+from repro.api import RecommendRequest
 from repro.core.ocular import OCuLaR
 from repro.data.datasets import make_netflix_like
 from repro.parallel import ProcessExecutor
@@ -181,10 +182,13 @@ def test_descriptor_vs_pickled_serving(report_writer):
             matrix,
         )
         runtime.publish()
-        runtime.topn(users[:32], n_items=params["top_n"])  # warm the pool
+        runtime.recommend(  # warm the pool
+            RecommendRequest(users=users[:32], n_items=params["top_n"])
+        )
         start = time.perf_counter()
-        shared = runtime.topn(
-            users, n_items=params["top_n"], shard_size=params["shard_size"]
+        shared = runtime.recommend(
+            RecommendRequest(users=users, n_items=params["top_n"]),
+            shard_size=params["shard_size"],
         )
         shared_seconds = time.perf_counter() - start
         stats = runtime.last_serving_stats

@@ -18,13 +18,19 @@ import warnings
 
 import numpy as np
 
-from repro import OCuLaR
+from repro import OCuLaR, RecommendRequest
 from repro.core.coclusters import cocluster_statistics, extract_coclusters
 from repro.core.recommend import batch_reports
 from repro.core.render import render_coclusters
 from repro.data.datasets import make_b2b
 from repro.evaluation.metrics import catalog_coverage
-from repro.serving import TopNEngine, fold_in_user, recommend_folded
+from repro.runtime import (
+    BatchingFrontEnd,
+    GatewayClient,
+    GatewayThread,
+    RecommenderRuntime,
+)
+from repro.serving import fold_in_user
 
 
 def main() -> None:
@@ -75,41 +81,84 @@ def main() -> None:
         print()
 
     # ------------------------------------------------------------------ #
-    # 4. A catalogue-coverage diagnostic: co-cluster recommendations reach
-    #    beyond the global best-sellers.  The sample is served in one
-    #    chunked pass rather than a per-client loop.
+    # 4. Publish the fitted model into the serving runtime.  Every request
+    #    from here on is one RecommendRequest through the unified
+    #    runtime.recommend(request) entrypoint — known accounts and
+    #    cold-start fold-ins alike.
     # ------------------------------------------------------------------ #
-    engine = TopNEngine.from_model(model)
-    sample_clients = list(range(0, matrix.n_users, 4))
-    ocular_lists = engine.recommend_batch(sample_clients, n_items=3)
-    coverage = catalog_coverage(ocular_lists, n_items=matrix.n_items)
-    print(
-        f"Catalogue coverage of the top-3 lists over {len(sample_clients)} accounts: "
-        f"{coverage:.0%} of all products are recommended to someone."
-    )
-    print()
+    with RecommenderRuntime(executor="serial") as runtime:
+        runtime.fit(model, matrix)
+        runtime.publish()
 
-    # ------------------------------------------------------------------ #
-    # 5. Cold-start fold-in: a brand-new client walks in after the nightly
-    #    fit.  Their purchase vector is folded into the fixed item factors
-    #    (a few convex projected-gradient sweeps — no refit) and served
-    #    through the same engine.
-    # ------------------------------------------------------------------ #
-    template = int(np.argsort(-matrix.user_degrees())[10])
-    new_client_purchases = matrix.items_of_user(template)[:4]
-    purchased_names = ", ".join(
-        matrix.label_of_item(int(item)) for item in new_client_purchases
-    )
-    print(f"New client (not in the training run) already bought: {purchased_names}.")
+        # Catalogue-coverage diagnostic: co-cluster recommendations reach
+        # beyond the global best-sellers.  One chunked batch request.
+        sample_clients = tuple(range(0, matrix.n_users, 4))
+        response = runtime.recommend(
+            RecommendRequest(users=sample_clients, n_items=3)
+        )
+        coverage = catalog_coverage(response.rankings, n_items=matrix.n_items)
+        print(
+            f"Catalogue coverage of the top-3 lists over {len(sample_clients)} "
+            f"accounts: {coverage:.0%} of all products are recommended to someone "
+            f"(model generation {response.generation})."
+        )
+        print()
 
-    factors = fold_in_user(model, new_client_purchases)
-    memberships = int((factors > 0.05 * factors.max()).sum()) if factors.max() > 0 else 0
-    ranked = recommend_folded(engine, [new_client_purchases], model=model, n_items=3)[0]
-    suggestions = ", ".join(matrix.label_of_item(int(item)) for item in ranked)
-    print(
-        f"Fold-in placed them in {memberships} co-cluster(s); "
-        f"next-product suggestions: {suggestions}."
-    )
+        # ------------------------------------------------------------------ #
+        # 5. Cold-start fold-in: a brand-new client walks in after the
+        #    nightly fit.  Their purchase vector is folded into the fixed
+        #    item factors (a few convex projected-gradient sweeps — no
+        #    refit).  Same entrypoint, interactions payload instead of users.
+        # ------------------------------------------------------------------ #
+        template = int(np.argsort(-matrix.user_degrees())[10])
+        new_client_purchases = matrix.items_of_user(template)[:4]
+        purchased_names = ", ".join(
+            matrix.label_of_item(int(item)) for item in new_client_purchases
+        )
+        print(
+            f"New client (not in the training run) already bought: {purchased_names}."
+        )
+
+        factors = fold_in_user(model, new_client_purchases)
+        memberships = (
+            int((factors > 0.05 * factors.max()).sum()) if factors.max() > 0 else 0
+        )
+        folded = runtime.recommend(
+            RecommendRequest(interactions=(new_client_purchases,), n_items=3)
+        )
+        suggestions = ", ".join(
+            matrix.label_of_item(int(item)) for item in folded.rankings[0]
+        )
+        print(
+            f"Fold-in placed them in {memberships} co-cluster(s); "
+            f"next-product suggestions: {suggestions}."
+        )
+        print()
+
+        # ------------------------------------------------------------------ #
+        # 6. The same requests over the network: the asyncio gateway speaks
+        #    newline-delimited JSON and coalesces concurrent clients into
+        #    micro-batches behind the identical request/response API.
+        # ------------------------------------------------------------------ #
+        with BatchingFrontEnd(runtime, max_delay_ms=2.0, adaptive=True) as front:
+            with GatewayThread(front) as gateway:
+                host, port = gateway.address
+                with GatewayClient(host, port) as client:
+                    wire = client.recommend(
+                        RecommendRequest(
+                            users=tuple(int(c) for c in top_accounts),
+                            n_items=2,
+                            tenant="seller-dashboard",
+                        )
+                    )
+                over_the_wire = ", ".join(
+                    matrix.label_of_item(int(item)) for item in wire.rankings[0]
+                )
+        print(
+            f"Served over the gateway on {host}:{port}: top account "
+            f"{matrix.label_of_user(int(top_accounts[0]))} -> {over_the_wire} "
+            f"(queued {wire.queue_ms:.1f} ms, generation {wire.generation})."
+        )
 
 
 if __name__ == "__main__":

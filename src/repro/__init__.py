@@ -19,6 +19,7 @@ Quick start::
     print(model.explain(user=0, item=int(model.recommend(0, 1)[0])).to_text())
 """
 
+from repro.api import RecommendRequest, RecommendResponse
 from repro.base import Recommender
 from repro.core.ocular import OCuLaR
 from repro.core.r_ocular import ROCuLaR
@@ -38,6 +39,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Recommender",
+    "RecommendRequest",
+    "RecommendResponse",
     "OCuLaR",
     "ROCuLaR",
     "BiasedOCuLaR",

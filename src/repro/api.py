@@ -1,0 +1,332 @@
+"""The unified request/response vocabulary every serving entrypoint speaks.
+
+Before this module the runtime had three divergent entrypoints — the
+in-process :class:`~repro.serving.engine.TopNEngine`, the
+:class:`~repro.runtime.RecommenderRuntime` pair ``topn`` /
+``recommend_folded``, and the micro-batcher's ``submit`` /
+``submit_folded`` — each with its own ad-hoc argument vocabulary.  The
+network gateway would have been a fourth.  Instead, every path now accepts
+one typed :class:`RecommendRequest` and produces one typed
+:class:`RecommendResponse`:
+
+* ``RecommenderRuntime.recommend(request)`` — blocking, in-process;
+* ``BatchingFrontEnd.submit_request(request)`` — a future, micro-batched;
+* the asyncio gateway (:mod:`repro.runtime.gateway`) — the same two
+  dataclasses as newline-delimited JSON frames over a socket.
+
+Both dataclasses are frozen (a request is hashable configuration plus row
+payload; a response is an immutable record of what was served) and carry
+JSON codecs, so the wire protocol is exactly ``request.to_json()`` one way
+and ``RecommendResponse.from_json`` the other — there is no separate wire
+schema to drift out of sync.
+
+A request is **either** known-users top-N (``users=(3, 17, 41)``) **or**
+cold-start fold-in (``interactions=((2, 9), (5,))`` — one item-index tuple
+per unseen user); exactly one of the two must be given.
+:attr:`RecommendRequest.options` is the hashable serving-option key the
+micro-batcher groups by: requests whose options match can be merged into
+one engine call and scattered back without changing any per-row math.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Default tenant for requests that do not name one.  Tenancy only matters
+#: under gateway backpressure, where the weighted fair queue arbitrates
+#: between tenants; in-process callers can ignore it entirely.
+DEFAULT_TENANT = "default"
+
+#: Request fields the dict/JSON codec accepts.  ``from_dict`` is strict —
+#: an unknown key is a typed error, not a silent drop — so a client typo
+#: (``"nitems"``) fails loudly at the gateway instead of serving defaults.
+_REQUEST_FIELDS = (
+    "users",
+    "interactions",
+    "n_items",
+    "exclude_seen",
+    "with_scores",
+    "n_sweeps",
+    "tolerance",
+    "tenant",
+)
+
+
+def _as_int_tuple(values, name: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(value) for value in values)
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(f"{name} must be a sequence of integers") from error
+
+
+@dataclass(frozen=True)
+class RecommendRequest:
+    """One serving request, identical in-process and on the wire.
+
+    Parameters
+    ----------
+    users:
+        Known-user top-N: indices into the training matrix.  May be empty
+        (the response is then empty too).  Mutually exclusive with
+        ``interactions``.
+    interactions:
+        Cold-start fold-in: one item-index tuple per unseen user.  Mutually
+        exclusive with ``users``.
+    n_items:
+        Ranked-list length per row.
+    exclude_seen:
+        Mask each row's own positives (the deployment default).
+    with_scores:
+        Also return the model score of every ranked item.
+    n_sweeps / tolerance:
+        Fold-in solver budget; ignored for known-user requests.
+    tenant:
+        Client identity for the gateway's weighted fair queue; any
+        non-empty string.  Irrelevant to ranking.
+    """
+
+    users: Optional[Tuple[int, ...]] = None
+    interactions: Optional[Tuple[Tuple[int, ...], ...]] = None
+    n_items: int = 10
+    exclude_seen: bool = True
+    with_scores: bool = False
+    n_sweeps: int = 30
+    tolerance: float = 1e-8
+    tenant: str = DEFAULT_TENANT
+
+    def __post_init__(self) -> None:
+        if (self.users is None) == (self.interactions is None):
+            raise ConfigurationError(
+                "a RecommendRequest takes exactly one of users= (known-user "
+                "top-N) or interactions= (cold-start fold-in)"
+            )
+        if self.users is not None:
+            object.__setattr__(self, "users", _as_int_tuple(self.users, "users"))
+        else:
+            try:
+                rows = tuple(
+                    _as_int_tuple(row, "interactions") for row in self.interactions
+                )
+            except TypeError as error:
+                raise ConfigurationError(
+                    "interactions must be a sequence of item-index sequences "
+                    "(one per cold-start user)"
+                ) from error
+            object.__setattr__(self, "interactions", rows)
+        if not isinstance(self.n_items, int) or self.n_items <= 0:
+            raise ConfigurationError(f"n_items must be a positive integer, got {self.n_items!r}")
+        if not isinstance(self.n_sweeps, int) or self.n_sweeps <= 0:
+            raise ConfigurationError(f"n_sweeps must be a positive integer, got {self.n_sweeps!r}")
+        object.__setattr__(self, "exclude_seen", bool(self.exclude_seen))
+        object.__setattr__(self, "with_scores", bool(self.with_scores))
+        try:
+            tolerance = float(self.tolerance)
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError("tolerance must be a number") from error
+        if tolerance < 0:
+            raise ConfigurationError(f"tolerance must be non-negative, got {tolerance}")
+        object.__setattr__(self, "tolerance", tolerance)
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ConfigurationError("tenant must be a non-empty string")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> str:
+        """``"topn"`` (known users) or ``"folded"`` (cold-start fold-in)."""
+        return "topn" if self.users is not None else "folded"
+
+    @property
+    def rows(self) -> Sequence:
+        """The per-row payload: user indices, or one item tuple per row."""
+        return self.users if self.users is not None else self.interactions
+
+    @property
+    def n_rows(self) -> int:
+        """How many ranked lists this request asks for (its batch weight)."""
+        return len(self.rows)
+
+    @property
+    def options(self) -> Tuple:
+        """Hashable serving-option key: requests sharing it may be merged.
+
+        Two requests with equal ``options`` produce identical per-row math,
+        so the micro-batcher can flatten their rows into one engine call and
+        slice the results back apart.  ``tenant`` is deliberately excluded —
+        tenancy governs admission, not ranking.
+        """
+        common = (self.kind, self.n_items, self.exclude_seen, self.with_scores)
+        if self.kind == "folded":
+            return common + (self.n_sweeps, self.tolerance)
+        return common
+
+    def merged_with_rows(self, rows: Sequence) -> "RecommendRequest":
+        """A copy of this request carrying ``rows`` as its payload.
+
+        The micro-batcher uses this to build the merged request of an
+        option-group: same options, the group's flattened rows.
+        """
+        if self.kind == "topn":
+            return replace(self, users=tuple(rows))
+        return replace(self, interactions=tuple(tuple(row) for row in rows))
+
+    # ------------------------------------------------------------------ #
+    # Codecs
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; exactly what the gateway accepts as a frame."""
+        payload: dict = {"n_items": self.n_items, "exclude_seen": self.exclude_seen}
+        if self.users is not None:
+            payload["users"] = list(self.users)
+        else:
+            payload["interactions"] = [list(row) for row in self.interactions]
+            payload["n_sweeps"] = self.n_sweeps
+            payload["tolerance"] = self.tolerance
+        if self.with_scores:
+            payload["with_scores"] = True
+        if self.tenant != DEFAULT_TENANT:
+            payload["tenant"] = self.tenant
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecommendRequest":
+        """Strict inverse of :meth:`to_dict` (unknown keys are typed errors)."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError("a request frame must be a JSON object")
+        unknown = sorted(set(payload) - set(_REQUEST_FIELDS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown request field(s): {', '.join(unknown)} "
+                f"(accepted: {', '.join(_REQUEST_FIELDS)})"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RecommendRequest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"request is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+
+@dataclass(frozen=True)
+class RecommendResponse:
+    """What every serving path returns for one :class:`RecommendRequest`.
+
+    Attributes
+    ----------
+    rankings:
+        One ranked item-index array per requested row, aligned with the
+        request's rows — identical to what the in-process engine returns
+        for the same request and model version.
+    generation:
+        The runtime model generation that served the request.  Batched and
+        gateway responses pin it per micro-batch, so a response formed
+        against version N reports N even when an ``update()`` landed
+        mid-flight.
+    scores:
+        Model scores of the ranked items (same shapes as ``rankings``) when
+        the request asked ``with_scores``; ``None`` otherwise.
+    queue_ms:
+        Time the request waited between submission and dispatch (0 for the
+        unbatched in-process path).
+    serve_ms:
+        Time spent actually serving the (possibly merged) engine call.
+    batch_id / batch_requests / batch_users:
+        Which micro-batch the request rode, how many requests it coalesced,
+        and its total merged rows (occupancy).  ``batch_requests == 1`` for
+        the unbatched path.
+    """
+
+    rankings: List[np.ndarray]
+    generation: int
+    scores: Optional[List[np.ndarray]] = None
+    queue_ms: float = 0.0
+    serve_ms: float = 0.0
+    batch_id: int = 0
+    batch_requests: int = 1
+    batch_users: int = 0
+
+    @property
+    def queue_seconds(self) -> float:
+        """Queue wait in seconds (compatibility with the pre-gateway API)."""
+        return self.queue_ms / 1000.0
+
+    # ------------------------------------------------------------------ #
+    # Codecs
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        payload = {
+            "rankings": [[int(item) for item in row] for row in self.rankings],
+            "generation": int(self.generation),
+            "queue_ms": float(self.queue_ms),
+            "serve_ms": float(self.serve_ms),
+            "batch_id": int(self.batch_id),
+            "batch_requests": int(self.batch_requests),
+            "batch_users": int(self.batch_users),
+        }
+        if self.scores is not None:
+            payload["scores"] = [[float(score) for score in row] for row in self.scores]
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RecommendResponse":
+        """Lenient inverse of :meth:`to_dict`.
+
+        Unknown keys are ignored so a response embedded in a larger frame
+        (the gateway adds ``id`` and ``ok``) decodes directly.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError("a response frame must be a JSON object")
+        scores = payload.get("scores")
+        return cls(
+            rankings=[
+                np.asarray(row, dtype=np.int64) for row in payload.get("rankings", [])
+            ],
+            generation=int(payload.get("generation", 0)),
+            scores=(
+                None
+                if scores is None
+                else [np.asarray(row, dtype=float) for row in scores]
+            ),
+            queue_ms=float(payload.get("queue_ms", 0.0)),
+            serve_ms=float(payload.get("serve_ms", 0.0)),
+            batch_id=int(payload.get("batch_id", 0)),
+            batch_requests=int(payload.get("batch_requests", 1)),
+            batch_users=int(payload.get("batch_users", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RecommendResponse":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"response is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+
+# Backwards-compatible name: the micro-batcher's futures used to resolve to
+# a BatchedResponse; they now resolve to the unified RecommendResponse,
+# which carries every field the old dataclass had (queue_seconds included).
+BatchedResponse = RecommendResponse
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "BatchedResponse",
+    "RecommendRequest",
+    "RecommendResponse",
+]

@@ -3,23 +3,51 @@
 :class:`RecommenderRuntime` owns one warm executor for its whole life and
 threads it through training (warm-pool fits/refits), publication (factor
 matrices and the seen-mask in shared memory, once per model version) and
-serving (process shards carry only descriptors).  See
-:mod:`repro.runtime.service` for the full story.
+serving (process shards carry only descriptors).  Its single serving
+entrypoint is :meth:`~RecommenderRuntime.recommend`, which takes a
+:class:`~repro.api.RecommendRequest` and returns a
+:class:`~repro.api.RecommendResponse`; see :mod:`repro.runtime.service`.
 
 :class:`BatchingFrontEnd` sits in front of a runtime and coalesces many
-small concurrent requests into micro-batches under a latency bound, serving
-each batch against one pinned model version (:class:`ServingSession`); see
-:mod:`repro.runtime.batching`.
+small concurrent requests into micro-batches under a latency bound —
+static, or re-tuned live by an :class:`AdaptiveDelayController` against a
+queue-latency SLO — serving each batch against one pinned model version
+(:class:`ServingSession`); see :mod:`repro.runtime.batching` and
+:mod:`repro.runtime.adaptive`.
+
+:class:`ServingGateway` (with its :class:`GatewayThread` host and
+:class:`GatewayClient` counterpart) puts an asyncio socket front door on
+the batcher — newline-delimited JSON frames of the same request/response
+dataclasses, with per-tenant weighted fair queueing
+(:class:`WeightedFairQueue`) under backpressure; see
+:mod:`repro.runtime.gateway`.
 """
 
-from repro.runtime.batching import BatchedResponse, BatchingFrontEnd, BatchingStats
+from repro.api import BatchedResponse, RecommendRequest, RecommendResponse
+from repro.runtime.adaptive import AdaptiveDelayController
+from repro.runtime.batching import BatchingFrontEnd, BatchingStats
+from repro.runtime.fairness import WeightedFairQueue
+from repro.runtime.gateway import (
+    GatewayClient,
+    GatewayError,
+    GatewayThread,
+    ServingGateway,
+)
 from repro.runtime.service import RecommenderRuntime, ServingSession, ServingStats
 
 __all__ = [
+    "AdaptiveDelayController",
     "BatchedResponse",
     "BatchingFrontEnd",
     "BatchingStats",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayThread",
+    "RecommendRequest",
+    "RecommendResponse",
     "RecommenderRuntime",
+    "ServingGateway",
     "ServingSession",
     "ServingStats",
+    "WeightedFairQueue",
 ]

@@ -2,29 +2,38 @@
 
 The paper's deployment serves many concurrent B2B clients, each asking for
 recommendations for a handful of users at a time.  Dispatching every such
-request through :meth:`~repro.runtime.RecommenderRuntime.topn` individually
-wastes the sharded serving machinery on tiny fan-outs: a four-user request
-pays one executor round-trip for four rows of BLAS work, so under high
-request concurrency the dispatch overhead — not the scoring — bounds
-users/s.
+request through :meth:`~repro.runtime.RecommenderRuntime.recommend`
+individually wastes the sharded serving machinery on tiny fan-outs: a
+four-user request pays one executor round-trip for four rows of BLAS work,
+so under high request concurrency the dispatch overhead — not the scoring —
+bounds users/s.
 
 :class:`BatchingFrontEnd` closes that gap with classic micro-batching:
 
-* **accumulate** — :meth:`submit` / :meth:`submit_folded` enqueue a request
-  and return a :class:`~concurrent.futures.Future` immediately; a dispatcher
-  thread (:class:`~repro.parallel.executor.DispatcherThread`) holds the
-  queue open until ``max_batch_users`` rows have gathered or the *oldest*
-  request has waited ``max_delay_ms`` — whichever comes first, so a lone
+* **accumulate** — :meth:`submit_request` enqueues a
+  :class:`~repro.api.RecommendRequest` and returns a
+  :class:`~concurrent.futures.Future` immediately; a dispatcher thread
+  (:class:`~repro.parallel.executor.DispatcherThread`) holds the queue open
+  until ``max_batch_users`` rows have gathered or the *oldest* request has
+  waited the current accumulation delay — whichever comes first, so a lone
   request is never held past the latency bound;
-* **merge** — the sealed batch is grouped by request shape (known-user
-  top-N vs fold-in cold-start, and by serving options), each group's user
-  lists are flattened by :func:`~repro.serving.batch.merge_request_lists`,
-  and one runtime call serves the merged list through the existing sharded
+* **merge** — the sealed batch is grouped by
+  :attr:`~repro.api.RecommendRequest.options` (known-user top-N vs fold-in
+  cold-start, and by serving options), each group's rows are flattened by
+  :func:`~repro.serving.batch.merge_request_lists` into one merged request,
+  and a single runtime call serves it through the existing sharded
   descriptor path — the batch rides the same machinery, just with real
   occupancy;
-* **scatter** — per-user rankings are sliced back per request
-  (:func:`~repro.serving.batch.scatter_results`) and delivered through the
-  futures as :class:`BatchedResponse` objects.
+* **scatter** — per-row rankings (and scores, when asked) are sliced back
+  per request (:func:`~repro.serving.batch.scatter_results`) and delivered
+  through the futures as :class:`~repro.api.RecommendResponse` objects.
+
+The accumulation delay is either the static ``max_delay_ms`` or — when an
+:class:`~repro.runtime.adaptive.AdaptiveDelayController` is attached — a
+live value the controller re-tunes against the arrival rate and the queue
+latency SLO: shrinking toward its floor under light load (waiting buys no
+occupancy, so don't), growing toward ``max_delay_ms`` under heavy load
+while the queue-wait p95 stays inside the SLO.
 
 Generation safety: every batch is sealed against one
 :class:`~repro.runtime.service.ServingSession`, pinned at dispatch time, so
@@ -44,56 +53,31 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api import BatchedResponse, RecommendRequest, RecommendResponse
 from repro.exceptions import ConfigurationError
 from repro.parallel.executor import DispatcherThread
+from repro.runtime.adaptive import AdaptiveDelayController
 from repro.serving.batch import merge_request_lists, scatter_results
 from repro.utils.validation import check_non_negative_float, check_positive_int
 
-
-@dataclass(frozen=True)
-class BatchedResponse:
-    """What a coalesced request's future resolves to.
-
-    Attributes
-    ----------
-    rankings:
-        One ranked item array per requested row, aligned with the request's
-        users (or fold-in interaction vectors) — exactly what the unbatched
-        runtime call would have returned for this request alone.
-    generation:
-        The runtime generation the request's batch was served by.  Every
-        request of one batch shares it: the batch was sealed against a
-        pinned serving session.
-    batch_id:
-        Sequence number of the micro-batch this request rode.
-    batch_requests:
-        How many requests the batch coalesced.
-    batch_users:
-        Total merged rows in the batch (its occupancy).
-    queue_seconds:
-        How long this request waited between submission and dispatch —
-        bounded by ``max_delay_ms`` plus the dispatch time of the batch in
-        front of it.
-    """
-
-    rankings: List[np.ndarray]
-    generation: int
-    batch_id: int
-    batch_requests: int
-    batch_users: int
-    queue_seconds: float
+__all__ = [
+    "BatchedResponse",
+    "BatchingFrontEnd",
+    "BatchingStats",
+]
 
 
 @dataclass(frozen=True)
 class BatchingStats:
-    """Aggregate front-end behaviour (complements the runtime's ServingStats).
+    """One consistent snapshot of the front-end's behaviour.
 
     Attributes
     ----------
@@ -111,6 +95,13 @@ class BatchingStats:
     queue_p50_ms / queue_p95_ms / queue_max_ms:
         Percentiles of request queue latency (submission to dispatch) over
         the recent-request window, in milliseconds.
+    current_delay_ms:
+        The accumulation delay batches are currently held open for — the
+        static ``max_delay_ms``, or the adaptive controller's live value.
+    pending_requests:
+        Requests queued at snapshot time (not yet sealed into a batch).
+    arrival_rate_rps:
+        Request submissions per second over the recent sliding window.
     """
 
     batches: int
@@ -121,23 +112,31 @@ class BatchingStats:
     queue_p50_ms: float
     queue_p95_ms: float
     queue_max_ms: float
+    current_delay_ms: float
+    pending_requests: int
+    arrival_rate_rps: float
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (the gateway's ``stats`` frame embeds it)."""
+        return asdict(self)
 
 
-class _Request:
-    """One enqueued request: payload rows, serving options, and its future."""
+class _Pending:
+    """One enqueued request with its future and submission timestamp."""
 
-    __slots__ = ("kind", "rows", "options", "future", "enqueued")
+    __slots__ = ("request", "future", "enqueued")
 
-    def __init__(self, kind: str, rows: list, options: Tuple, future: Future) -> None:
-        self.kind = kind
-        self.rows = rows
-        self.options = options
+    def __init__(self, request: RecommendRequest, future: Future) -> None:
+        self.request = request
         self.future = future
         self.enqueued = time.monotonic()
 
 
-#: Queue-latency samples retained for the percentile stats.
+#: Queue-latency / arrival samples retained for the windowed stats.
 _LATENCY_WINDOW = 4096
+
+#: Sliding window (seconds) for the arrival-rate estimate in :meth:`stats`.
+_RATE_WINDOW_S = 2.0
 
 
 class BatchingFrontEnd:
@@ -153,11 +152,16 @@ class BatchingFrontEnd:
         Latency bound: the longest a sealed batch's *oldest* request is held
         waiting for company.  ``0`` dispatches every poll immediately
         (batching then only coalesces requests that were already queued
-        together).
+        together).  With an adaptive controller this is the delay's
+        *ceiling*; the live value moves below it.
     max_batch_users:
         Size cap: a batch is sealed as soon as this many merged rows have
         gathered.  A single request larger than the cap is dispatched alone
         (requests are never split).
+    adaptive:
+        ``True`` to attach an :class:`AdaptiveDelayController` whose ceiling
+        is ``max_delay_ms``, or a pre-built controller instance (its own
+        ceiling then governs), or ``None``/``False`` for the static delay.
 
     Use as a context manager; :meth:`close` drains pending requests::
 
@@ -165,7 +169,7 @@ class BatchingFrontEnd:
             runtime.fit(model, matrix)
             runtime.publish()
             with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
-                futures = [front.submit(req) for req in requests]
+                futures = [front.submit_request(req) for req in requests]
                 lists = [f.result().rankings for f in futures]
     """
 
@@ -174,12 +178,29 @@ class BatchingFrontEnd:
         runtime,
         max_delay_ms: float = 5.0,
         max_batch_users: int = 256,
+        adaptive=None,
     ) -> None:
         self.max_delay_ms = check_non_negative_float(max_delay_ms, "max_delay_ms")
         self.max_batch_users = check_positive_int(max_batch_users, "max_batch_users")
+        if adaptive is None or adaptive is False:
+            self._controller: Optional[AdaptiveDelayController] = None
+        elif adaptive is True:
+            # The static bound becomes the adaptive ceiling; the floor stays
+            # at the controller default unless the ceiling is below it.
+            controller = AdaptiveDelayController(
+                floor_ms=min(0.5, max(max_delay_ms, 1e-3)),
+                ceiling_ms=max(max_delay_ms, 1e-3),
+            )
+            self._controller = controller
+        elif isinstance(adaptive, AdaptiveDelayController):
+            self._controller = adaptive
+        else:
+            raise ConfigurationError(
+                "adaptive must be True, an AdaptiveDelayController, or None"
+            )
         self._runtime = runtime
         self._cond = threading.Condition()
-        self._pending: Deque[_Request] = deque()
+        self._pending: Deque[_Pending] = deque()
         self._pending_rows = 0
         self._closed = False
         self._draining = False
@@ -187,6 +208,7 @@ class BatchingFrontEnd:
         self._requests = 0
         self._rows = 0
         self._queue_seconds: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._arrivals: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         # Assign before starting: the loop's first step may run before
         # start() returns and reads self._dispatcher.
         self._dispatcher = DispatcherThread(
@@ -206,6 +228,11 @@ class BatchingFrontEnd:
         return self._runtime
 
     @property
+    def controller(self) -> Optional[AdaptiveDelayController]:
+        """The attached adaptive delay controller, if any."""
+        return self._controller
+
+    @property
     def closed(self) -> bool:
         """Whether :meth:`close` has run."""
         return self._closed
@@ -216,13 +243,24 @@ class BatchingFrontEnd:
         with self._cond:
             return len(self._pending)
 
+    @property
+    def current_delay_ms(self) -> float:
+        """The accumulation delay batches are held open for right now."""
+        if self._controller is not None:
+            return self._controller.delay_ms
+        return self.max_delay_ms
+
     def stats(self) -> BatchingStats:
         """A consistent snapshot of the front-end's aggregate behaviour."""
+        now = time.monotonic()
         with self._cond:
             batches = self._batches
             requests = self._requests
             rows = self._rows
             waits = list(self._queue_seconds)
+            pending = len(self._pending)
+            horizon = now - _RATE_WINDOW_S
+            rate = sum(1 for ts in self._arrivals if ts > horizon) / _RATE_WINDOW_S
         if waits:
             p50, p95 = np.percentile(waits, [50, 95])
             worst = max(waits)
@@ -237,28 +275,78 @@ class BatchingFrontEnd:
             queue_p50_ms=float(p50) * 1000.0,
             queue_p95_ms=float(p95) * 1000.0,
             queue_max_ms=float(worst) * 1000.0,
+            current_delay_ms=self.current_delay_ms,
+            pending_requests=pending,
+            arrival_rate_rps=rate,
         )
 
     # ------------------------------------------------------------------ #
     # Submission
+    # ------------------------------------------------------------------ #
+    def submit_request(
+        self, request: RecommendRequest
+    ) -> "Future[RecommendResponse]":
+        """Enqueue one request; returns the future of its response.
+
+        The future resolves to a :class:`~repro.api.RecommendResponse`
+        whose rankings are ``np.array_equal`` to
+        ``runtime.recommend(request)`` run unbatched against the same model
+        version.  Duplicate users — within the request or across
+        concurrently queued requests — are fine; every request receives
+        rankings for exactly the rows it asked for.
+        """
+        if not isinstance(request, RecommendRequest):
+            raise ConfigurationError(
+                f"submit_request takes a RecommendRequest, got {type(request).__name__}"
+            )
+        future: Future = Future()
+        pending = _Pending(request, future)
+        with self._cond:
+            if self._closed:
+                raise ConfigurationError("the batching front-end is closed")
+            failure = self._dispatcher.failure
+            if failure is not None:  # pragma: no cover - defensive
+                raise ConfigurationError(
+                    "the batching dispatcher died; the front-end cannot accept "
+                    "requests"
+                ) from failure
+            self._pending.append(pending)
+            self._pending_rows += request.n_rows
+            self._arrivals.append(pending.enqueued)
+            self._cond.notify_all()
+        if self._controller is not None:
+            self._controller.observe_arrival(pending.enqueued)
+        return future
+
+    def recommend(
+        self, request: RecommendRequest, timeout: Optional[float] = None
+    ) -> RecommendResponse:
+        """Submit one request and block for its response (client shape)."""
+        return self.submit_request(request).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Deprecated pre-gateway entrypoints (kept as shims)
     # ------------------------------------------------------------------ #
     def submit(
         self,
         users: Sequence[int],
         n_items: int = 10,
         exclude_seen: bool = True,
-    ) -> "Future[BatchedResponse]":
-        """Enqueue a known-users top-N request; returns its future.
-
-        The future resolves to a :class:`BatchedResponse` whose rankings are
-        ``np.array_equal`` to ``runtime.topn(users, ...)`` run unbatched
-        against the same model version.  Duplicate users — within the
-        request or across concurrently queued requests — are fine; every
-        request receives rankings for exactly the users it asked for.
-        """
-        check_positive_int(n_items, "n_items")
-        rows = [int(user) for user in users]
-        return self._enqueue("topn", rows, (n_items, bool(exclude_seen)))
+    ) -> "Future[RecommendResponse]":
+        """Deprecated: use :meth:`submit_request` with a RecommendRequest."""
+        warnings.warn(
+            "BatchingFrontEnd.submit(users, ...) is deprecated; build a "
+            "RecommendRequest(users=...) and call submit_request(request)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit_request(
+            RecommendRequest(
+                users=tuple(int(user) for user in users),
+                n_items=n_items,
+                exclude_seen=exclude_seen,
+            )
+        )
 
     def submit_folded(
         self,
@@ -267,23 +355,26 @@ class BatchingFrontEnd:
         exclude_seen: bool = True,
         n_sweeps: int = 30,
         tolerance: float = 1e-8,
-    ) -> "Future[BatchedResponse]":
-        """Enqueue a cold-start (fold-in) request; returns its future.
-
-        ``interactions`` is one item-index list per unseen user — the
-        list-of-lists form, which is the only one that can be merged across
-        requests.  The future's rankings equal
-        ``runtime.recommend_folded(interactions, ...)`` unbatched against
-        the same model version.
-        """
-        check_positive_int(n_items, "n_items")
-        check_positive_int(n_sweeps, "n_sweeps")
-        rows = [
-            [int(item) for item in np.asarray(list(items), dtype=np.int64).ravel()]
-            for items in interactions
-        ]
-        return self._enqueue(
-            "folded", rows, (n_items, bool(exclude_seen), n_sweeps, float(tolerance))
+    ) -> "Future[RecommendResponse]":
+        """Deprecated: use :meth:`submit_request` with a RecommendRequest."""
+        warnings.warn(
+            "BatchingFrontEnd.submit_folded(interactions, ...) is deprecated; "
+            "build a RecommendRequest(interactions=...) and call "
+            "submit_request(request)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit_request(
+            RecommendRequest(
+                interactions=tuple(
+                    tuple(int(item) for item in np.asarray(list(items), dtype=np.int64).ravel())
+                    for items in interactions
+                ),
+                n_items=n_items,
+                exclude_seen=exclude_seen,
+                n_sweeps=n_sweeps,
+                tolerance=tolerance,
+            )
         )
 
     def topn_blocking(
@@ -293,9 +384,19 @@ class BatchingFrontEnd:
         exclude_seen: bool = True,
         timeout: Optional[float] = None,
     ) -> List[np.ndarray]:
-        """Submit a top-N request and wait for its rankings (client shape)."""
-        future = self.submit(users, n_items=n_items, exclude_seen=exclude_seen)
-        return future.result(timeout=timeout).rankings
+        """Deprecated: use :meth:`recommend` with a RecommendRequest."""
+        warnings.warn(
+            "BatchingFrontEnd.topn_blocking is deprecated; call "
+            "recommend(RecommendRequest(users=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        request = RecommendRequest(
+            users=tuple(int(user) for user in users),
+            n_items=n_items,
+            exclude_seen=exclude_seen,
+        )
+        return self.submit_request(request).result(timeout=timeout).rankings
 
     def recommend_folded_blocking(
         self,
@@ -306,32 +407,24 @@ class BatchingFrontEnd:
         tolerance: float = 1e-8,
         timeout: Optional[float] = None,
     ) -> List[np.ndarray]:
-        """Submit a fold-in request and wait for its rankings."""
-        future = self.submit_folded(
-            interactions,
+        """Deprecated: use :meth:`recommend` with a RecommendRequest."""
+        warnings.warn(
+            "BatchingFrontEnd.recommend_folded_blocking is deprecated; call "
+            "recommend(RecommendRequest(interactions=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        request = RecommendRequest(
+            interactions=tuple(
+                tuple(int(item) for item in np.asarray(list(items), dtype=np.int64).ravel())
+                for items in interactions
+            ),
             n_items=n_items,
             exclude_seen=exclude_seen,
             n_sweeps=n_sweeps,
             tolerance=tolerance,
         )
-        return future.result(timeout=timeout).rankings
-
-    def _enqueue(self, kind: str, rows: list, options: Tuple) -> Future:
-        future: Future = Future()
-        request = _Request(kind, rows, options, future)
-        with self._cond:
-            if self._closed:
-                raise ConfigurationError("the batching front-end is closed")
-            failure = self._dispatcher.failure
-            if failure is not None:  # pragma: no cover - defensive
-                raise ConfigurationError(
-                    "the batching dispatcher died; the front-end cannot accept "
-                    "requests"
-                ) from failure
-            self._pending.append(request)
-            self._pending_rows += len(rows)
-            self._cond.notify_all()
-        return future
+        return self.submit_request(request).result(timeout=timeout).rankings
 
     # ------------------------------------------------------------------ #
     # Dispatcher side
@@ -351,47 +444,50 @@ class BatchingFrontEnd:
             # A sealed batch is no longer in the queue, so the loop-death
             # cleanup (_fail_pending) cannot see it: resolve its futures
             # here, then let the failure propagate to kill the loop.
-            for request in batch:
-                if not request.future.done():
-                    request.future.set_exception(error)
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
             raise
 
-    def _collect_batch(self) -> List[_Request]:
+    def _collect_batch(self) -> List[_Pending]:
         """Block until a batch is due, then seal and return it.
 
         A batch is due when ``max_batch_users`` merged rows are pending,
-        when the oldest pending request has waited ``max_delay_ms``, or
-        immediately when draining.  Returns ``[]`` on idle polls so the
-        dispatcher loop stays responsive to stop requests.
+        when the oldest pending request has waited the current accumulation
+        delay (static or adaptive), or immediately when draining.  Returns
+        ``[]`` on idle polls so the dispatcher loop stays responsive to stop
+        requests.
         """
         with self._cond:
             while not self._pending:
                 if self._draining or self._dispatcher.stop_requested:
                     return []
                 self._cond.wait(timeout=0.05)
-            deadline = self._pending[0].enqueued + self.max_delay_ms / 1000.0
             while (
                 not self._draining
                 and not self._dispatcher.stop_requested
                 and self._pending_rows < self.max_batch_users
             ):
+                # Re-read the delay each pass: the adaptive controller may
+                # have re-tuned it since the oldest request arrived.
+                deadline = self._pending[0].enqueued + self.current_delay_ms / 1000.0
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
                 self._cond.wait(timeout=remaining)
-            batch: List[_Request] = []
+            batch: List[_Pending] = []
             rows = 0
             while self._pending:
                 head = self._pending[0]
-                if batch and rows + len(head.rows) > self.max_batch_users:
+                if batch and rows + head.request.n_rows > self.max_batch_users:
                     break  # leave for the next batch; never split a request
                 self._pending.popleft()
                 batch.append(head)
-                rows += len(head.rows)
+                rows += head.request.n_rows
             self._pending_rows -= rows
             return batch
 
-    def _dispatch(self, batch: List[_Request]) -> None:
+    def _dispatch(self, batch: List[_Pending]) -> None:
         """Serve one sealed batch against a single pinned model version."""
         # Transition every future to RUNNING now: a client may have
         # cancelled while its request was queued (the future was PENDING),
@@ -399,51 +495,44 @@ class BatchingFrontEnd:
         # dispatcher and strand every other waiter.  Cancelled requests are
         # simply dropped; the survivors can no longer be cancelled.
         batch = [
-            request
-            for request in batch
-            if request.future.set_running_or_notify_cancel()
+            pending
+            for pending in batch
+            if pending.future.set_running_or_notify_cancel()
         ]
         if not batch:
             return
         dispatch_start = time.monotonic()
-        batch_rows = sum(len(request.rows) for request in batch)
+        waits = [dispatch_start - pending.enqueued for pending in batch]
+        batch_rows = sum(pending.request.n_rows for pending in batch)
         with self._cond:
             self._batches += 1
             batch_id = self._batches
             self._requests += len(batch)
             self._rows += batch_rows
-            for request in batch:
-                self._queue_seconds.append(dispatch_start - request.enqueued)
+            self._queue_seconds.extend(waits)
+        if self._controller is not None:
+            self._controller.observe_batch(dispatch_start, waits)
         try:
             session = self._runtime.serving_session()
         except Exception as error:
             # No published model version (or a closed runtime): the whole
             # batch fails with the runtime's own diagnostic.
-            for request in batch:
-                request.future.set_exception(error)
+            for pending in batch:
+                pending.future.set_exception(error)
             return
         with session:
-            groups: Dict[Tuple, List[_Request]] = {}
-            for request in batch:
-                groups.setdefault((request.kind, request.options), []).append(request)
-            for (kind, options), requests in groups.items():
+            groups: Dict[Tuple, List[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(pending.request.options, []).append(pending)
+            for group in groups.values():
                 self._serve_group(
-                    session,
-                    kind,
-                    options,
-                    requests,
-                    batch_id,
-                    len(batch),
-                    batch_rows,
-                    dispatch_start,
+                    session, group, batch_id, len(batch), batch_rows, dispatch_start
                 )
 
     def _serve_group(
         self,
         session,
-        kind: str,
-        options: Tuple,
-        requests: List[_Request],
+        group: List[_Pending],
         batch_id: int,
         batch_requests: int,
         batch_users: int,
@@ -457,39 +546,34 @@ class BatchingFrontEnd:
         other waiter.
         """
         try:
-            merged, spans = merge_request_lists(
-                [request.rows for request in requests]
+            merged_rows, spans = merge_request_lists(
+                [pending.request.rows for pending in group]
             )
-            if kind == "topn":
-                n_items, exclude_seen = options
-                result = session.topn(
-                    merged, n_items=n_items, exclude_seen=exclude_seen
-                )
-                per_row = result.rankings
-            else:
-                n_items, exclude_seen, n_sweeps, tolerance = options
-                per_row = session.recommend_folded(
-                    merged,
-                    n_items=n_items,
-                    exclude_seen=exclude_seen,
-                    n_sweeps=n_sweeps,
-                    tolerance=tolerance,
-                )
-            for request, rankings in zip(requests, scatter_results(per_row, spans)):
-                request.future.set_result(
-                    BatchedResponse(
+            merged = group[0].request.merged_with_rows(merged_rows)
+            response = session.recommend(merged)
+            per_row = scatter_results(response.rankings, spans)
+            per_row_scores = (
+                scatter_results(response.scores, spans)
+                if response.scores is not None
+                else [None] * len(group)
+            )
+            for pending, rankings, scores in zip(group, per_row, per_row_scores):
+                pending.future.set_result(
+                    RecommendResponse(
                         rankings=rankings,
-                        generation=session.generation,
+                        generation=response.generation,
+                        scores=scores,
+                        queue_ms=(dispatch_start - pending.enqueued) * 1000.0,
+                        serve_ms=response.serve_ms,
                         batch_id=batch_id,
                         batch_requests=batch_requests,
                         batch_users=batch_users,
-                        queue_seconds=dispatch_start - request.enqueued,
                     )
                 )
         except Exception as error:
-            for request in requests:
-                if not request.future.done():
-                    request.future.set_exception(error)
+            for pending in group:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
 
     def _fail_pending(self, cause: BaseException) -> None:
         """Resolve every queued future after the dispatcher loop died.
@@ -502,14 +586,14 @@ class BatchingFrontEnd:
             leftovers = list(self._pending)
             self._pending.clear()
             self._pending_rows = 0
-        for request in leftovers:  # pragma: no cover - requires a dead dispatcher
-            if not request.future.done():
+        for pending in leftovers:  # pragma: no cover - requires a dead dispatcher
+            if not pending.future.done():
                 failure = ConfigurationError(
                     "the batching dispatcher died before this request could "
                     "be dispatched"
                 )
                 failure.__cause__ = cause
-                request.future.set_exception(failure)
+                pending.future.set_exception(failure)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -548,9 +632,9 @@ class BatchingFrontEnd:
             leftovers = list(self._pending)
             self._pending.clear()
             self._pending_rows = 0
-        for request in leftovers:  # pragma: no cover - requires a dead dispatcher
-            if not request.future.done():
-                request.future.set_exception(
+        for pending in leftovers:  # pragma: no cover - requires a dead dispatcher
+            if not pending.future.done():
+                pending.future.set_exception(
                     ConfigurationError(
                         "the batching front-end closed before this request "
                         "could be dispatched"

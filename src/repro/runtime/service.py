@@ -42,11 +42,13 @@ import os
 import pickle
 import threading
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.api import RecommendRequest, RecommendResponse
 from repro.core.backends import ParallelBackend
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
@@ -184,13 +186,37 @@ class ServingSession:
             self._runtime._acquire_spec(self._spec)
         return self._engine, self._spec, self._model, self._generation
 
+    def recommend(
+        self, request: RecommendRequest, shard_size: Optional[int] = None
+    ) -> RecommendResponse:
+        """:meth:`RecommenderRuntime.recommend` against the pinned generation."""
+        return self._runtime.recommend(request, session=self, shard_size=shard_size)
+
     def topn(self, users: Sequence[int], **kwargs) -> BatchServingResult:
-        """:meth:`RecommenderRuntime.topn` against the pinned generation."""
-        return self._runtime.topn(users, session=self, **kwargs)
+        """Deprecated: use :meth:`recommend` with a known-users request."""
+        warnings.warn(
+            "ServingSession.topn() is deprecated; use "
+            "session.recommend(RecommendRequest(users=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        user_list, rankings, _scores, n_shards, _generation = self._runtime._serve_topn(
+            users, session=self, **kwargs
+        )
+        return BatchServingResult(users=user_list, rankings=rankings, n_shards=n_shards)
 
     def recommend_folded(self, interactions, **kwargs) -> List[np.ndarray]:
-        """:meth:`RecommenderRuntime.recommend_folded` against the pinned generation."""
-        return self._runtime.recommend_folded(interactions, session=self, **kwargs)
+        """Deprecated: use :meth:`recommend` with an interactions request."""
+        warnings.warn(
+            "ServingSession.recommend_folded() is deprecated; use "
+            "session.recommend(RecommendRequest(interactions=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        rankings, _scores, _n_shards, _generation = self._runtime._serve_folded(
+            interactions, session=self, **kwargs
+        )
+        return rankings
 
     def release(self) -> None:
         """Drop the session's generation reference; idempotent.
@@ -454,6 +480,58 @@ class RecommenderRuntime:
         self._check_open()
         return ServingSession(self)
 
+    def recommend(
+        self,
+        request: RecommendRequest,
+        session: Optional[ServingSession] = None,
+        shard_size: Optional[int] = None,
+    ) -> RecommendResponse:
+        """Serve one :class:`~repro.api.RecommendRequest` — the unified entrypoint.
+
+        Dispatches per request kind: known users (``request.users``) go down
+        the sharded top-N path, cold-start rows (``request.interactions``)
+        down the fold-in path.  Rankings are ``np.array_equal`` to the
+        single-process :class:`~repro.serving.engine.TopNEngine` for the
+        same model version.  Thread-safe: concurrent calls may interleave
+        with :meth:`update` and each call serves one consistent model
+        version — the currently published one, or the one pinned by
+        ``session`` when given (the session then owns the generation
+        reference; this call does not release it).  ``shard_size`` is an
+        operational knob (rows per worker task), not part of the request.
+        """
+        if not isinstance(request, RecommendRequest):
+            raise ConfigurationError(
+                f"recommend() takes a RecommendRequest, got {type(request).__name__}"
+            )
+        started = time.perf_counter()
+        if request.kind == "topn":
+            _users, rankings, scores, _n_shards, generation = self._serve_topn(
+                request.users,
+                n_items=request.n_items,
+                exclude_seen=request.exclude_seen,
+                shard_size=shard_size,
+                session=session,
+                return_scores=request.with_scores,
+            )
+        else:
+            rankings, scores, _n_shards, generation = self._serve_folded(
+                [list(row) for row in request.interactions],
+                n_items=request.n_items,
+                exclude_seen=request.exclude_seen,
+                n_sweeps=request.n_sweeps,
+                tolerance=request.tolerance,
+                shard_size=shard_size,
+                session=session,
+                return_scores=request.with_scores,
+            )
+        return RecommendResponse(
+            rankings=rankings,
+            scores=scores,
+            generation=generation,
+            serve_ms=(time.perf_counter() - started) * 1000.0,
+            batch_users=request.n_rows,
+        )
+
     def topn(
         self,
         users: Sequence[int],
@@ -462,17 +540,80 @@ class RecommenderRuntime:
         shard_size: Optional[int] = None,
         session: Optional[ServingSession] = None,
     ) -> BatchServingResult:
-        """Top-``n_items`` lists for ``users``, sharded over the warm pool.
+        """Deprecated: use :meth:`recommend` with ``RecommendRequest(users=...)``."""
+        warnings.warn(
+            "RecommenderRuntime.topn() is deprecated; use "
+            "runtime.recommend(RecommendRequest(users=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        user_list, rankings, _scores, n_shards, _generation = self._serve_topn(
+            users,
+            n_items=n_items,
+            exclude_seen=exclude_seen,
+            shard_size=shard_size,
+            session=session,
+        )
+        return BatchServingResult(users=user_list, rankings=rankings, n_shards=n_shards)
+
+    def recommend_folded(
+        self,
+        interactions,
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        n_sweeps: int = 30,
+        tolerance: float = 1e-8,
+        shard_size: Optional[int] = None,
+        session: Optional[ServingSession] = None,
+    ) -> List[np.ndarray]:
+        """Deprecated: use :meth:`recommend` with ``RecommendRequest(interactions=...)``."""
+        warnings.warn(
+            "RecommenderRuntime.recommend_folded() is deprecated; use "
+            "runtime.recommend(RecommendRequest(interactions=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        rankings, _scores, _n_shards, _generation = self._serve_folded(
+            interactions,
+            n_items=n_items,
+            exclude_seen=exclude_seen,
+            n_sweeps=n_sweeps,
+            tolerance=tolerance,
+            shard_size=shard_size,
+            session=session,
+        )
+        return rankings
+
+    @staticmethod
+    def _flatten_shards(shard_results, return_scores: bool):
+        """Concatenate per-shard results, splitting off scores when present."""
+        rankings: List[np.ndarray] = []
+        scores: List[np.ndarray] = []
+        for result in shard_results:
+            if return_scores:
+                rankings.extend(result[0])
+                scores.extend(result[1])
+            else:
+                rankings.extend(result)
+        return rankings, (scores if return_scores else None)
+
+    def _serve_topn(
+        self,
+        users: Sequence[int],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        shard_size: Optional[int] = None,
+        session: Optional[ServingSession] = None,
+        return_scores: bool = False,
+    ) -> Tuple[List[int], List[np.ndarray], Optional[List[np.ndarray]], int, int]:
+        """Sharded known-users top-N over the warm pool.
 
         On the shared path each task carries only the published engine's
         descriptors and its user shard; rankings are ``np.array_equal`` to
-        the single-process engine's for every user.  Thread-safe: concurrent
-        calls may interleave with :meth:`update` and each call serves one
-        consistent model version — the currently published one, or the one
-        pinned by ``session`` when given (the session then owns the
-        generation reference; this call does not release it).
+        the single-process engine's for every user.
         """
         self._check_open()
+        check_positive_int(n_items, "n_items")
         if session is None:
             engine, spec, _model, generation = self._serving_snapshot()
         else:
@@ -487,13 +628,19 @@ class RecommenderRuntime:
                 for start in range(0, len(user_list), shard_size)
             ]
             if spec is not None and shards:
-                tasks = [(spec, shard, n_items, exclude_seen) for shard in shards]
+                tasks = [
+                    (spec, shard, n_items, exclude_seen, return_scores)
+                    for shard in shards
+                ]
                 shard_results = self._executor.starmap(_topn_shard, tasks)
                 stats = self._shared_stats(spec, generation, tasks, key=lambda t: len(t[1]))
             else:
                 shard_results = self._scheduler.starmap(
                     _serve_shard,
-                    [(engine, shard, n_items, exclude_seen) for shard in shards],
+                    [
+                        (engine, shard, n_items, exclude_seen, return_scores)
+                        for shard in shards
+                    ],
                 )
                 stats = ServingStats(path="local", n_shards=len(shards))
         finally:
@@ -501,15 +648,11 @@ class RecommenderRuntime:
             # path and by _acquire_for_call on the session path (the session
             # keeps its own reference until it is released).
             self._release_spec(spec)
-        rankings: List[np.ndarray] = []
-        for result in shard_results:
-            rankings.extend(result)
+        rankings, scores = self._flatten_shards(shard_results, return_scores)
         self._record_serving_call(stats)
-        return BatchServingResult(
-            users=user_list, rankings=rankings, n_shards=len(shards)
-        )
+        return user_list, rankings, scores, len(shards), generation
 
-    def recommend_folded(
+    def _serve_folded(
         self,
         interactions,
         n_items: int = 10,
@@ -518,11 +661,12 @@ class RecommenderRuntime:
         tolerance: float = 1e-8,
         shard_size: Optional[int] = None,
         session: Optional[ServingSession] = None,
-    ) -> List[np.ndarray]:
+        return_scores: bool = False,
+    ) -> Tuple[List[np.ndarray], Optional[List[np.ndarray]], int, int]:
         """Cold-start serving through the runtime.
 
         Folds the unseen interaction vectors into the **published** model
-        version — the one :meth:`topn` serves, even if a later :meth:`fit`
+        version — the one the top-N path serves, even if a later :meth:`fit`
         has since replaced :attr:`model` (or the one pinned by ``session``
         when given) — on the warm backend (all backends sweep
         bit-identically, so the folded factors match a vectorized fold
@@ -532,6 +676,8 @@ class RecommenderRuntime:
         :func:`repro.serving.fold_in.recommend_folded` exactly.
         """
         self._check_open()
+        check_positive_int(n_items, "n_items")
+        check_positive_int(n_sweeps, "n_sweeps")
         if session is None:
             engine, spec, model, generation = self._serving_snapshot()
         else:
@@ -553,9 +699,14 @@ class RecommenderRuntime:
             n_rows = scores.shape[0]
             if spec is None or n_rows == 0:
                 self._record_serving_call(ServingStats(path="local", n_shards=1))
-                return engine.rank_scored(
-                    scores, n_items=n_items, seen=csr if exclude_seen else None
+                ranked = engine.rank_scored(
+                    scores,
+                    n_items=n_items,
+                    seen=csr if exclude_seen else None,
+                    return_scores=return_scores,
                 )
+                rankings, ranked_scores = self._flatten_shards([ranked], return_scores)
+                return rankings, ranked_scores, 1, generation
             if shard_size is None:
                 shard_size = max(1, -(-n_rows // self.n_shards))
             check_positive_int(shard_size, "shard_size")
@@ -578,7 +729,7 @@ class RecommenderRuntime:
                     for start in range(0, n_rows, shard_size)
                 ]
                 tasks = [
-                    (spec, scores_spec, seen_spec, start, stop, n_items)
+                    (spec, scores_spec, seen_spec, start, stop, n_items, return_scores)
                     for start, stop in ranges
                 ]
                 shard_results = self._executor.starmap(_rank_scored_shard, tasks)
@@ -588,15 +739,13 @@ class RecommenderRuntime:
                     for field in ("data", "indices", "indptr"):
                         self._executor.unpublish(call_key + ("seen", field))
         finally:
-            # Per-call reference, exactly as in topn.
+            # Per-call reference, exactly as in the top-N path.
             self._release_spec(spec)
         self._record_serving_call(
             self._shared_stats(spec, generation, tasks, key=lambda task: 0)
         )
-        lists: List[np.ndarray] = []
-        for result in shard_results:
-            lists.extend(result)
-        return lists
+        rankings, ranked_scores = self._flatten_shards(shard_results, return_scores)
+        return rankings, ranked_scores, len(tasks), generation
 
     # ------------------------------------------------------------------ #
     # Lifecycle

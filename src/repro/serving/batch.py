@@ -75,10 +75,21 @@ def scatter_results(
 
 
 def _serve_shard(
-    engine: TopNEngine, users: List[int], n_items: int, exclude_seen: bool
+    engine: TopNEngine,
+    users: List[int],
+    n_items: int,
+    exclude_seen: bool,
+    return_scores: bool = False,
 ) -> List[np.ndarray]:
-    """Module-level shard worker (picklable for :class:`ProcessExecutor`)."""
-    return engine.recommend_batch(users, n_items=n_items, exclude_seen=exclude_seen)
+    """Module-level shard worker (picklable for :class:`ProcessExecutor`).
+
+    Returns the shard's rankings, or a ``(rankings, scores)`` pair when
+    ``return_scores`` is set — the shape :meth:`TopNEngine.recommend_batch`
+    itself uses, so callers can concatenate shard results uniformly.
+    """
+    return engine.recommend_batch(
+        users, n_items=n_items, exclude_seen=exclude_seen, return_scores=return_scores
+    )
 
 
 @dataclass

@@ -156,18 +156,22 @@ class TopNEngine:
         n_items: int = 10,
         exclude_seen: bool = True,
         chunk_size: Optional[int] = None,
+        return_scores: bool = False,
     ) -> List[np.ndarray]:
         """Top-``n_items`` lists for many users, one chunk at a time.
 
         Returns one ranked index array per user, aligned with ``users``.
         Lists may be shorter than ``n_items`` when a user has fewer unseen
         items than requested (exactly like :meth:`Recommender.recommend`,
-        which never pads with excluded items).
+        which never pads with excluded items).  With ``return_scores`` the
+        return value is a ``(rankings, scores)`` pair, the scores aligned
+        entry-for-entry with each ranking (gathered from the block already
+        computed for the selection — no rescoring pass).
         """
         check_positive_int(n_items, "n_items")
         user_array = np.asarray(list(users), dtype=np.int64)
         if user_array.size == 0:
-            return []
+            return ([], []) if return_scores else []
         if user_array.min() < 0 or user_array.max() >= self.train_matrix.n_users:
             raise ConfigurationError(
                 f"user indices must lie in [0, {self.train_matrix.n_users})"
@@ -175,14 +179,20 @@ class TopNEngine:
         size = self.chunk_size if chunk_size is None else check_positive_int(chunk_size, "chunk_size")
 
         ranked: List[np.ndarray] = []
+        scores: List[np.ndarray] = []
         csr = self.train_matrix.csr()
         for start in range(0, user_array.size, size):
             chunk = user_array[start : start + size]
             neg_scores = self._neg_score_chunk(chunk)
             if exclude_seen:
                 self._mask_seen(neg_scores, chunk, csr)
-            ranked.extend(self._top_n_rows(neg_scores, n_items))
-        return ranked
+            if return_scores:
+                rows, row_scores = self._top_n_rows(neg_scores, n_items, with_scores=True)
+                ranked.extend(rows)
+                scores.extend(row_scores)
+            else:
+                ranked.extend(self._top_n_rows(neg_scores, n_items))
+        return (ranked, scores) if return_scores else ranked
 
     def recommend_many(
         self,
@@ -204,6 +214,7 @@ class TopNEngine:
         scores: np.ndarray,
         n_items: int = 10,
         seen: Optional[sp.csr_matrix] = None,
+        return_scores: bool = False,
     ) -> List[np.ndarray]:
         """Rank externally computed score rows (the fold-in serving path).
 
@@ -218,6 +229,9 @@ class TopNEngine:
             non-zeros are excluded from the rankings — for fold-in users
             this is their interaction vector, playing the role the training
             row plays for in-matrix users.
+        return_scores:
+            Also return the score of every ranked entry; the return value
+            is then a ``(rankings, scores)`` pair.
         """
         check_positive_int(n_items, "n_items")
         scores = np.asarray(scores, dtype=float)
@@ -233,7 +247,7 @@ class TopNEngine:
                     f"seen matrix shape {seen.shape} does not match scores {scores.shape}"
                 )
             self._mask_seen(neg_scores, np.arange(neg_scores.shape[0]), seen)
-        return self._top_n_rows(neg_scores, n_items)
+        return self._top_n_rows(neg_scores, n_items, with_scores=return_scores)
 
     # ------------------------------------------------------------------ #
     # Kernels
@@ -260,7 +274,9 @@ class TopNEngine:
         neg_scores[chunk_rows, indices[positions]] = np.inf
 
     @staticmethod
-    def _top_n_rows(neg_scores: np.ndarray, n_items: int) -> List[np.ndarray]:
+    def _top_n_rows(
+        neg_scores: np.ndarray, n_items: int, with_scores: bool = False
+    ) -> List[np.ndarray]:
         """Per-row top-N selection, identical to ``Recommender.recommend``.
 
         Operates on *negated* scores: ``argpartition`` pulls the ``n``
@@ -268,7 +284,8 @@ class TopNEngine:
         partition the reference path runs on ``-scores``), then a stable
         ascending sort orders just those entries.  Rows keep only their
         finite (non-masked) entries, so heavily-seen users get shorter
-        lists rather than padded ones.
+        lists rather than padded ones.  With ``with_scores`` the (negated
+        back) scores of the selected entries ride along as a second list.
         """
         n = min(n_items, neg_scores.shape[1])
         top = np.argpartition(neg_scores, n - 1, axis=1)[:, :n]
@@ -278,8 +295,13 @@ class TopNEngine:
         ranked_scores = np.take_along_axis(top_scores, order, axis=1)
         finite = np.isfinite(ranked_scores)
         if finite.all():
+            if with_scores:
+                return list(ranked), list(np.negative(ranked_scores))
             return list(ranked)
-        return [row[keep] for row, keep in zip(ranked, finite)]
+        rows = [row[keep] for row, keep in zip(ranked, finite)]
+        if with_scores:
+            return rows, [-row[keep] for row, keep in zip(ranked_scores, finite)]
+        return rows
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         path = "factors" if self.factors is not None else type(self.model).__name__

@@ -284,11 +284,15 @@ def attach_engine(
 
 
 def _topn_shard(
-    spec: SharedEngineSpec, users: List[int], n_items: int, exclude_seen: bool
+    spec: SharedEngineSpec,
+    users: List[int],
+    n_items: int,
+    exclude_seen: bool,
+    return_scores: bool = False,
 ) -> List[np.ndarray]:
     """Serve one user shard from shared-memory descriptors (worker side)."""
     return attach_engine(spec, max_bytes=attachment_budget_bytes()).recommend_batch(
-        users, n_items=n_items, exclude_seen=exclude_seen
+        users, n_items=n_items, exclude_seen=exclude_seen, return_scores=return_scores
     )
 
 
@@ -299,6 +303,7 @@ def _rank_scored_shard(
     start: int,
     stop: int,
     n_items: int,
+    return_scores: bool = False,
 ) -> List[np.ndarray]:
     """Rank rows ``[start, stop)`` of a published score block (worker side).
 
@@ -310,7 +315,9 @@ def _rank_scored_shard(
     engine = attach_engine(spec, max_bytes=attachment_budget_bytes())
     score_rows = attach_shared_array(scores)[start:stop]
     seen_rows = attach_shared_csr(seen)[start:stop] if seen is not None else None
-    ranked = engine.rank_scored(score_rows, n_items=n_items, seen=seen_rows)
+    ranked = engine.rank_scored(
+        score_rows, n_items=n_items, seen=seen_rows, return_scores=return_scores
+    )
     # The score/seen segments are per *call*, not per model version: drop
     # their attachments now (the views above die with this frame) or a
     # cold-start service would grow one mapped block per call until the next

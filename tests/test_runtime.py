@@ -11,6 +11,7 @@ import warnings
 import numpy as np
 import pytest
 
+from repro.api import RecommendRequest
 from repro.core.backends import BackendLease, ParallelBackend, VectorizedBackend
 from repro.core.ocular import OCuLaR
 from repro.data.datasets import make_netflix_like
@@ -145,7 +146,9 @@ class TestGenerationLifecycle:
             )
             assert set(second_spec.segment_names()) <= _dev_shm_entries()
             # Serving still works after the swap.
-            assert runtime.topn([0, 1, 2], n_items=3).rankings
+            assert runtime.recommend(
+                RecommendRequest(users=(0, 1, 2), n_items=3)
+            ).rankings
 
     def test_swap_defers_unlink_until_inflight_calls_drain(self, corpus):
         with RecommenderRuntime(executor="process", max_workers=2) as runtime:
@@ -169,7 +172,9 @@ class TestGenerationLifecycle:
             # Last reference dropped: the retired generation unlinks now.
             assert not (old_names & _dev_shm_entries())
             # The new generation serves normally.
-            assert runtime.topn([0, 1], n_items=3).rankings
+            assert runtime.recommend(
+                RecommendRequest(users=(0, 1), n_items=3)
+            ).rankings
 
     def test_recommend_folded_serves_published_version(self, corpus, fitted_reference):
         reference_model, engine = fitted_reference
@@ -182,7 +187,9 @@ class TestGenerationLifecycle:
             # lists still come from the published version, like topn.
             runtime.refit(callback=lambda i, h: True)  # perturb self.model
             runtime.fit(_model(random_state=9), corpus)
-            got = runtime.recommend_folded(cold, n_items=6, n_sweeps=8)
+            got = runtime.recommend(
+                RecommendRequest(interactions=cold, n_items=6, n_sweeps=8)
+            ).rankings
             for want, have in zip(expected, got):
                 assert np.array_equal(want, have)
 
@@ -191,8 +198,10 @@ class TestGenerationLifecycle:
         runtime = RecommenderRuntime(executor="process", max_workers=2)
         runtime.fit(_model(), corpus)
         runtime.publish()
-        runtime.topn(range(30), n_items=5)
-        runtime.recommend_folded([[1, 2, 3]], n_items=5, n_sweeps=5)
+        runtime.recommend(RecommendRequest(users=range(30), n_items=5))
+        runtime.recommend(
+            RecommendRequest(interactions=[[1, 2, 3]], n_items=5, n_sweeps=5)
+        )
         runtime.close()
         assert _dev_shm_entries() <= before
         runtime.close()  # idempotent
@@ -209,7 +218,10 @@ class TestGenerationLifecycle:
         def hammer():
             while not stop.is_set():
                 try:
-                    runtime.topn(range(60), n_items=5, shard_size=20)
+                    runtime.recommend(
+                        RecommendRequest(users=range(60), n_items=5),
+                        shard_size=20,
+                    )
                 except Exception as exc:  # expected once the pool drains
                     errors.append(exc)
                     return
@@ -218,7 +230,9 @@ class TestGenerationLifecycle:
         thread.start()
         try:
             for _ in range(3):
-                runtime.topn(range(60), n_items=5, shard_size=20)
+                runtime.recommend(
+                    RecommendRequest(users=range(60), n_items=5), shard_size=20
+                )
         finally:
             runtime.close()
             stop.set()
@@ -232,7 +246,9 @@ class TestGenerationLifecycle:
             runtime = RecommenderRuntime(executor=executor)
             runtime.fit(_model(), corpus)
             runtime.publish()
-            assert runtime.topn(range(20), n_items=5).rankings
+            assert runtime.recommend(
+                RecommendRequest(users=range(20), n_items=5)
+            ).rankings
             runtime.close()
             # The borrowed executor is still alive...
             assert executor.starmap(divmod, [(9, 2)]) == [(4, 1)]
@@ -284,14 +300,14 @@ class TestGenerationLifecycle:
             assert not (names & _dev_shm_entries())
             # A released session refuses new calls.
             with pytest.raises(ConfigurationError):
-                session.topn([0])
+                session.recommend(RecommendRequest(users=(0,)))
 
     def test_publish_requires_fitted_model(self, corpus):
         with RecommenderRuntime(executor="serial") as runtime:
             with pytest.raises(NotFittedError):
                 runtime.publish()
             with pytest.raises(NotFittedError):
-                runtime.topn([0])
+                runtime.recommend(RecommendRequest(users=(0,)))
 
     def test_invalid_arguments_rejected_before_pool_spawn(self):
         # Validation precedes executor construction, so a bad argument
@@ -307,7 +323,7 @@ class TestGenerationLifecycle:
         with pytest.raises(ConfigurationError):
             runtime.fit(_model(), corpus)
         with pytest.raises(ConfigurationError):
-            runtime.topn([0])
+            runtime.recommend(RecommendRequest(users=(0,)))
 
 
 # --------------------------------------------------------------------------- #
@@ -325,8 +341,10 @@ class TestServingParity:
         with RecommenderRuntime(executor="process", max_workers=2) as runtime:
             runtime.fit(_model(), corpus)
             runtime.publish()
-            result = runtime.topn(users, n_items=7, shard_size=shard_size)
-            assert result.n_shards == n_shards
+            result = runtime.recommend(
+                RecommendRequest(users=users, n_items=7), shard_size=shard_size
+            )
+            assert runtime.last_serving_stats.n_shards == n_shards
             assert runtime.last_serving_stats.path == "shared"
             assert len(result.rankings) == len(users)
             for expected, got in zip(reference, result.rankings):
@@ -343,9 +361,10 @@ class TestServingParity:
         with RecommenderRuntime(executor="process", max_workers=2) as runtime:
             runtime.fit(_model(), corpus)
             runtime.publish()
-            got = runtime.recommend_folded(
-                cold, n_items=6, n_sweeps=8, shard_size=shard_size
-            )
+            got = runtime.recommend(
+                RecommendRequest(interactions=cold, n_items=6, n_sweeps=8),
+                shard_size=shard_size,
+            ).rankings
             assert runtime.last_serving_stats.n_shards == n_shards
             assert len(got) == len(cold)
             for expected, lists in zip(reference, got):
@@ -357,7 +376,10 @@ class TestServingParity:
         with RecommenderRuntime(executor="process", max_workers=2) as runtime:
             runtime.fit(_model(), corpus)
             runtime.publish()
-            runtime.topn(range(corpus.n_users), n_items=5, shard_size=50)
+            runtime.recommend(
+                RecommendRequest(users=range(corpus.n_users), n_items=5),
+                shard_size=50,
+            )
             stats = runtime.last_serving_stats
             assert stats.path == "shared"
             # The model-dependent payload is a handful of segment names —
@@ -377,12 +399,16 @@ class TestServingParity:
         with RecommenderRuntime(executor="thread", max_workers=2) as runtime:
             runtime.fit(_model(), corpus)
             runtime.publish()
-            result = runtime.topn(users, n_items=5, shard_size=16)
+            result = runtime.recommend(
+                RecommendRequest(users=users, n_items=5), shard_size=16
+            )
             assert runtime.last_serving_stats.path == "local"
             for expected, got in zip(reference, result.rankings):
                 assert np.array_equal(expected, got)
-            folded = runtime.recommend_folded([[1, 2]], n_items=5, n_sweeps=5)
-            assert len(folded) == 1
+            folded = runtime.recommend(
+                RecommendRequest(interactions=[[1, 2]], n_items=5, n_sweeps=5)
+            )
+            assert len(folded.rankings) == 1
 
     def test_concurrent_folds_match_serial_results(self, corpus, fitted_reference):
         # Concurrent cold-start calls share the runtime's warm backend; the
@@ -403,9 +429,12 @@ class TestServingParity:
 
             def fold(index: int) -> None:
                 try:
-                    results[index] = runtime.recommend_folded(
-                        batches[index], n_items=6, n_sweeps=8, shard_size=1
-                    )
+                    results[index] = runtime.recommend(
+                        RecommendRequest(
+                            interactions=batches[index], n_items=6, n_sweeps=8
+                        ),
+                        shard_size=1,
+                    ).rankings
                 except Exception as exc:  # pragma: no cover - failure mode
                     errors.append(exc)
 
@@ -430,7 +459,9 @@ class TestServingParity:
         with RecommenderRuntime(executor="process", max_workers=2) as runtime:
             runtime.fit(_model(dtype="float32"), corpus)
             runtime.publish()
-            result = runtime.topn(range(60), n_items=5, shard_size=20)
+            result = runtime.recommend(
+                RecommendRequest(users=range(60), n_items=5), shard_size=20
+            )
             assert runtime.last_serving_stats.path == "shared"
             for expected, got in zip(reference, result.rankings):
                 assert np.array_equal(expected, got)

@@ -1,6 +1,7 @@
 """Tests for the micro-batching request front-end: coalescing correctness
 (batched rankings exactly equal the unbatched per-request path), the latency
-bound and size cap, drain-on-close semantics, and the batching stats."""
+bound and size cap, drain-on-close semantics, the batching stats snapshot,
+and the deprecated pre-gateway entrypoints."""
 
 from __future__ import annotations
 
@@ -11,6 +12,7 @@ import warnings
 import numpy as np
 import pytest
 
+from repro.api import RecommendRequest
 from repro.core.ocular import OCuLaR
 from repro.data.datasets import make_netflix_like
 from repro.exceptions import ConfigurationError, NotFittedError
@@ -52,6 +54,16 @@ def runtime(corpus):
             yield rt
 
 
+def _topn(runtime, users, **kwargs):
+    return runtime.recommend(RecommendRequest(users=users, **kwargs)).rankings
+
+
+def _folded(runtime, interactions, **kwargs):
+    return runtime.recommend(
+        RecommendRequest(interactions=interactions, **kwargs)
+    ).rankings
+
+
 # --------------------------------------------------------------------------- #
 # Merge / scatter helpers
 # --------------------------------------------------------------------------- #
@@ -85,11 +97,12 @@ class TestMergeScatter:
 class TestBatchedCorrectness:
     def test_topn_equals_unbatched_per_request(self, runtime):
         requests = [[0, 1], [5], [10, 11, 12], [1, 0], [40]]
-        expected = [
-            runtime.topn(users, n_items=6).rankings for users in requests
-        ]
+        expected = [_topn(runtime, users, n_items=6) for users in requests]
         with BatchingFrontEnd(runtime, max_delay_ms=20, max_batch_users=64) as front:
-            futures = [front.submit(users, n_items=6) for users in requests]
+            futures = [
+                front.submit_request(RecommendRequest(users=users, n_items=6))
+                for users in requests
+            ]
             for users, future, want in zip(requests, futures, expected):
                 response = future.result(timeout=RESULT_TIMEOUT)
                 assert len(response.rankings) == len(users)
@@ -100,9 +113,12 @@ class TestBatchedCorrectness:
         # Three clients ask for overlapping user sets; each gets complete,
         # correct rankings for exactly the users it asked for.
         requests = [[3, 4, 5], [5, 4], [4]]
-        expected = runtime.topn([4], n_items=5).rankings[0]
+        expected = _topn(runtime, [4], n_items=5)[0]
         with BatchingFrontEnd(runtime, max_delay_ms=20) as front:
-            futures = [front.submit(users, n_items=5) for users in requests]
+            futures = [
+                front.submit_request(RecommendRequest(users=users, n_items=5))
+                for users in requests
+            ]
             responses = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
         assert np.array_equal(responses[0].rankings[1], expected)
         assert np.array_equal(responses[1].rankings[1], expected)
@@ -111,12 +127,13 @@ class TestBatchedCorrectness:
     def test_folded_equals_unbatched_per_request(self, runtime):
         requests = [[[1, 5, 9], [2, 3]], [[0, 10, 20]], [[], [7]]]
         expected = [
-            runtime.recommend_folded(batch, n_items=6, n_sweeps=8)
-            for batch in requests
+            _folded(runtime, batch, n_items=6, n_sweeps=8) for batch in requests
         ]
         with BatchingFrontEnd(runtime, max_delay_ms=20) as front:
             futures = [
-                front.submit_folded(batch, n_items=6, n_sweeps=8)
+                front.submit_request(
+                    RecommendRequest(interactions=batch, n_items=6, n_sweeps=8)
+                )
                 for batch in requests
             ]
             for batch, future, want in zip(requests, futures, expected):
@@ -128,13 +145,15 @@ class TestBatchedCorrectness:
     def test_mixed_kinds_and_options_in_one_batch(self, runtime):
         # Different n_items and kinds coalesce into one micro-batch but are
         # grouped per option set; each request still gets its own shape.
-        expected_5 = runtime.topn([2, 3], n_items=5).rankings
-        expected_9 = runtime.topn([2], n_items=9).rankings
-        expected_fold = runtime.recommend_folded([[1, 2]], n_items=4, n_sweeps=5)
+        expected_5 = _topn(runtime, [2, 3], n_items=5)
+        expected_9 = _topn(runtime, [2], n_items=9)
+        expected_fold = _folded(runtime, [[1, 2]], n_items=4, n_sweeps=5)
         with BatchingFrontEnd(runtime, max_delay_ms=50) as front:
-            f5 = front.submit([2, 3], n_items=5)
-            f9 = front.submit([2], n_items=9)
-            ff = front.submit_folded([[1, 2]], n_items=4, n_sweeps=5)
+            f5 = front.submit_request(RecommendRequest(users=(2, 3), n_items=5))
+            f9 = front.submit_request(RecommendRequest(users=(2,), n_items=9))
+            ff = front.submit_request(
+                RecommendRequest(interactions=((1, 2),), n_items=4, n_sweeps=5)
+            )
             r5 = f5.result(timeout=RESULT_TIMEOUT)
             r9 = f9.result(timeout=RESULT_TIMEOUT)
             rf = ff.result(timeout=RESULT_TIMEOUT)
@@ -146,28 +165,56 @@ class TestBatchedCorrectness:
         assert np.array_equal(r9.rankings[0], expected_9[0])
         assert np.array_equal(rf.rankings[0], expected_fold[0])
 
+    def test_scores_scatter_per_request(self, runtime):
+        # Two with_scores requests coalesce; each gets exactly its own
+        # score rows, aligned with its rankings.
+        with BatchingFrontEnd(runtime, max_delay_ms=20) as front:
+            fa = front.submit_request(
+                RecommendRequest(users=(0, 1), n_items=5, with_scores=True)
+            )
+            fb = front.submit_request(
+                RecommendRequest(users=(2,), n_items=5, with_scores=True)
+            )
+            ra = fa.result(timeout=RESULT_TIMEOUT)
+            rb = fb.result(timeout=RESULT_TIMEOUT)
+        _ranked, expected = runtime.engine.recommend_batch(
+            [0, 1, 2], n_items=5, return_scores=True
+        )
+        assert len(ra.scores) == 2 and len(rb.scores) == 1
+        assert np.allclose(ra.scores[0], expected[0])
+        assert np.allclose(ra.scores[1], expected[1])
+        assert np.allclose(rb.scores[0], expected[2])
+
     def test_empty_request_resolves_empty(self, runtime):
         with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
-            response = front.submit([]).result(timeout=RESULT_TIMEOUT)
+            response = front.submit_request(RecommendRequest(users=())).result(
+                timeout=RESULT_TIMEOUT
+            )
             assert response.rankings == []
 
-    def test_blocking_helpers(self, runtime):
-        expected = runtime.topn([8, 9], n_items=5).rankings
-        expected_fold = runtime.recommend_folded([[4, 5]], n_items=5, n_sweeps=5)
+    def test_blocking_recommend(self, runtime):
+        expected = _topn(runtime, [8, 9], n_items=5)
+        expected_fold = _folded(runtime, [[4, 5]], n_items=5, n_sweeps=5)
         with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
-            got = front.topn_blocking([8, 9], n_items=5, timeout=RESULT_TIMEOUT)
-            for have, want in zip(got, expected):
-                assert np.array_equal(have, want)
-            folded = front.recommend_folded_blocking(
-                [[4, 5]], n_items=5, n_sweeps=5, timeout=RESULT_TIMEOUT
+            got = front.recommend(
+                RecommendRequest(users=(8, 9), n_items=5), timeout=RESULT_TIMEOUT
             )
-            assert np.array_equal(folded[0], expected_fold[0])
+            for have, want in zip(got.rankings, expected):
+                assert np.array_equal(have, want)
+            folded = front.recommend(
+                RecommendRequest(interactions=((4, 5),), n_items=5, n_sweeps=5),
+                timeout=RESULT_TIMEOUT,
+            )
+            assert np.array_equal(folded.rankings[0], expected_fold[0])
 
     def test_coalescing_reduces_runtime_calls(self, runtime):
         before = runtime.serving_calls
         n_requests = 12
         with BatchingFrontEnd(runtime, max_delay_ms=200, max_batch_users=512) as front:
-            futures = [front.submit([u], n_items=5) for u in range(n_requests)]
+            futures = [
+                front.submit_request(RecommendRequest(users=(u,), n_items=5))
+                for u in range(n_requests)
+            ]
             for future in futures:
                 future.result(timeout=RESULT_TIMEOUT)
         # 12 requests must not have cost 12 sharded dispatches.
@@ -179,11 +226,11 @@ class TestBatchedCorrectness:
         with RecommenderRuntime(executor="thread", max_workers=2) as rt:
             rt.fit(_model(), corpus)
             rt.publish()
-            expected = rt.topn([0, 1, 2], n_items=5).rankings
+            expected = _topn(rt, [0, 1, 2], n_items=5)
             with BatchingFrontEnd(rt, max_delay_ms=10) as front:
-                response = front.submit([0, 1, 2], n_items=5).result(
-                    timeout=RESULT_TIMEOUT
-                )
+                response = front.submit_request(
+                    RecommendRequest(users=(0, 1, 2), n_items=5)
+                ).result(timeout=RESULT_TIMEOUT)
             for got, ref in zip(response.rankings, expected):
                 assert np.array_equal(got, ref)
 
@@ -197,7 +244,9 @@ class TestBatchFormation:
         # bound were the only trigger... and with a 50ms bound it must not.
         with BatchingFrontEnd(runtime, max_delay_ms=50, max_batch_users=512) as front:
             start = time.monotonic()
-            response = front.submit([1, 2], n_items=5).result(timeout=RESULT_TIMEOUT)
+            response = front.submit_request(
+                RecommendRequest(users=(1, 2), n_items=5)
+            ).result(timeout=RESULT_TIMEOUT)
             elapsed = time.monotonic() - start
         assert response.batch_requests == 1
         # Dispatch + serving margin on a loaded CI box; the point is that it
@@ -211,7 +260,10 @@ class TestBatchFormation:
         with BatchingFrontEnd(
             runtime, max_delay_ms=300_000, max_batch_users=8
         ) as front:
-            futures = [front.submit([u, u + 1], n_items=5) for u in range(4)]
+            futures = [
+                front.submit_request(RecommendRequest(users=(u, u + 1), n_items=5))
+                for u in range(4)
+            ]
             responses = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
         assert responses[0].batch_users == 8
 
@@ -219,7 +271,9 @@ class TestBatchFormation:
         with BatchingFrontEnd(
             runtime, max_delay_ms=300_000, max_batch_users=4
         ) as front:
-            big = front.submit(list(range(10)), n_items=5)
+            big = front.submit_request(
+                RecommendRequest(users=tuple(range(10)), n_items=5)
+            )
             response = big.result(timeout=RESULT_TIMEOUT)
         assert response.batch_requests == 1
         assert response.batch_users == 10
@@ -229,7 +283,12 @@ class TestBatchFormation:
         # 3 x 3 users against a cap of 6: the third request exceeds the cap
         # and must ride a second batch — never be split across batches.
         with BatchingFrontEnd(runtime, max_delay_ms=100, max_batch_users=6) as front:
-            futures = [front.submit([u, u + 1, u + 2], n_items=5) for u in (0, 10, 20)]
+            futures = [
+                front.submit_request(
+                    RecommendRequest(users=(u, u + 1, u + 2), n_items=5)
+                )
+                for u in (0, 10, 20)
+            ]
             responses = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
         assert responses[0].batch_id == responses[1].batch_id
         assert responses[2].batch_id != responses[0].batch_id
@@ -237,8 +296,19 @@ class TestBatchFormation:
 
     def test_generation_recorded_on_response(self, runtime):
         with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
-            response = front.submit([0], n_items=5).result(timeout=RESULT_TIMEOUT)
+            response = front.submit_request(
+                RecommendRequest(users=(0,), n_items=5)
+            ).result(timeout=RESULT_TIMEOUT)
         assert response.generation == runtime.generation
+
+    def test_queue_ms_reported_on_response(self, runtime):
+        with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
+            response = front.submit_request(
+                RecommendRequest(users=(0,), n_items=5)
+            ).result(timeout=RESULT_TIMEOUT)
+        assert response.queue_ms >= 0.0
+        assert response.queue_seconds == pytest.approx(response.queue_ms / 1000.0)
+        assert response.serve_ms >= 0.0
 
 
 # --------------------------------------------------------------------------- #
@@ -246,11 +316,14 @@ class TestBatchFormation:
 # --------------------------------------------------------------------------- #
 class TestLifecycle:
     def test_close_drains_pending_requests(self, runtime):
-        expected = runtime.topn([3], n_items=5).rankings[0]
+        expected = _topn(runtime, [3], n_items=5)[0]
         # The latency bound alone would hold these for five minutes; close()
         # must dispatch them instead of abandoning their futures.
         front = BatchingFrontEnd(runtime, max_delay_ms=300_000, max_batch_users=10_000)
-        futures = [front.submit([3], n_items=5) for _ in range(5)]
+        futures = [
+            front.submit_request(RecommendRequest(users=(3,), n_items=5))
+            for _ in range(5)
+        ]
         front.close()
         for future in futures:
             response = future.result(timeout=RESULT_TIMEOUT)
@@ -259,7 +332,7 @@ class TestLifecycle:
 
     def test_context_exit_drains(self, runtime):
         with BatchingFrontEnd(runtime, max_delay_ms=300_000) as front:
-            future = front.submit([1], n_items=5)
+            future = front.submit_request(RecommendRequest(users=(1,), n_items=5))
         assert future.result(timeout=RESULT_TIMEOUT).rankings
 
     def test_closed_front_end_rejects_submissions(self, runtime):
@@ -268,61 +341,97 @@ class TestLifecycle:
         front.close()  # idempotent
         assert front.closed
         with pytest.raises(ConfigurationError):
-            front.submit([0])
-        with pytest.raises(ConfigurationError):
-            front.submit_folded([[1]])
+            front.submit_request(RecommendRequest(users=(0,)))
 
     def test_unpublished_runtime_fails_futures_not_frontend(self, corpus):
         # A batch against a runtime with no published version resolves every
         # future with NotFittedError; the front-end itself stays usable.
         with RecommenderRuntime(executor="serial") as rt:
             with BatchingFrontEnd(rt, max_delay_ms=5) as front:
-                future = front.submit([0], n_items=5)
+                future = front.submit_request(RecommendRequest(users=(0,), n_items=5))
                 with pytest.raises(NotFittedError):
                     future.result(timeout=RESULT_TIMEOUT)
                 rt.fit(_model(), corpus)
                 rt.publish()
-                assert front.submit([0], n_items=5).result(
-                    timeout=RESULT_TIMEOUT
-                ).rankings
+                assert front.submit_request(
+                    RecommendRequest(users=(0,), n_items=5)
+                ).result(timeout=RESULT_TIMEOUT).rankings
 
     def test_cancelled_request_does_not_poison_the_batch(self, runtime):
         # A client that cancels while its request is queued must not kill
         # the dispatcher: the cancelled future is dropped and every other
         # request in the same batch still resolves correctly.
-        expected = runtime.topn([6], n_items=5).rankings[0]
+        expected = _topn(runtime, [6], n_items=5)[0]
         with BatchingFrontEnd(runtime, max_delay_ms=150, max_batch_users=512) as front:
-            doomed = front.submit([0, 1], n_items=5)
-            survivor = front.submit([6], n_items=5)
+            doomed = front.submit_request(RecommendRequest(users=(0, 1), n_items=5))
+            survivor = front.submit_request(RecommendRequest(users=(6,), n_items=5))
             assert doomed.cancel()  # still PENDING in the queue
             response = survivor.result(timeout=RESULT_TIMEOUT)
             assert np.array_equal(response.rankings[0], expected)
             assert doomed.cancelled()
             # The dispatcher survived: the front-end keeps serving.
-            again = front.submit([6], n_items=5).result(timeout=RESULT_TIMEOUT)
+            again = front.submit_request(
+                RecommendRequest(users=(6,), n_items=5)
+            ).result(timeout=RESULT_TIMEOUT)
             assert np.array_equal(again.rankings[0], expected)
 
     def test_queue_seconds_excludes_serving_time(self, runtime):
-        # queue_seconds is submission-to-dispatch, consistent with the
+        # queue_ms is submission-to-dispatch, consistent with the
         # BatchingStats percentiles — bounded by the latency window even
         # though serving the batch itself takes additional time.
         with BatchingFrontEnd(runtime, max_delay_ms=30, max_batch_users=512) as front:
-            response = front.submit(list(range(100)), n_items=5).result(
-                timeout=RESULT_TIMEOUT
-            )
+            response = front.submit_request(
+                RecommendRequest(users=tuple(range(100)), n_items=5)
+            ).result(timeout=RESULT_TIMEOUT)
             stats = front.stats()
-        assert response.queue_seconds * 1000.0 <= stats.queue_max_ms + 1e-6
+        assert response.queue_ms <= stats.queue_max_ms + 1e-6
 
     def test_invalid_parameters_rejected(self, runtime):
         with pytest.raises(ConfigurationError):
             BatchingFrontEnd(runtime, max_delay_ms=-1)
         with pytest.raises(ConfigurationError):
             BatchingFrontEnd(runtime, max_batch_users=0)
+        with pytest.raises(ConfigurationError):
+            BatchingFrontEnd(runtime, adaptive="yes")
         with BatchingFrontEnd(runtime) as front:
             with pytest.raises(ConfigurationError):
-                front.submit([0], n_items=0)
-            with pytest.raises(ConfigurationError):
-                front.submit_folded([[1]], n_sweeps=0)
+                front.submit_request([0, 1])  # not a RecommendRequest
+
+
+# --------------------------------------------------------------------------- #
+# Deprecated pre-gateway entrypoints
+# --------------------------------------------------------------------------- #
+class TestDeprecatedShims:
+    def test_submit_warns_but_coalesces(self, runtime):
+        expected = _topn(runtime, [0, 1], n_items=5)
+        with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
+            with pytest.warns(DeprecationWarning, match="submit_request"):
+                future = front.submit([0, 1], n_items=5)
+            response = future.result(timeout=RESULT_TIMEOUT)
+        for got, ref in zip(response.rankings, expected):
+            assert np.array_equal(got, ref)
+
+    def test_submit_folded_warns_but_coalesces(self, runtime):
+        expected = _folded(runtime, [[4, 5]], n_items=5, n_sweeps=5)
+        with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
+            with pytest.warns(DeprecationWarning, match="submit_request"):
+                future = front.submit_folded([[4, 5]], n_items=5, n_sweeps=5)
+            response = future.result(timeout=RESULT_TIMEOUT)
+        assert np.array_equal(response.rankings[0], expected[0])
+
+    def test_blocking_helpers_warn_but_work(self, runtime):
+        expected = _topn(runtime, [8, 9], n_items=5)
+        expected_fold = _folded(runtime, [[4, 5]], n_items=5, n_sweeps=5)
+        with BatchingFrontEnd(runtime, max_delay_ms=5) as front:
+            with pytest.warns(DeprecationWarning, match="recommend"):
+                got = front.topn_blocking([8, 9], n_items=5, timeout=RESULT_TIMEOUT)
+            for have, want in zip(got, expected):
+                assert np.array_equal(have, want)
+            with pytest.warns(DeprecationWarning, match="recommend"):
+                folded = front.recommend_folded_blocking(
+                    [[4, 5]], n_items=5, n_sweeps=5, timeout=RESULT_TIMEOUT
+                )
+            assert np.array_equal(folded[0], expected_fold[0])
 
 
 # --------------------------------------------------------------------------- #
@@ -331,7 +440,10 @@ class TestLifecycle:
 class TestBatchingStats:
     def test_counts_and_occupancy(self, runtime):
         with BatchingFrontEnd(runtime, max_delay_ms=100, max_batch_users=512) as front:
-            futures = [front.submit([u, u + 1], n_items=5) for u in range(6)]
+            futures = [
+                front.submit_request(RecommendRequest(users=(u, u + 1), n_items=5))
+                for u in range(6)
+            ]
             for future in futures:
                 future.result(timeout=RESULT_TIMEOUT)
             stats = front.stats()
@@ -350,12 +462,39 @@ class TestBatchingStats:
         assert stats.requests == 0
         assert stats.mean_occupancy == 0.0
         assert stats.queue_max_ms == 0.0
+        assert stats.pending_requests == 0
+
+    def test_snapshot_reports_delay_pending_and_rate(self, runtime):
+        with BatchingFrontEnd(runtime, max_delay_ms=7) as front:
+            future = front.submit_request(RecommendRequest(users=(0,), n_items=5))
+            stats = front.stats()
+            assert stats.current_delay_ms == 7.0
+            assert stats.arrival_rate_rps > 0.0
+            future.result(timeout=RESULT_TIMEOUT)
+        payload = front.stats().as_dict()
+        assert payload["current_delay_ms"] == 7.0
+        assert set(payload) == {
+            "batches",
+            "requests",
+            "users",
+            "mean_occupancy",
+            "mean_requests_per_batch",
+            "queue_p50_ms",
+            "queue_p95_ms",
+            "queue_max_ms",
+            "current_delay_ms",
+            "pending_requests",
+            "arrival_rate_rps",
+        }
 
     def test_queue_latency_reflects_accumulation(self, runtime):
         # Two requests submitted together: the first opens the window, both
         # wait ~max_delay_ms (the cap is far away), so p50 >= the bound.
         with BatchingFrontEnd(runtime, max_delay_ms=40, max_batch_users=512) as front:
-            futures = [front.submit([u], n_items=5) for u in (0, 1)]
+            futures = [
+                front.submit_request(RecommendRequest(users=(u,), n_items=5))
+                for u in (0, 1)
+            ]
             for future in futures:
                 future.result(timeout=RESULT_TIMEOUT)
             stats = front.stats()
@@ -364,17 +503,18 @@ class TestBatchingStats:
     def test_concurrent_submitters_all_answered(self, runtime):
         # A smaller sibling of the stress suite that always runs: 8 threads
         # x 5 requests through one front-end, every future correct.
-        expected = {u: runtime.topn([u], n_items=5).rankings[0] for u in range(8)}
+        expected = {u: _topn(runtime, [u], n_items=5)[0] for u in range(8)}
         errors: list = []
         with BatchingFrontEnd(runtime, max_delay_ms=5, max_batch_users=64) as front:
 
             def client(user: int) -> None:
                 try:
                     for _ in range(5):
-                        rankings = front.topn_blocking(
-                            [user], n_items=5, timeout=RESULT_TIMEOUT
+                        response = front.recommend(
+                            RecommendRequest(users=(user,), n_items=5),
+                            timeout=RESULT_TIMEOUT,
                         )
-                        assert np.array_equal(rankings[0], expected[user])
+                        assert np.array_equal(response.rankings[0], expected[user])
                 except Exception as exc:  # pragma: no cover - failure mode
                     errors.append(exc)
 
@@ -386,3 +526,38 @@ class TestBatchingStats:
             assert not any(thread.is_alive() for thread in threads)
         assert not errors
         assert front.stats().requests == 40
+
+
+# --------------------------------------------------------------------------- #
+# Adaptive delay wired into the front-end
+# --------------------------------------------------------------------------- #
+class TestAdaptiveFrontEnd:
+    def test_adaptive_true_builds_controller(self, runtime):
+        with BatchingFrontEnd(runtime, max_delay_ms=8, adaptive=True) as front:
+            assert front.controller is not None
+            assert front.controller.ceiling_ms == 8.0
+            assert front.current_delay_ms == 8.0
+
+    def test_static_front_end_has_no_controller(self, runtime):
+        with BatchingFrontEnd(runtime, max_delay_ms=8) as front:
+            assert front.controller is None
+            assert front.current_delay_ms == 8.0
+
+    def test_light_load_walks_delay_down(self, runtime):
+        from repro.runtime.adaptive import AdaptiveDelayController
+
+        controller = AdaptiveDelayController(
+            floor_ms=0.25, ceiling_ms=10.0, slo_p95_ms=50.0, adjust_interval_s=0.005
+        )
+        with BatchingFrontEnd(runtime, max_delay_ms=10, adaptive=controller) as front:
+            assert front.controller is controller
+            for i in range(10):
+                front.recommend(
+                    RecommendRequest(users=(i,), n_items=5), timeout=RESULT_TIMEOUT
+                )
+                time.sleep(0.01)
+            # Lone requests cannot buy occupancy: the controller must have
+            # shrunk the delay below the configured ceiling.
+            assert front.current_delay_ms < 10.0
+            assert controller.adjustments > 0
+            assert front.stats().current_delay_ms == front.current_delay_ms

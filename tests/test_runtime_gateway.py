@@ -1,0 +1,379 @@
+"""Tests for the asyncio serving gateway: wire-protocol correctness (gateway
+responses exactly equal the in-process engine), per-frame failure containment
+(malformed frames, disconnects, unpublished models), generation pinning
+through the network layer across mid-flight model swaps, drain-on-close, and
+per-tenant fairness under a flooding tenant."""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import RecommendRequest
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import make_netflix_like
+from repro.runtime import (
+    BatchingFrontEnd,
+    GatewayClient,
+    GatewayError,
+    GatewayThread,
+    RecommenderRuntime,
+    WeightedFairQueue,
+)
+from repro.runtime.adaptive import AdaptiveDelayController
+
+#: Generous wall-clock bound for any blocking wait in this suite: far above
+#: every configured delay, far below the CI job timeout, so a deadlock fails
+#: the test instead of hanging the run.
+RESULT_TIMEOUT = 60.0
+
+
+def _model(**overrides):
+    settings = dict(
+        n_coclusters=5,
+        regularization=5.0,
+        max_iterations=3,
+        tolerance=0.0,
+        random_state=0,
+    )
+    settings.update(overrides)
+    return OCuLaR(**settings)
+
+
+def _wait_until(predicate, timeout=RESULT_TIMEOUT, interval=0.002):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    matrix, _spec = make_netflix_like(n_users=120, n_items=50, random_state=0)
+    return matrix
+
+
+@pytest.fixture(scope="module")
+def runtime(corpus):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        with RecommenderRuntime(executor="serial") as rt:
+            rt.fit(_model(), corpus)
+            rt.publish()
+            yield rt
+
+
+@pytest.fixture()
+def gateway(runtime):
+    with BatchingFrontEnd(runtime, max_delay_ms=2) as front:
+        with GatewayThread(front) as gw:
+            yield gw
+
+
+@pytest.fixture()
+def client(gateway):
+    host, port = gateway.address
+    with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+        yield c
+
+
+# --------------------------------------------------------------------------- #
+# Wire-protocol correctness
+# --------------------------------------------------------------------------- #
+class TestWireProtocol:
+    def test_topn_parity_with_engine(self, runtime, client):
+        request = RecommendRequest(users=(0, 3, 7, 7), n_items=6)
+        response = client.recommend(request)
+        expected = runtime.engine.recommend_batch([0, 3, 7, 7], n_items=6)
+        assert len(response.rankings) == 4
+        assert all(np.array_equal(a, b) for a, b in zip(response.rankings, expected))
+        assert response.generation == runtime.generation
+
+    def test_folded_parity_with_runtime(self, runtime, client):
+        request = RecommendRequest(interactions=((1, 2, 3), (9,)), n_items=5)
+        response = client.recommend(request)
+        expected = runtime.recommend(request)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(response.rankings, expected.rankings)
+        )
+
+    def test_scores_travel_the_wire(self, runtime, client):
+        request = RecommendRequest(users=(2, 5), n_items=4, with_scores=True)
+        response = client.recommend(request)
+        _ranked, scores = runtime.engine.recommend_batch(
+            [2, 5], n_items=4, return_scores=True
+        )
+        assert all(np.allclose(a, b) for a, b in zip(response.scores, scores))
+
+    def test_empty_request_serves_empty(self, client):
+        response = client.recommend(RecommendRequest(users=(), n_items=3))
+        assert response.rankings == []
+
+    def test_pipelined_frames_echo_ids(self, gateway):
+        host, port = gateway.address
+        with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+            for i in range(10):
+                c.send_frame({"id": f"frame-{i}", "users": [i], "n_items": 3})
+            seen = {c.recv_frame()["id"] for _ in range(10)}
+        assert seen == {f"frame-{i}" for i in range(10)}
+
+    def test_stats_frame(self, client):
+        client.recommend(RecommendRequest(users=(1,), n_items=3))
+        stats = client.stats()
+        assert stats["gateway"]["responses"] >= 1
+        assert stats["gateway"]["connections"] >= 1
+        assert stats["batching"]["requests"] >= 1
+        assert "current_delay_ms" in stats["batching"]
+        assert stats["generation"] >= 1
+
+    def test_concurrent_connections_all_served(self, runtime, gateway):
+        host, port = gateway.address
+        expected = runtime.engine.recommend_batch(list(range(20)), n_items=4)
+        failures = []
+
+        def one_client(user: int) -> None:
+            try:
+                with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+                    response = c.recommend(
+                        RecommendRequest(users=(user,), n_items=4)
+                    )
+                    if not np.array_equal(response.rankings[0], expected[user]):
+                        failures.append((user, "mismatch"))
+            except Exception as error:  # pragma: no cover - failure reporting
+                failures.append((user, repr(error)))
+
+        threads = [
+            threading.Thread(target=one_client, args=(user,)) for user in range(20)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=RESULT_TIMEOUT)
+        assert not failures
+
+
+# --------------------------------------------------------------------------- #
+# Failure containment
+# --------------------------------------------------------------------------- #
+class TestFailureModes:
+    def test_malformed_json_is_per_frame(self, client):
+        client._file.write(b"{this is not json\n")
+        client._file.flush()
+        frame = client.recv_frame()
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == "bad-json"
+        # The connection survived: the next frame serves normally.
+        response = client.recommend(RecommendRequest(users=(1,), n_items=3))
+        assert len(response.rankings) == 1
+
+    def test_non_object_frame_rejected(self, client):
+        client.send_frame([1, 2, 3])
+        frame = client.recv_frame()
+        assert frame["error"]["code"] == "bad-json"
+
+    def test_unknown_field_is_bad_request(self, client):
+        frame = client.request({"users": [1], "nitems": 5})
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == "bad-request"
+        assert "nitems" in frame["error"]["message"]
+
+    def test_invalid_payload_is_bad_request(self, client):
+        frame = client.request({"users": [1], "interactions": [[2]]})
+        assert frame["error"]["code"] == "bad-request"
+
+    def test_client_raises_typed_error(self, client):
+        with pytest.raises(GatewayError, match="bad-request") as excinfo:
+            # Bypass client-side validation with a raw frame round-trip.
+            frame = client.request({"n_items": 3})
+            if not frame.get("ok"):
+                error = frame["error"]
+                raise GatewayError(error["code"], error["message"])
+        assert excinfo.value.code == "bad-request"
+
+    def test_unknown_op(self, client):
+        frame = client.request({"op": "explode"})
+        assert frame["error"]["code"] == "unknown-op"
+
+    def test_unpublished_runtime_answers_not_fitted(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with RecommenderRuntime(executor="serial") as rt:
+                with BatchingFrontEnd(rt, max_delay_ms=1) as front:
+                    with GatewayThread(front) as gw:
+                        host, port = gw.address
+                        with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+                            with pytest.raises(GatewayError) as excinfo:
+                                c.recommend(RecommendRequest(users=(0,)))
+                            assert excinfo.value.code == "not-fitted"
+                            # The connection (and gateway) survived.
+                            frame = c.request({"op": "stats"})
+                            assert frame["ok"] is True
+
+    def test_closing_gateway_rejects_new_frames(self, gateway, client):
+        gateway.gateway._closing = True
+        try:
+            frame = client.request({"users": [1], "n_items": 3})
+            assert frame["error"]["code"] == "closing"
+        finally:
+            gateway.gateway._closing = False
+        response = client.recommend(RecommendRequest(users=(1,), n_items=3))
+        assert len(response.rankings) == 1
+
+    def test_disconnect_cancels_only_that_connection(self, runtime):
+        # A huge accumulation delay parks requests in the batcher; the batch
+        # only seals via the size cap.  Client A enqueues one row and
+        # disconnects; its future is cancelled and dropped at dispatch, and
+        # client B (sealing the batch by size) is served normally.
+        with BatchingFrontEnd(runtime, max_delay_ms=30_000, max_batch_users=4) as front:
+            with GatewayThread(front) as gw:
+                host, port = gw.address
+                doomed = GatewayClient(host, port, timeout=RESULT_TIMEOUT)
+                doomed.send_frame({"users": [0], "n_items": 3})
+                assert _wait_until(lambda: front.pending_requests == 1)
+                assert gw.gateway.inflight == 1
+                doomed.close()
+                # The gateway notices the EOF, cancels A's frame task and
+                # releases its admission slot.
+                assert _wait_until(lambda: gw.gateway.inflight == 0)
+                with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as survivor:
+                    response = survivor.recommend(
+                        RecommendRequest(users=(1, 2, 3, 4), n_items=3)
+                    )
+                    assert len(response.rankings) == 4
+                # Only the survivor's request was dispatched: A's cancelled
+                # future was dropped before it could count as served.
+                stats = front.stats()
+                assert stats.requests == 1
+                assert stats.users == 4
+
+    def test_drain_on_close_resolves_in_flight(self, runtime):
+        # Requests parked in the batcher when close() begins must resolve
+        # and reach the socket before the connection shuts.
+        with BatchingFrontEnd(runtime, max_delay_ms=400, max_batch_users=512) as front:
+            gw = GatewayThread(front).start()
+            host, port = gw.address
+            client = GatewayClient(host, port, timeout=RESULT_TIMEOUT)
+            try:
+                for i in range(3):
+                    client.send_frame({"id": i, "users": [i], "n_items": 3})
+                assert _wait_until(lambda: front.pending_requests == 3)
+                gw.close()  # drains: all three frames resolve during close
+                frames = [client.recv_frame() for _ in range(3)]
+                assert sorted(frame["id"] for frame in frames) == [0, 1, 2]
+                assert all(frame["ok"] for frame in frames)
+            finally:
+                client.close()
+                gw.close()
+
+
+# --------------------------------------------------------------------------- #
+# Generation pinning through the network layer
+# --------------------------------------------------------------------------- #
+class TestGenerationPinning:
+    def test_responses_match_their_generation_across_swap(self, corpus):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with RecommenderRuntime(executor="serial") as rt:
+                rt.fit(_model(), corpus)
+                rt.publish()
+                engines = {rt.generation: rt.engine}
+                with BatchingFrontEnd(rt, max_delay_ms=1) as front:
+                    with GatewayThread(front) as gw:
+                        host, port = gw.address
+                        collected = []
+                        with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+                            users = (0, 5, 9)
+                            request = RecommendRequest(users=users, n_items=5)
+                            for _ in range(10):
+                                collected.append(c.recommend(request))
+                            # Mid-flight model swap: refit on the warm pool,
+                            # then publish a structurally different model.
+                            rt.refit()
+                            rt.fit(_model(n_coclusters=8, random_state=7), corpus)
+                            rt.update()
+                            engines[rt.generation] = rt.engine
+                            for _ in range(10):
+                                collected.append(c.recommend(request))
+                        generations = {response.generation for response in collected}
+                        assert generations == set(engines)
+                        for response in collected:
+                            expected = engines[response.generation].recommend_batch(
+                                list(users), n_items=5
+                            )
+                            assert all(
+                                np.array_equal(a, b)
+                                for a, b in zip(response.rankings, expected)
+                            )
+
+
+# --------------------------------------------------------------------------- #
+# Fairness and adaptive delay through the gateway
+# --------------------------------------------------------------------------- #
+class TestFairnessAndAdaptivity:
+    def test_flooding_tenant_does_not_starve_quiet_tenant(self, runtime):
+        flood_n, quiet_n = 80, 5
+        with BatchingFrontEnd(runtime, max_delay_ms=5, max_batch_users=8) as front:
+            with GatewayThread(
+                front, max_inflight=4, fair_queue=WeightedFairQueue()
+            ) as gw:
+                host, port = gw.address
+                flood_done = []
+
+                def flood() -> None:
+                    with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+                        for i in range(flood_n):
+                            c.send_frame(
+                                {"id": i, "users": [i % 20], "n_items": 3,
+                                 "tenant": "flood"}
+                            )
+                        for _ in range(flood_n):
+                            c.recv_frame()
+                            flood_done.append(time.monotonic())
+
+                flooder = threading.Thread(target=flood)
+                flooder.start()
+                # Let the flood saturate the admission slots and pile deep
+                # into the fair queue before the quiet tenant shows up.
+                assert _wait_until(lambda: gw.gateway.queued > 20)
+                with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+                    for i in range(quiet_n):
+                        c.send_frame(
+                            {"id": i, "users": [i], "n_items": 3,
+                             "tenant": "quiet"}
+                        )
+                    frames = [c.recv_frame() for _ in range(quiet_n)]
+                    floods_done_at_quiet_end = len(flood_done)
+                assert all(frame["ok"] for frame in frames)
+                flooder.join(timeout=RESULT_TIMEOUT)
+                assert len(flood_done) == flood_n
+                # DRR: the quiet tenant's requests interleave with the
+                # flood instead of queueing behind its ~70 parked frames —
+                # the last quiet response must land while most of the flood
+                # is still waiting.
+                assert floods_done_at_quiet_end < flood_n - 20
+
+    def test_adaptive_delay_drops_under_light_load_through_gateway(self, runtime):
+        controller = AdaptiveDelayController(
+            floor_ms=0.25, ceiling_ms=12.0, slo_p95_ms=50.0, adjust_interval_s=0.005
+        )
+        with BatchingFrontEnd(runtime, max_delay_ms=12, adaptive=controller) as front:
+            with GatewayThread(front) as gw:
+                host, port = gw.address
+                assert front.current_delay_ms == 12.0
+                with GatewayClient(host, port, timeout=RESULT_TIMEOUT) as c:
+                    for i in range(10):
+                        c.recommend(RecommendRequest(users=(i,), n_items=3))
+                        time.sleep(0.01)
+                # Lone requests bought no occupancy: the controller walked
+                # the delay down toward its floor.
+                assert front.current_delay_ms < 12.0
+                assert controller.adjustments > 0
+                stats = front.stats()
+                assert stats.current_delay_ms == front.current_delay_ms

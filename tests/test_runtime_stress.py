@@ -17,6 +17,7 @@ from types import SimpleNamespace
 import numpy as np
 import pytest
 
+from repro.api import RecommendRequest
 from repro.core.ocular import OCuLaR
 from repro.data.datasets import make_netflix_like
 from repro.runtime import BatchingFrontEnd, RecommenderRuntime
@@ -152,8 +153,10 @@ class TestFrontEndUnderChurn:
                                         )
                                     )
                                 ]
-                                future = front.submit_folded(
-                                    batch, n_items=5, n_sweeps=4
+                                future = front.submit_request(
+                                    RecommendRequest(
+                                        interactions=batch, n_items=5, n_sweeps=4
+                                    )
                                 )
                                 responses.append(
                                     ("folded", batch, future.result(STRESS_TIMEOUT))
@@ -162,7 +165,9 @@ class TestFrontEndUnderChurn:
                                 users = [
                                     int(x) for x in rng.integers(0, N_USERS, size=2)
                                 ]
-                                future = front.submit(users, n_items=5)
+                                future = front.submit_request(
+                                    RecommendRequest(users=users, n_items=5)
+                                )
                                 responses.append(
                                     ("topn", users, future.result(STRESS_TIMEOUT))
                                 )
@@ -227,7 +232,9 @@ class TestRuntimeSessionsUnderChurn:
                     for _ in range(REQUESTS_PER_CLIENT):
                         users = [int(x) for x in rng.integers(0, N_USERS, size=3)]
                         with runtime.serving_session() as session:
-                            result = session.topn(users, n_items=5)
+                            result = session.recommend(
+                                RecommendRequest(users=users, n_items=5)
+                            )
                             observed.append(
                                 (session.generation, users, result.rankings)
                             )
@@ -279,8 +286,9 @@ class TestRuntimeSessionsUnderChurn:
             want_a = engine_a.recommend_batch(users, n_items=5)
             want_b = engine_b.recommend_batch(users, n_items=5)
             for _round in range(3):  # alternate: A, B, A, B, ...
-                got_a = session_a.topn(users, n_items=5, shard_size=10).rankings
-                got_b = session_b.topn(users, n_items=5, shard_size=10).rankings
+                request = RecommendRequest(users=users, n_items=5)
+                got_a = session_a.recommend(request, shard_size=10).rankings
+                got_b = session_b.recommend(request, shard_size=10).rankings
                 for got, ref in zip(got_a, want_a):
                     assert np.array_equal(got, ref)
                 for got, ref in zip(got_b, want_b):
@@ -291,5 +299,7 @@ class TestRuntimeSessionsUnderChurn:
             # ...and unlinks as soon as its last reference drains.
             assert not (names_a & _dev_shm_entries())
             session_b.release()
-            assert runtime.topn(users[:5], n_items=5).rankings  # still serving
+            assert runtime.recommend(
+                RecommendRequest(users=users[:5], n_items=5)
+            ).rankings  # still serving
         assert _dev_shm_entries() <= before
