@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.core.ocular import OCuLaR
@@ -90,6 +91,18 @@ def test_ablation_single_vs_exact_block_updates(benchmark, report_writer):
     )
 
     single, exact = rows
+    write_bench_json(
+        "ablation_inner_sweeps",
+        dict(
+            single_seconds=single["seconds"],
+            exact_seconds=exact["seconds"],
+            single_recall=single["recall"],
+            exact_recall=exact["recall"],
+            single_objective=single["objective"],
+            exact_objective=exact["objective"],
+        ),
+        **_scaled_sizes(),
+    )
     if smoke_mode():
         assert single["outer_iterations"] >= 1 and exact["outer_iterations"] >= 1
         return
@@ -129,6 +142,11 @@ def test_ablation_regularization_matters(benchmark, report_writer):
         )
         + "\npaper: regularisation 'turns out to be crucial for recommendation performance'",
     )
+    write_bench_json(
+        "ablation_regularization",
+        {f"recall_lambda_{lam:g}": recall for lam, recall in results.items()},
+        **_scaled_sizes(),
+    )
     if not smoke_mode():
         assert results[10.0] >= results[0.0]
 
@@ -159,6 +177,15 @@ def test_ablation_relative_weighting(benchmark, report_writer):
             [[name, result.recall, result.map] for name, result in results.items()],
         )
         + "\npaper Table I: the two variants trade places across datasets",
+    )
+    write_bench_json(
+        "ablation_relative_weighting",
+        {
+            f"{metric}_{name}": getattr(result, metric)
+            for name, result in results.items()
+            for metric in ("recall", "map")
+        },
+        **_scaled_sizes(),
     )
     if not smoke_mode():
         ratio = results["R-OCuLaR"].recall / max(results["OCuLaR"].recall, 1e-9)

@@ -8,6 +8,7 @@ derived from the historical purchases of the co-cluster members.
 
 from __future__ import annotations
 
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.deployment import run_deployment_example
@@ -39,6 +40,15 @@ def test_fig10_deployment_rationale(benchmark, report_writer):
         f"{result.n_recommendations_with_price} with a price estimate",
     ]
     report_writer("fig10_deployment", "\n".join(lines))
+    write_bench_json(
+        "fig10_deployment",
+        dict(
+            n_recommendations=result.n_recommendations,
+            with_rationale=result.n_recommendations_with_rationale,
+            with_price=result.n_recommendations_with_price,
+        ),
+        **params,
+    )
 
     assert result.n_recommendations == 9
     # Every card carries a rationale and a price estimate, as in the deployed

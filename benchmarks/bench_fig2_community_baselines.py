@@ -8,6 +8,7 @@ identifies all three.
 
 from __future__ import annotations
 
+from _report import write_bench_json
 from conftest import run_once
 
 from repro.experiments.paper_reference import PAPER_CLAIMS
@@ -29,6 +30,11 @@ def test_fig2_community_baselines(benchmark, report_writer):
         format_table(["method", "candidates identified", "out of", "communities"], rows),
     ]
     report_writer("fig2_community_baselines", "\n".join(lines))
+    write_bench_json(
+        "fig2_community_baselines",
+        {f"covered_{method}": covered for method, covered in result.coverage.items()},
+        n_candidates=result.n_candidates,
+    )
 
     assert result.n_candidates == 3
     assert result.coverage["modularity"] <= 1

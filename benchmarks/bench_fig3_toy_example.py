@@ -11,6 +11,7 @@ Paper claims reproduced here:
 
 from __future__ import annotations
 
+from _report import write_bench_json
 from conftest import run_once
 
 from repro.experiments.paper_reference import PAPER_CLAIMS
@@ -40,6 +41,15 @@ def test_fig3_toy_example(benchmark, report_writer):
         result.explanation.to_text(),
     ]
     report_writer("fig3_toy_example", "\n".join(lines))
+    write_bench_json(
+        "fig3_toy_example",
+        dict(
+            headline_confidence=result.headline_confidence,
+            headline_rank=result.headline_rank,
+            holes_recovered_at_1=result.holes_recovered_at_1,
+            supporting_coclusters=result.explanation.n_supporting_coclusters,
+        ),
+    )
 
     assert result.headline_rank == 1
     assert abs(result.headline_confidence - 0.83) < 0.10

@@ -7,6 +7,7 @@ range of list lengths M.
 
 from __future__ import annotations
 
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.accuracy import run_recall_curves
@@ -34,6 +35,15 @@ def test_fig5_recall_curves(benchmark, report_writer):
         "paper shape: " + "; ".join(f"{k}: {v}" for k, v in FIGURE5_PAPER_SHAPE.items()),
     ]
     report_writer("fig5_recall_curves", "\n".join(lines))
+    last_m = result.m_values[-1]
+    write_bench_json(
+        "fig5_recall_curves",
+        {
+            f"recall_at_{last_m}_{name}": curves["recall"][-1]
+            for name, curves in result.curves.items()
+        },
+        m_values=list(result.m_values),
+    )
 
     # Recall curves are monotone in M for every method (holds at any scale).
     for name, curves in result.curves.items():

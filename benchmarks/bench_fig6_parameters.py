@@ -12,6 +12,7 @@ Paper claims reproduced here:
 from __future__ import annotations
 
 import numpy as np
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.parameters import run_parameter_study
@@ -58,6 +59,19 @@ def test_fig6_parameter_study(benchmark, report_writer):
         + ", ".join(f"lambda={lam:g}: {val:.4f}" for lam, val in best_recall_per_lambda.items()),
     ]
     report_writer("fig6_parameters", "\n".join(lines))
+    write_bench_json(
+        "fig6_parameters",
+        dict(
+            best_k=best.n_coclusters,
+            best_lambda=best.regularization,
+            best_recall=best.recall,
+            **{
+                f"best_recall_lambda_{lam:g}": val
+                for lam, val in best_recall_per_lambda.items()
+            },
+        ),
+        m=result.m,
+    )
 
     if smoke_mode():
         # Only structural guarantees at smoke scale: the sweep covered the

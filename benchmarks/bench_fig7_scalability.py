@@ -9,6 +9,7 @@ asserts the fit explains the data (R^2 high) — i.e. no super-linear blow-up.
 
 from __future__ import annotations
 
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.paper_reference import PAPER_CLAIMS
@@ -39,6 +40,18 @@ def test_fig7_linear_scalability(benchmark, report_writer):
         f"paper: {PAPER_CLAIMS['fig7_scaling']}",
     ]
     report_writer("fig7_scalability", "\n".join(lines))
+    write_bench_json(
+        "fig7_scalability",
+        dict(
+            **{f"r2_k{k}": result.linearity_r2(k) for k in k_values},
+            **{
+                f"seconds_per_iteration_full_k{k}": result.series_for_k(k)[-1].seconds_per_iteration
+                for k in k_values
+            },
+        ),
+        n_users=params["n_users"],
+        n_items=params["n_items"],
+    )
 
     if smoke_mode():
         # Tiny corpora cannot support timing-shape assertions; the smoke run

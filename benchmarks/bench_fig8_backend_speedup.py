@@ -11,6 +11,7 @@ least several times faster per iteration.
 from __future__ import annotations
 
 import numpy as np
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.backends import run_backend_comparison
@@ -40,6 +41,11 @@ def test_fig8_backend_speedup(benchmark, report_writer):
         "the qualitative shape (same likelihood path, large constant-factor gap) is preserved.",
     ]
     report_writer("fig8_backend_speedup", "\n".join(lines))
+    write_bench_json(
+        "fig8_backend_speedup",
+        dict(speedup_per_iteration=speedup, speedup_to_target=to_target),
+        **params,
+    )
 
     # Same mathematics: the likelihood trajectories coincide.
     np.testing.assert_allclose(

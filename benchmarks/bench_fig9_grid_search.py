@@ -14,6 +14,7 @@ reproduction's stand-in for the paper's Spark-over-GPUs deployment.
 from __future__ import annotations
 
 import numpy as np
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.gridsearch import run_grid_search_experiment
@@ -64,6 +65,17 @@ def test_fig9_grid_search(benchmark, report_writer):
         "distributed over a process pool (paper: 8 GPUs via Spark)",
     ]
     report_writer("fig9_grid_search", "\n".join(lines))
+    write_bench_json(
+        "fig9_grid_search",
+        dict(
+            best_fine_score=result.best_fine["score"],
+            best_coarse_score=result.best_coarse["score"],
+            grid_min=float(result.grid.min()),
+            grid_max=float(result.grid.max()),
+        ),
+        grid_size=len(k_values) * len(lambda_values),
+        max_workers=max_workers,
+    )
 
     # The score grid is complete in every mode.
     assert result.grid is not None and not np.isnan(result.grid).any()

@@ -15,6 +15,7 @@ asserted always.
 
 from __future__ import annotations
 
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.accuracy import run_precision_study
@@ -50,6 +51,16 @@ def test_float32_matches_float64_at_half_the_memory(benchmark, report_writer):
         "converged tolerances: none (asserted in full mode).",
     ]
     report_writer("float32_accuracy", "\n".join(lines))
+    write_bench_json(
+        "float32_accuracy",
+        dict(
+            recall_gap=result.recall_gap(),
+            map_gap=result.map_gap(),
+            memory_ratio=result.memory_ratio(),
+        ),
+        m=result.m,
+        **params,
+    )
 
     # Structural claims hold at any scale: both precisions evaluated, the
     # factor memory exactly halved.

@@ -26,6 +26,7 @@ import threading
 import time
 
 import numpy as np
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.api import RecommendRequest
@@ -227,6 +228,17 @@ def test_gateway_open_loop_vs_blocking(benchmark, report_writer):
         f"host cores: {os.cpu_count()}",
     ]
     report_writer("gateway_throughput", "\n".join(lines))
+    write_bench_json(
+        "gateway_throughput",
+        dict(
+            blocking_users_per_s=blocking_rate,
+            gateway_users_per_s=gateway_rate,
+            speedup=gateway_rate / blocking_rate,
+            queue_p95_ms=stats.queue_p95_ms,
+        ),
+        connections=params["connections"],
+        users_per_request=params["users_per_request"],
+    )
 
     # Coalescing must be real; with dispatch overhead amortised over whole
     # micro-batches the networked path must keep up with the blocking path.
@@ -328,6 +340,16 @@ def test_adaptive_delay_beats_static_under_light_load(benchmark, report_writer):
         f"host cores: {os.cpu_count()}",
     ]
     report_writer("gateway_adaptive_delay", "\n".join(lines))
+    write_bench_json(
+        "gateway_adaptive_delay",
+        dict(
+            static_p50_ms=static_p50,
+            adaptive_p50_ms=adaptive_p50,
+            final_delay_ms=final_delay,
+        ),
+        ceiling_ms=params["ceiling_ms"],
+        n_requests=params["n_requests"],
+    )
 
     # Lone requests cannot buy occupancy, so the controller must have left
     # the ceiling; with the delay at the floor the wire-level median must

@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 
 import numpy as np
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.core.ocular import OCuLaR
@@ -57,6 +58,18 @@ def test_parallel_training_speedup(benchmark, report_writer):
         f"host cores: {os.cpu_count()}",
     ]
     report_writer("parallel_training_speedup", "\n".join(lines))
+    write_bench_json(
+        "parallel_training_speedup",
+        dict(
+            baseline_seconds=result.baseline_seconds,
+            **{
+                f"speedup_{n}w": result.speedup_at(n)
+                for n in params["worker_counts"]
+            },
+        ),
+        n_users=params["n_users"],
+        n_items=params["n_items"],
+    )
 
     # Structural shape always holds: every configuration was measured.
     assert result.baseline_seconds > 0
@@ -112,6 +125,16 @@ def test_process_vs_thread_training(benchmark, report_writer):
         f"host cores: {os.cpu_count()}",
     ]
     report_writer("process_vs_thread_training", "\n".join(lines))
+    write_bench_json(
+        "process_vs_thread_training",
+        {
+            f"{executor}_{n}w_seconds": result.seconds_at(n, executor)
+            for executor in ("thread", "process")
+            for n in params["worker_counts"]
+        },
+        n_users=params["n_users"],
+        n_items=params["n_items"],
+    )
 
     assert result.baseline_seconds > 0
     assert result.executors() == ["process", "thread"]
@@ -162,4 +185,10 @@ def test_parallel_training_parity(report_writer):
         "thread- and process-sharded factors exactly equal vectorized factors "
         f"({params['n_users']}x{params['n_items']}, K={params['n_coclusters']}, "
         f"{params['max_iterations']} iterations, {SPEEDUP_WORKERS} workers)",
+    )
+    write_bench_json(
+        "parallel_training_parity",
+        dict(parity=True),
+        workers=SPEEDUP_WORKERS,
+        **params,
     )

@@ -22,6 +22,7 @@ import threading
 import time
 
 import numpy as np
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.api import RecommendRequest
@@ -188,6 +189,18 @@ def test_batched_vs_unbatched_small_requests(benchmark, report_writer):
         f"host cores: {os.cpu_count()}",
     ]
     report_writer("request_batching", "\n".join(lines))
+    write_bench_json(
+        "request_batching",
+        dict(
+            unbatched_users_per_s=unbatched_rate,
+            batched_users_per_s=batched_rate,
+            speedup=batched_rate / unbatched_rate,
+            queue_p95_ms=stats.queue_p95_ms,
+            mean_occupancy=stats.mean_occupancy,
+        ),
+        n_requests=params["n_requests"],
+        users_per_request=params["users_per_request"],
+    )
 
     # Coalescing must be real (fewer dispatches than requests), and with
     # dispatch overhead amortised over whole batches the batched path must

@@ -26,6 +26,7 @@ import pickle
 import time
 
 import numpy as np
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.api import RecommendRequest
@@ -120,6 +121,16 @@ def test_warm_vs_cold_refit(benchmark, report_writer):
         f"host cores: {os.cpu_count()}",
     ]
     report_writer("runtime_warm_vs_cold", "\n".join(lines))
+    write_bench_json(
+        "runtime_warm_vs_cold",
+        dict(
+            cold_seconds=cold_seconds,
+            warm_seconds=warm_seconds,
+            speedup=speedup,
+        ),
+        workers=WORKERS,
+        **params,
+    )
 
     assert cold_seconds > 0 and warm_seconds > 0
     if not smoke_mode() and (os.cpu_count() or 1) >= WORKERS:
@@ -226,6 +237,17 @@ def test_descriptor_vs_pickled_serving(report_writer):
         f"host cores: {os.cpu_count()}",
     ]
     report_writer("runtime_descriptor_serving", "\n".join(lines))
+    write_bench_json(
+        "runtime_descriptor_serving",
+        dict(
+            pickled_seconds=pickled_seconds,
+            shared_seconds=shared_seconds,
+            engine_bytes=engine_bytes,
+            spec_bytes=stats.spec_bytes,
+        ),
+        workers=WORKERS,
+        **params,
+    )
 
     # The acceptance criterion: process-sharded runtime serving sends no
     # factor bytes per task — the model-dependent payload is descriptors

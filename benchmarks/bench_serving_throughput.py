@@ -10,6 +10,7 @@ users per second than looping ``model.recommend``, while producing
 
 from __future__ import annotations
 
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.serving import run_serving_throughput
@@ -44,6 +45,16 @@ def test_serving_throughput(benchmark, report_writer):
         "argpartition top-N), not an approximation.",
     ]
     report_writer("serving_throughput", "\n".join(lines))
+    write_bench_json(
+        "serving_throughput",
+        dict(
+            speedup=result.speedup(),
+            loop_seconds=result.loop_seconds,
+            batch_seconds=result.batch_seconds,
+            rankings_match=result.rankings_match,
+        ),
+        **params,
+    )
 
     # The engine must agree with the reference ranking for every user.
     assert result.rankings_match

@@ -12,6 +12,7 @@ the best OCuLaR variant ranks in the top two by recall and by MAP.
 from __future__ import annotations
 
 import pytest
+from _report import write_bench_json
 from conftest import run_once, scaled, smoke_mode
 
 from repro.experiments.accuracy import run_table1
@@ -42,6 +43,16 @@ def test_table1(benchmark, report_writer, dataset):
         "paper shape: the OCuLaR variants are best or second best on every dataset",
     ]
     report_writer(f"table1_{dataset}", "\n".join(lines))
+    write_bench_json(
+        f"table1_{dataset}",
+        {
+            f"{metric}_{method}": values[metric]
+            for method, values in result.metrics.items()
+            for metric in ("recall", "map")
+        },
+        dataset=dataset,
+        **config,
+    )
 
     if smoke_mode():
         # The tiny smoke corpora cannot support ordering claims; just require

@@ -77,9 +77,16 @@ def scaled(full: dict, **smoke_overrides) -> dict:
 
 @pytest.fixture(autouse=True)
 def _silence_warnings():
-    """Benchmarks use tight iteration budgets; convergence warnings are expected."""
+    """Benchmarks use tight iteration budgets; convergence warnings are expected.
+
+    Deprecations raised from ``repro`` itself stay fatal so no benchmark
+    quietly drifts back onto a deprecated shim.
+    """
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
+        warnings.filterwarnings(
+            "error", category=DeprecationWarning, module=r"repro(\..*)?$"
+        )
         yield
 
 

@@ -52,26 +52,47 @@ class BiasedOCuLaR(OCuLaR):
         self.item_biases_: Optional[np.ndarray] = None
 
     def fit(
-        self, matrix: InteractionMatrix, callback=None, backend=None
+        self,
+        matrix: InteractionMatrix,
+        callback=None,
+        backend=None,
+        initial_factors=None,
+        plateau_tolerance: Optional[float] = None,
+        plateau_patience: Optional[int] = None,
     ) -> "BiasedOCuLaR":
         """Fit with biases; ``backend`` is an optional borrowed instance
-        override, exactly as in :meth:`OCuLaR.fit`."""
+        override and ``initial_factors`` an optional warm start over the
+        *plain* (bias-free) factors, exactly as in :meth:`OCuLaR.fit`.  A
+        warm start reuses this instance's previously learned biases where
+        they exist; rows beyond them (new users/items) start at the same
+        small constant a cold fit uses."""
         csr = matrix.csr()
         n_users, n_items = csr.shape
-        user_factors, item_factors = initialize_factors(
-            csr,
-            self.n_coclusters,
-            method=self.init,
-            scale=self.init_scale,
-            random_state=self.random_state,
-            dtype=self.dtype,
-        )
+        if initial_factors is not None:
+            user_factors, item_factors = self._coerce_initial_factors(
+                initial_factors, n_users=n_users, n_items=n_items
+            )
+        else:
+            user_factors, item_factors = initialize_factors(
+                csr,
+                self.n_coclusters,
+                method=self.init,
+                scale=self.init_scale,
+                random_state=self.random_state,
+                dtype=self.dtype,
+            )
         # Augment: user side gets [b_u, 1], item side gets [1, b_i].
         small = 0.01
+        user_bias_init = self._warm_biases(
+            self.user_biases_ if initial_factors is not None else None, n_users, small
+        )
+        item_bias_init = self._warm_biases(
+            self.item_biases_ if initial_factors is not None else None, n_items, small
+        )
         user_aug = np.hstack(
             [
                 user_factors,
-                np.full((n_users, 1), small, dtype=self.dtype),
+                user_bias_init[:, None],
                 np.ones((n_users, 1), dtype=self.dtype),
             ]
         )
@@ -79,7 +100,7 @@ class BiasedOCuLaR(OCuLaR):
             [
                 item_factors,
                 np.ones((n_items, 1), dtype=self.dtype),
-                np.full((n_items, 1), small, dtype=self.dtype),
+                item_bias_init[:, None],
             ]
         )
 
@@ -94,9 +115,16 @@ class BiasedOCuLaR(OCuLaR):
         # (and, for "parallel", its thread pool) and the precomputed sweep
         # structure are reused across the whole fit.
         plan = SweepPlan.build(csr, user_weights=user_weights, dtype=self.dtype)
+        # The inner trainer runs exactly one iteration per call, so the
+        # plateau rule — which needs a streak of iterations — lives in this
+        # outer loop instead; it is disabled on the inner trainer.
         single_step_trainer = self._build_trainer(
-            backend, max_iterations=1, tolerance=0.0
+            backend, max_iterations=1, tolerance=0.0, plateau_tolerance=None
         )
+        plateau = self._plateau_overrides(plateau_tolerance, plateau_patience)
+        effective_plateau = plateau["plateau_tolerance"]
+        effective_patience = plateau["plateau_patience"]
+        plateau_streak = 0
         user_aug_view = user_aug
         item_aug_view = item_aug
         history = None
@@ -111,6 +139,8 @@ class BiasedOCuLaR(OCuLaR):
                 item_aug_view[:, bias_column_item_fixed] = 1.0
                 if history is None:
                     history = step_history
+                    history.warm_started = initial_factors is not None
+                    history.plateau_tolerance = effective_plateau
                 else:
                     history.objective_values.extend(step_history.objective_values[1:])
                     history.log_likelihoods.extend(step_history.log_likelihoods[1:])
@@ -122,9 +152,19 @@ class BiasedOCuLaR(OCuLaR):
                 if len(history.objective_values) >= 2:
                     previous, current = history.objective_values[-2], history.objective_values[-1]
                     improvement = previous - current
-                    if improvement >= 0 and abs(improvement) / max(abs(previous), 1.0) < self.tolerance:
+                    relative = abs(improvement) / max(abs(previous), 1.0)
+                    if improvement >= 0 and relative < self.tolerance:
                         history.converged = True
                         break
+                    if effective_plateau is not None:
+                        if improvement >= 0 and relative < effective_plateau:
+                            plateau_streak += 1
+                        else:
+                            plateau_streak = 0
+                        if plateau_streak >= effective_patience:
+                            history.converged = True
+                            history.stopped_on_plateau = True
+                            break
                 if callback is not None and callback(history.n_iterations, history):
                     break
         finally:
@@ -144,6 +184,17 @@ class BiasedOCuLaR(OCuLaR):
         self.history_ = history
         self._set_train_matrix(matrix)
         return self
+
+    def _warm_biases(
+        self, previous: Optional[np.ndarray], n_rows: int, small: float
+    ) -> np.ndarray:
+        """Bias-column initialisation: previous biases where they exist,
+        the cold-start constant for new rows (and for cold fits)."""
+        biases = np.full(n_rows, small, dtype=self.dtype)
+        if previous is not None:
+            n_kept = min(len(previous), n_rows)
+            biases[:n_kept] = np.asarray(previous[:n_kept], dtype=self.dtype)
+        return biases
 
     @property
     def serving_factors_(self) -> FactorModel:

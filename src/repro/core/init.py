@@ -112,6 +112,13 @@ def initialize_factors(
 
     ``dtype`` selects the training precision of the returned factors
     (float64 default, float32 supported).
+
+    ``random_state`` accepts an int seed, ``None``, or a pre-seeded
+    :class:`numpy.random.Generator`.  A Generator is used **as-is** (not
+    re-seeded or copied): successive calls advance the caller's stream, which
+    is how warm-start and cold-refit paths share one RNG stream without any
+    global state.  This is a contract — the incremental-refit experiments
+    rely on it — covered by a regression test.
     """
     try:
         initializer = _INITIALIZERS[method]

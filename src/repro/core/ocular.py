@@ -95,8 +95,18 @@ class OCuLaR(Recommender):
     user_weighting:
         ``None`` for the plain OCuLaR likelihood; ``"relative"`` for the
         R-OCuLaR weighting of Section V (see :class:`~repro.core.r_ocular.ROCuLaR`).
+    plateau_tolerance:
+        Optional plateau early-stop for warm-started refits: stop once the
+        relative objective improvement stays below this value for
+        ``plateau_patience`` consecutive iterations.  ``None`` (default)
+        disables the rule, keeping cold fits bit-identical to earlier
+        versions.  See :class:`~repro.core.optimizer.BlockCoordinateTrainer`.
+    plateau_patience:
+        Consecutive below-tolerance iterations before the plateau rule fires.
     random_state:
-        Seed or generator controlling the factor initialisation.
+        Seed or pre-seeded :class:`numpy.random.Generator` controlling the
+        factor initialisation (a Generator is used as-is, so warm and cold
+        paths can share one RNG stream).
 
     Attributes
     ----------
@@ -123,6 +133,8 @@ class OCuLaR(Recommender):
         dtype: str = "float64",
         inner_sweeps: int = 1,
         user_weighting: Optional[str] = None,
+        plateau_tolerance: Optional[float] = None,
+        plateau_patience: int = 2,
         random_state: RandomStateLike = None,
     ) -> None:
         self.n_coclusters = check_positive_int(n_coclusters, "n_coclusters")
@@ -146,6 +158,12 @@ class OCuLaR(Recommender):
         self.executor = executor
         self.dtype = check_float_dtype(dtype, "dtype")
         self.user_weighting = user_weighting
+        if plateau_tolerance is not None:
+            plateau_tolerance = check_non_negative_float(
+                plateau_tolerance, "plateau_tolerance"
+            )
+        self.plateau_tolerance = plateau_tolerance
+        self.plateau_patience = check_positive_int(plateau_patience, "plateau_patience")
         self.random_state = random_state
 
         self.factors_: Optional[FactorModel] = None
@@ -155,7 +173,13 @@ class OCuLaR(Recommender):
     # Fitting
     # ------------------------------------------------------------------ #
     def fit(
-        self, matrix: InteractionMatrix, callback=None, backend: Optional[Backend] = None
+        self,
+        matrix: InteractionMatrix,
+        callback=None,
+        backend: Optional[Backend] = None,
+        initial_factors=None,
+        plateau_tolerance: Optional[float] = None,
+        plateau_patience: Optional[int] = None,
     ) -> "OCuLaR":
         """Fit the co-cluster affiliation factors to a one-class matrix.
 
@@ -173,22 +197,54 @@ class OCuLaR(Recommender):
             :class:`~repro.runtime.RecommenderRuntime` threads one warm
             worker pool through every fit it runs.  The model's configured
             ``backend``/``n_workers``/``executor`` are left untouched.
+        initial_factors:
+            Optional warm start: a fitted
+            :class:`~repro.core.factors.FactorModel` or a
+            ``(user_factors, item_factors)`` tuple whose shapes match
+            ``matrix`` and ``n_coclusters``.  The factors are copied (the
+            source model is never mutated), cast to this model's ``dtype``
+            and must be non-negative — previous-generation factors extended
+            via :func:`repro.serving.fold_in.extend_factors` qualify.  When
+            ``None`` (default) the usual random initialisation runs.
+        plateau_tolerance, plateau_patience:
+            Per-fit overrides of the plateau early-stop (see the constructor).
+            Warm refits typically pass ``plateau_tolerance≈1e-3`` so they
+            stop after the few sweeps they actually need.
         """
         csr = matrix.csr()
-        user_factors, item_factors = initialize_factors(
-            csr,
-            self.n_coclusters,
-            method=self.init,
-            scale=self.init_scale,
-            random_state=self.random_state,
-            dtype=self.dtype,
+        if initial_factors is not None:
+            user_factors, item_factors = self._coerce_initial_factors(
+                initial_factors, n_users=csr.shape[0], n_items=csr.shape[1]
+            )
+        else:
+            user_factors, item_factors = initialize_factors(
+                csr,
+                self.n_coclusters,
+                method=self.init,
+                scale=self.init_scale,
+                random_state=self.random_state,
+                dtype=self.dtype,
+            )
+        trainer = self._build_trainer(
+            backend, **self._plateau_overrides(plateau_tolerance, plateau_patience)
         )
-        trainer = self._build_trainer(backend)
         user_weights = self._user_weights(csr)
         try:
-            user_factors, item_factors, history = trainer.train(
-                csr, user_factors, item_factors, user_weights=user_weights, callback=callback
-            )
+            if initial_factors is not None:
+                user_factors, item_factors, history = trainer.train(
+                    csr,
+                    user_weights=user_weights,
+                    callback=callback,
+                    initial_factors=(user_factors, item_factors),
+                )
+            else:
+                user_factors, item_factors, history = trainer.train(
+                    csr,
+                    user_factors,
+                    item_factors,
+                    user_weights=user_weights,
+                    callback=callback,
+                )
         finally:
             # The trainer's BackendLease makes ownership explicit: a
             # name-configured backend is owned by this fit (pools and
@@ -200,6 +256,60 @@ class OCuLaR(Recommender):
         self.history_ = history
         self._set_train_matrix(matrix)
         return self
+
+    def _coerce_initial_factors(self, initial_factors, n_users: int, n_items: int):
+        """Validate and copy a warm start into this model's dtype.
+
+        Accepts a :class:`~repro.core.factors.FactorModel` or a
+        ``(user_factors, item_factors)`` pair; checks shapes against the
+        training matrix and ``n_coclusters`` and rejects negative entries
+        (the trainer requires a feasible point of the non-negative program).
+        """
+        if isinstance(initial_factors, FactorModel):
+            pair = (initial_factors.user_factors, initial_factors.item_factors)
+        else:
+            try:
+                pair = tuple(initial_factors)
+            except TypeError:
+                pair = ()
+            if len(pair) != 2:
+                raise ConfigurationError(
+                    "initial_factors must be a FactorModel or a "
+                    "(user_factors, item_factors) tuple"
+                )
+        user_factors = np.array(pair[0], dtype=self.dtype, copy=True)
+        item_factors = np.array(pair[1], dtype=self.dtype, copy=True)
+        expected = {
+            "user_factors": (n_users, self.n_coclusters),
+            "item_factors": (n_items, self.n_coclusters),
+        }
+        for name, array in (("user_factors", user_factors), ("item_factors", item_factors)):
+            if array.ndim != 2 or array.shape != expected[name]:
+                raise ConfigurationError(
+                    f"initial {name} has shape {array.shape}, expected "
+                    f"{expected[name]} — extend the factors to the new matrix "
+                    "first (repro.serving.extend_factors)"
+                )
+            if array.size and array.min() < 0:
+                raise ConfigurationError(
+                    f"initial {name} contains negative entries; the trainer "
+                    "requires a feasible (non-negative) starting point"
+                )
+        return user_factors, item_factors
+
+    def _plateau_overrides(
+        self, plateau_tolerance: Optional[float], plateau_patience: Optional[int]
+    ) -> dict:
+        """Trainer overrides for one fit's plateau rule (model values by default)."""
+        overrides = dict(
+            plateau_tolerance=self.plateau_tolerance,
+            plateau_patience=self.plateau_patience,
+        )
+        if plateau_tolerance is not None:
+            overrides["plateau_tolerance"] = plateau_tolerance
+        if plateau_patience is not None:
+            overrides["plateau_patience"] = plateau_patience
+        return overrides
 
     def _build_trainer(
         self, backend: Optional[Backend] = None, **overrides
@@ -230,6 +340,8 @@ class OCuLaR(Recommender):
             n_workers=self.n_workers if backend is None else None,
             executor=self.executor if backend is None else None,
             inner_sweeps=self.inner_sweeps,
+            plateau_tolerance=self.plateau_tolerance,
+            plateau_patience=self.plateau_patience,
         )
         settings.update(overrides)
         return BlockCoordinateTrainer(**settings)
@@ -345,6 +457,8 @@ class OCuLaR(Recommender):
             "dtype": self.dtype.name,
             "inner_sweeps": self.inner_sweeps,
             "user_weighting": self.user_weighting,
+            "plateau_tolerance": self.plateau_tolerance,
+            "plateau_patience": self.plateau_patience,
             "random_state": self.random_state,
         }
 

@@ -66,6 +66,17 @@ class TrainingHistory:
         iteration budget ran out.
     n_iterations:
         Number of completed outer iterations.
+    warm_started:
+        Whether training was seeded from caller-provided ``initial_factors``
+        (a previous generation's factors) rather than a fresh initialisation.
+    stopped_on_plateau:
+        Whether the *plateau* rule — ``plateau_patience`` consecutive
+        iterations with relative improvement below ``plateau_tolerance`` —
+        ended the run.  Disjoint from the strict tolerance rule: when this is
+        set, ``converged`` is set too.
+    plateau_tolerance:
+        The plateau tolerance the run used (``None`` when the rule was off —
+        the cold-path default, which keeps seed parity bit-exact).
     """
 
     objective_values: List[float] = field(default_factory=list)
@@ -76,6 +87,9 @@ class TrainingHistory:
     user_sweep_stats: List[SweepStats] = field(default_factory=list)
     converged: bool = False
     n_iterations: int = 0
+    warm_started: bool = False
+    stopped_on_plateau: bool = False
+    plateau_tolerance: Optional[float] = None
 
     @property
     def final_objective(self) -> float:
@@ -146,6 +160,19 @@ class BlockCoordinateTrainer:
         that ``1`` — i.e. only *approximately* solving each subproblem — is
         the fastest choice in wall-clock terms; larger values solve each
         block more exactly and exist mainly for the ablation benchmark.
+    plateau_tolerance:
+        Optional *plateau* stopping rule for warm-started refits: when the
+        relative objective improvement stays below this value for
+        ``plateau_patience`` consecutive iterations, training stops and the
+        history records ``stopped_on_plateau``.  ``None`` (the default)
+        disables the rule entirely, so cold fits remain bit-identical to the
+        seed trainer.  Unlike ``tolerance`` — which is a strict convergence
+        criterion checked against a single iteration — the plateau rule
+        tolerates the noisy first iterations of a warm start where one sweep
+        can under-improve before the objective settles.
+    plateau_patience:
+        Consecutive below-``plateau_tolerance`` iterations required before
+        the plateau rule fires (default 2).
     """
 
     def __init__(
@@ -160,6 +187,8 @@ class BlockCoordinateTrainer:
         n_workers: Optional[int] = None,
         executor: Optional[str] = None,
         inner_sweeps: int = 1,
+        plateau_tolerance: Optional[float] = None,
+        plateau_patience: int = 2,
     ) -> None:
         self.regularization = check_non_negative_float(regularization, "regularization")
         self.max_iterations = check_positive_int(max_iterations, "max_iterations")
@@ -170,6 +199,12 @@ class BlockCoordinateTrainer:
         self._lease = BackendLease(backend, n_workers=n_workers, executor=executor)
         self.backend = self._lease.backend
         self.inner_sweeps = check_positive_int(inner_sweeps, "inner_sweeps")
+        if plateau_tolerance is not None:
+            plateau_tolerance = check_non_negative_float(
+                plateau_tolerance, "plateau_tolerance"
+            )
+        self.plateau_tolerance = plateau_tolerance
+        self.plateau_patience = check_positive_int(plateau_patience, "plateau_patience")
 
     @property
     def owns_backend(self) -> bool:
@@ -196,11 +231,12 @@ class BlockCoordinateTrainer:
     def train(
         self,
         matrix: sp.csr_matrix,
-        user_factors: np.ndarray,
-        item_factors: np.ndarray,
+        user_factors: Optional[np.ndarray] = None,
+        item_factors: Optional[np.ndarray] = None,
         user_weights: Optional[np.ndarray] = None,
         callback=None,
         plan: Optional[SweepPlan] = None,
+        initial_factors: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> Tuple[np.ndarray, np.ndarray, TrainingHistory]:
         """Run alternating sweeps until convergence or the iteration budget.
 
@@ -226,11 +262,29 @@ class BlockCoordinateTrainer:
             same dtype as the factors.  Callers that train repeatedly on one
             matrix (e.g. the bias-clamped fit) pass it to avoid rebuilding
             the plan per call; by default it is built here from ``matrix``.
+        initial_factors:
+            Warm-start alternative to the positional factor pair: a
+            ``(user_factors, item_factors)`` tuple — typically the previous
+            generation's fitted factors, extended to the current shape via
+            :func:`repro.serving.fold_in.extend_factors`.  Mutually exclusive
+            with the positional ``user_factors``/``item_factors``; the
+            resulting history records ``warm_started=True``.
 
         Returns
         -------
         (user_factors, item_factors, history)
         """
+        warm_started = initial_factors is not None
+        if warm_started:
+            if user_factors is not None or item_factors is not None:
+                raise ConfigurationError(
+                    "pass either positional factors or initial_factors, not both"
+                )
+            user_factors, item_factors = initial_factors
+        if user_factors is None or item_factors is None:
+            raise ConfigurationError(
+                "train requires user_factors and item_factors (or initial_factors)"
+            )
         if plan is None:
             if matrix is None:
                 raise ConfigurationError(
@@ -286,7 +340,9 @@ class BlockCoordinateTrainer:
             )
         user_entries = plan.user_side
 
-        history = TrainingHistory()
+        history = TrainingHistory(
+            warm_started=warm_started, plateau_tolerance=self.plateau_tolerance
+        )
         objective, likelihood = objective_from_entries(
             user_entries.row_index,
             user_entries.matrix.indices,
@@ -299,6 +355,7 @@ class BlockCoordinateTrainer:
         history.log_likelihoods.append(likelihood)
 
         start_time = time.perf_counter()
+        plateau_streak = 0
         for iteration in range(1, self.max_iterations + 1):
             iteration_start = time.perf_counter()
 
@@ -355,6 +412,15 @@ class BlockCoordinateTrainer:
             if improvement >= 0 and relative < self.tolerance:
                 history.converged = True
                 break
+            if self.plateau_tolerance is not None:
+                if improvement >= 0 and relative < self.plateau_tolerance:
+                    plateau_streak += 1
+                else:
+                    plateau_streak = 0
+                if plateau_streak >= self.plateau_patience:
+                    history.converged = True
+                    history.stopped_on_plateau = True
+                    break
 
         if not history.converged and history.n_iterations >= self.max_iterations:
             warnings.warn(

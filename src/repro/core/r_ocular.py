@@ -43,6 +43,8 @@ class ROCuLaR(OCuLaR):
         executor: str | None = None,
         dtype: str = "float64",
         random_state: RandomStateLike = None,
+        plateau_tolerance: float | None = None,
+        plateau_patience: int = 2,
     ) -> None:
         super().__init__(
             n_coclusters=n_coclusters,
@@ -60,4 +62,6 @@ class ROCuLaR(OCuLaR):
             dtype=dtype,
             user_weighting="relative",
             random_state=random_state,
+            plateau_tolerance=plateau_tolerance,
+            plateau_patience=plateau_patience,
         )

@@ -274,6 +274,83 @@ class InteractionMatrix:
         remaining.eliminate_zeros()
         return InteractionMatrix(remaining, user_labels=self.user_labels, item_labels=self.item_labels)
 
+    def extended_with(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        n_new_users: int = 0,
+        n_new_items: int = 0,
+        new_user_labels: Optional[Sequence[str]] = None,
+        new_item_labels: Optional[Sequence[str]] = None,
+    ) -> "InteractionMatrix":
+        """Return a larger matrix with extra users/items and interactions.
+
+        The incremental-refit path accumulates deltas — batches of new
+        positive pairs that may reference users and items beyond the current
+        shape.  This appends ``n_new_users`` empty rows and ``n_new_items``
+        empty columns and then sets ``r_ui = 1`` for every pair, all in CSR
+        form:
+
+        * widening to ``n_items + n_new_items`` columns reuses the existing
+          ``(data, indices, indptr)`` buffers — CSR column count is purely
+          declarative, so no copy happens;
+        * appending empty rows extends ``indptr`` with its last value;
+        * the delta pairs become their own CSR which is added sparsely.
+
+        The original matrix is never densified and never mutated.  Pairs
+        that duplicate existing interactions are idempotent (the result is
+        re-binarised).  Pair indices must lie inside the *extended* shape.
+        """
+        if n_new_users < 0 or n_new_items < 0:
+            raise DataError("n_new_users and n_new_items must be non-negative")
+        n_users = self.n_users + int(n_new_users)
+        n_items = self.n_items + int(n_new_items)
+
+        users: List[int] = []
+        items: List[int] = []
+        for user, item in pairs:
+            user, item = int(user), int(item)
+            if user < 0 or item < 0:
+                raise DataError(f"indices must be non-negative, got ({user}, {item})")
+            if user >= n_users or item >= n_items:
+                raise DataError(
+                    f"pair ({user}, {item}) exceeds the extended shape "
+                    f"({n_users}, {n_items})"
+                )
+            users.append(user)
+            items.append(item)
+
+        base = self._csr
+        widened = sp.csr_matrix(
+            (base.data, base.indices, base.indptr), shape=(self.n_users, n_items)
+        )
+        if n_new_users:
+            tail = np.full(n_new_users, base.indptr[-1], dtype=base.indptr.dtype)
+            indptr = np.concatenate([base.indptr, tail])
+            widened = sp.csr_matrix(
+                (base.data, base.indices, indptr), shape=(n_users, n_items)
+            )
+        if users:
+            delta = sp.csr_matrix(
+                (np.ones(len(users), dtype=np.float64), (users, items)),
+                shape=(n_users, n_items),
+            )
+            combined = (widened + delta).tocsr()
+        else:
+            combined = widened.copy()
+        combined.data[:] = 1.0
+        combined.sum_duplicates()
+        combined.data[:] = 1.0
+
+        user_labels = self._extend_labels(
+            self.user_labels, n_new_users, new_user_labels, "new_user_labels", "user"
+        )
+        item_labels = self._extend_labels(
+            self.item_labels, n_new_items, new_item_labels, "new_item_labels", "item"
+        )
+        return InteractionMatrix.from_validated_csr(
+            combined, user_labels=user_labels, item_labels=item_labels
+        )
+
     def copy(self) -> "InteractionMatrix":
         """Deep copy of the interaction matrix (labels are shared)."""
         return InteractionMatrix(
@@ -296,6 +373,25 @@ class InteractionMatrix:
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _extend_labels(
+        existing: Optional[List[str]],
+        n_new: int,
+        new_labels: Optional[Sequence[str]],
+        name: str,
+        kind: str,
+    ) -> Optional[List[str]]:
+        if new_labels is not None:
+            new_labels = [str(label) for label in new_labels]
+            if len(new_labels) != n_new:
+                raise DataError(f"{name} has {len(new_labels)} entries, expected {n_new}")
+        if existing is None:
+            return None
+        if new_labels is None:
+            offset = len(existing)
+            new_labels = [f"{kind} {offset + index}" for index in range(n_new)]
+        return existing + new_labels
+
     @staticmethod
     def _check_labels(
         labels: Optional[Sequence[str]], expected: int, name: str

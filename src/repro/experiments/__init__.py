@@ -27,6 +27,10 @@ from repro.experiments.scalability import (
 from repro.experiments.backends import run_backend_comparison
 from repro.experiments.gridsearch import run_grid_search_experiment
 from repro.experiments.deployment import run_deployment_example
+from repro.experiments.incremental import (
+    make_drifting_corpus,
+    run_incremental_study,
+)
 
 __all__ = [
     "build_model_zoo",
@@ -45,4 +49,6 @@ __all__ = [
     "run_backend_comparison",
     "run_grid_search_experiment",
     "run_deployment_example",
+    "make_drifting_corpus",
+    "run_incremental_study",
 ]

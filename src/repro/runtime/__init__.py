@@ -33,11 +33,17 @@ from repro.runtime.gateway import (
     GatewayThread,
     ServingGateway,
 )
-from repro.runtime.service import RecommenderRuntime, ServingSession, ServingStats
+from repro.runtime.service import (
+    IngestStats,
+    RecommenderRuntime,
+    ServingSession,
+    ServingStats,
+)
 
 __all__ = [
     "AdaptiveDelayController",
     "BatchedResponse",
+    "IngestStats",
     "BatchingFrontEnd",
     "BatchingStats",
     "GatewayClient",

@@ -50,12 +50,14 @@ import numpy as np
 
 from repro.api import RecommendRequest, RecommendResponse
 from repro.core.backends import ParallelBackend
+from repro.core.objective import full_objective
+from repro.data.interactions import InteractionMatrix
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
 from repro.serving.batch import BatchServingResult, _serve_shard
 from repro.serving.engine import DEFAULT_CHUNK_SIZE, TopNEngine
 from repro.core.factors import FactorModel
-from repro.serving.fold_in import _interactions_to_csr, fold_in_scores
+from repro.serving.fold_in import _interactions_to_csr, extend_factors, fold_in_scores
 from repro.serving.shared import (
     SharedEngineSpec,
     _rank_scored_shard,
@@ -66,6 +68,14 @@ from repro.serving.shared import (
     unpublish_engine,
 )
 from repro.utils.validation import check_positive_int
+
+
+#: Plateau tolerance a warm :meth:`RecommenderRuntime.refit` passes to the
+#: trainer when the caller does not choose one.  Loose relative to the strict
+#: convergence tolerance on purpose: a warm start lands near the optimum, so
+#: the refit should stop after the few sweeps that still move the objective.
+#: The value matches the incremental-refit study's validated default.
+DEFAULT_WARM_PLATEAU_TOLERANCE = 3e-4
 
 
 def _probe_pid(task_index: int) -> int:
@@ -108,6 +118,34 @@ class ServingStats:
     generation: Optional[int] = None
     spec_bytes: Optional[int] = None
     max_task_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class IngestStats:
+    """Result of one :meth:`RecommenderRuntime.ingest` delta.
+
+    Attributes
+    ----------
+    n_pairs:
+        Positive pairs in the delta (including re-sent existing pairs, which
+        are idempotent).
+    n_new_users, n_new_items:
+        Rows / columns appended by the delta.
+    n_users, n_items, nnz:
+        Shape and positive count of the grown corpus after the delta.
+    drift:
+        Interaction drift since the last full (cold) fit — the fraction of
+        the corpus's positives that arrived after that fit.  This is the
+        quantity ``refit(mode="auto")`` compares against ``drift_threshold``.
+    """
+
+    n_pairs: int
+    n_new_users: int
+    n_new_items: int
+    n_users: int
+    n_items: int
+    nnz: int
+    drift: float
 
 
 @dataclass(frozen=True)
@@ -262,6 +300,12 @@ class RecommenderRuntime:
     chunk_size:
         Users per BLAS call inside the serving engine (and the default
         serving shard size, so one shard is one chunk in the worker).
+    drift_threshold:
+        Interaction-drift ceiling for ``refit(mode="auto")``: while the
+        fraction of positives ingested since the last full fit stays at or
+        below this value, auto refits warm-start from the previous
+        generation's factors; beyond it they fall back to a full cold
+        retrain (default 0.25).
 
     Typical service loop::
 
@@ -281,6 +325,7 @@ class RecommenderRuntime:
         max_workers: Optional[int] = None,
         n_shards: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        drift_threshold: float = 0.25,
     ) -> None:
         # Validate everything cheap BEFORE the scheduler builds the executor
         # — a pool spawned and then abandoned by a constructor error would
@@ -288,6 +333,11 @@ class RecommenderRuntime:
         if n_shards is not None:
             check_positive_int(n_shards, "n_shards")
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        if not (isinstance(drift_threshold, (int, float)) and drift_threshold >= 0):
+            raise ConfigurationError(
+                f"drift_threshold must be a non-negative number, got {drift_threshold!r}"
+            )
+        self.drift_threshold = float(drift_threshold)
         self._scheduler = ShardScheduler(executor, max_workers=max_workers)
         # Built eagerly: the runtime's whole point is holding the pool warm.
         self._executor = self._scheduler.executor
@@ -305,6 +355,11 @@ class RecommenderRuntime:
         self.model = None
         self.train_matrix = None
         self.generation = 0
+        # Drift bookkeeping for the incremental-refit policy: the corpus
+        # size at (and per-interaction objective of) the last *full* fit.
+        self._full_fit_nnz: Optional[int] = None
+        self._baseline_objective_per_nnz: Optional[float] = None
+        self.last_refit_mode: Optional[str] = None
         # Sharded serving dispatches this runtime has performed — the
         # coalescing ratio of a batching front-end is visible as
         # serving_calls << requests submitted.
@@ -366,7 +421,7 @@ class RecommenderRuntime:
     # ------------------------------------------------------------------ #
     # Training on the warm pool
     # ------------------------------------------------------------------ #
-    def fit(self, model, matrix, callback=None):
+    def fit(self, model, matrix, callback=None, **fit_kwargs):
         """Fit ``model`` on ``matrix`` using the runtime's warm pool.
 
         Models whose ``fit`` accepts a ``backend`` override (the OCuLaR
@@ -376,16 +431,33 @@ class RecommenderRuntime:
         Other recommenders (the baselines) fit as themselves.  The fitted
         model becomes the runtime's current model; call :meth:`publish` to
         serve it.
+
+        Extra keyword arguments are forwarded to ``model.fit`` when its
+        signature accepts them (``initial_factors``, ``plateau_tolerance``,
+        ...); an unsupported one raises
+        :class:`~repro.exceptions.ConfigurationError` instead of silently
+        changing what the fit means.  A fit **without** ``initial_factors``
+        is a full fit and resets the drift baseline :attr:`drift` and
+        ``refit(mode="auto")`` measure against.
         """
         self._check_open()
-        if "backend" in inspect.signature(model.fit).parameters:
-            model.fit(matrix, callback=callback, backend=self._backend)
-        elif callback is not None:
-            model.fit(matrix, callback=callback)
-        else:
-            model.fit(matrix)
+        parameters = inspect.signature(model.fit).parameters
+        kwargs = {}
+        if "backend" in parameters:
+            kwargs["backend"] = self._backend
+        if callback is not None:
+            kwargs["callback"] = callback
+        for name, value in fit_kwargs.items():
+            if name not in parameters:
+                raise ConfigurationError(
+                    f"{type(model).__name__}.fit does not accept {name!r}"
+                )
+            kwargs[name] = value
+        model.fit(matrix, **kwargs)
         self.model = model
         self.train_matrix = matrix
+        if fit_kwargs.get("initial_factors") is None:
+            self._reset_drift_baseline(model, matrix)
         # The fit's plan arrays are dead weight between fits; drop them now
         # instead of letting them ride the executor's LRU.  Scoped to the
         # warm backend's own keys (and serialised against its in-flight
@@ -394,14 +466,197 @@ class RecommenderRuntime:
         self._backend.release_published()
         return model
 
-    def refit(self, matrix=None, callback=None):
-        """Refit the current model (on ``matrix`` or the stored one), warm pool."""
+    def refit(
+        self,
+        matrix=None,
+        callback=None,
+        mode: str = "cold",
+        plateau_tolerance: Optional[float] = None,
+        plateau_patience: Optional[int] = None,
+    ):
+        """Refit the current model (on ``matrix`` or the stored one), warm pool.
+
+        Parameters
+        ----------
+        matrix:
+            Corpus to refit on; defaults to the stored one — which includes
+            every delta :meth:`ingest` has accumulated.
+        mode:
+            ``"cold"`` (default, and the exact pre-incremental behaviour):
+            retrain from fresh random factors with the model's configured
+            stopping rule.  ``"warm"``: seed from the previous generation's
+            factors, extended to the target corpus via
+            :func:`~repro.serving.fold_in.extend_factors` (new users folded
+            in against the old catalogue, new items against the extended
+            users), and stop on objective plateau
+            (:data:`DEFAULT_WARM_PLATEAU_TOLERANCE` unless overridden).
+            ``"auto"``: warm while :attr:`drift` is at or below
+            :attr:`drift_threshold`, cold beyond it — the policy loop of a
+            deployment that ingests continuously.
+        plateau_tolerance, plateau_patience:
+            Optional overrides of the warm path's plateau early-stop; unused
+            on the cold path.
+
+        The resolved mode of the last refit is recorded in
+        :attr:`last_refit_mode`.
+        """
         if self.model is None:
             raise NotFittedError("refit requires a previous runtime.fit")
         target = self.train_matrix if matrix is None else matrix
         if target is None:
             raise ConfigurationError("refit needs a matrix (none stored)")
-        return self.fit(self.model, target, callback=callback)
+        if mode not in ("warm", "cold", "auto"):
+            raise ConfigurationError(
+                f"refit mode must be 'warm', 'cold' or 'auto', got {mode!r}"
+            )
+        warm_capable = (
+            getattr(self.model, "is_fitted", False)
+            and "initial_factors" in inspect.signature(self.model.fit).parameters
+        )
+        resolved = mode
+        if mode == "auto":
+            resolved = (
+                "warm"
+                if warm_capable and self.drift <= self.drift_threshold
+                else "cold"
+            )
+        if resolved == "warm":
+            if not warm_capable:
+                raise ConfigurationError(
+                    "warm refit requires a fitted model whose fit() accepts "
+                    f"initial_factors; {type(self.model).__name__} does not"
+                )
+            initial = extend_factors(self.model, target, backend=self._backend)
+            kwargs = dict(
+                initial_factors=initial,
+                plateau_tolerance=(
+                    DEFAULT_WARM_PLATEAU_TOLERANCE
+                    if plateau_tolerance is None
+                    else plateau_tolerance
+                ),
+            )
+            if plateau_patience is not None:
+                kwargs["plateau_patience"] = plateau_patience
+            result = self.fit(self.model, target, callback=callback, **kwargs)
+        else:
+            result = self.fit(self.model, target, callback=callback)
+        self.last_refit_mode = resolved
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Delta ingestion / drift
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        n_new_users: int = 0,
+        n_new_items: int = 0,
+    ) -> IngestStats:
+        """Accumulate a delta of interactions (and new users/items) into the corpus.
+
+        The stored training matrix is replaced by its
+        :meth:`~repro.data.interactions.InteractionMatrix.extended_with`
+        extension — pure CSR concatenation, no densification, the published
+        serving generation untouched.  New users become servable
+        **immediately**: :meth:`recommend` detects users beyond the published
+        generation's corpus and routes them through the fold-in path using
+        their ingested interactions (new *items* enter rankings only after
+        the next ``refit`` + ``update``).  The returned stats carry the
+        accumulated :attr:`drift`, which ``refit(mode="auto")`` uses to
+        choose between a warm and a cold retrain.
+        """
+        self._check_open()
+        if self.train_matrix is None:
+            raise NotFittedError(
+                "ingest requires a corpus; run runtime.fit(model, matrix) first"
+            )
+        if not isinstance(self.train_matrix, InteractionMatrix):
+            raise ConfigurationError(
+                "ingest requires the stored corpus to be an InteractionMatrix, "
+                f"got {type(self.train_matrix).__name__}"
+            )
+        pair_list = [(int(user), int(item)) for user, item in pairs]
+        extended = self.train_matrix.extended_with(
+            pair_list, n_new_users=n_new_users, n_new_items=n_new_items
+        )
+        with self._swap_lock:
+            self.train_matrix = extended
+        return IngestStats(
+            n_pairs=len(pair_list),
+            n_new_users=int(n_new_users),
+            n_new_items=int(n_new_items),
+            n_users=extended.n_users,
+            n_items=extended.n_items,
+            nnz=extended.nnz,
+            drift=self.drift,
+        )
+
+    @property
+    def drift(self) -> float:
+        """Fraction of positives ingested since the last full (cold) fit.
+
+        ``(nnz_now - nnz_at_full_fit) / nnz_at_full_fit`` — the cheap,
+        always-available signal ``refit(mode="auto")`` thresholds on.  Zero
+        before any full fit or ingest.
+        """
+        if self._full_fit_nnz is None or self.train_matrix is None:
+            return 0.0
+        nnz = getattr(self.train_matrix, "nnz", None)
+        if nnz is None:
+            return 0.0
+        return (int(nnz) - self._full_fit_nnz) / max(self._full_fit_nnz, 1)
+
+    def objective_drift(self) -> float:
+        """Relative change of the per-interaction objective on the grown corpus.
+
+        Extends the current model's factors to the stored corpus (fold-in of
+        any new users/items, existing rows unchanged) and evaluates the
+        training objective per positive interaction, relative to the value
+        the last full fit ended at.  A direct measure of how stale the
+        factors are — more faithful than :attr:`drift` but it costs fold-in
+        sweeps plus one objective evaluation, so the auto policy uses
+        :attr:`drift` and this stays a diagnostic.
+        """
+        self._check_open()
+        if self.model is None or not getattr(self.model, "is_fitted", False):
+            raise NotFittedError("objective_drift requires a fitted model")
+        if self.train_matrix is None or not isinstance(
+            self.train_matrix, InteractionMatrix
+        ):
+            raise ConfigurationError(
+                "objective_drift requires an InteractionMatrix corpus"
+            )
+        if self._baseline_objective_per_nnz is None:
+            raise NotFittedError(
+                "objective_drift requires a full fit with a training history "
+                "as its baseline"
+            )
+        matrix = self.train_matrix
+        # Verbatim extension (interior=0.0): the diagnostic must evaluate the
+        # current factors as they are, not the interior-lifted warm seed.
+        factors = extend_factors(
+            self.model, matrix, backend=self._backend, interior=0.0
+        )
+        objective = full_objective(
+            matrix.csr(),
+            factors.user_factors,
+            factors.item_factors,
+            getattr(self.model, "regularization", 0.0),
+        )
+        per_nnz = objective / max(matrix.nnz, 1)
+        baseline = self._baseline_objective_per_nnz
+        return (per_nnz - baseline) / max(abs(baseline), 1e-12)
+
+    def _reset_drift_baseline(self, model, matrix) -> None:
+        """Record the corpus size and objective level of a full fit."""
+        nnz = getattr(matrix, "nnz", None)
+        self._full_fit_nnz = int(nnz) if nnz is not None else None
+        history = getattr(model, "history_", None)
+        objective_values = getattr(history, "objective_values", None)
+        if objective_values and self._full_fit_nnz:
+            self._baseline_objective_per_nnz = objective_values[-1] / self._full_fit_nnz
+        else:
+            self._baseline_objective_per_nnz = None
 
     # ------------------------------------------------------------------ #
     # Publication / model-version swap
@@ -505,6 +760,15 @@ class RecommenderRuntime:
             )
         started = time.perf_counter()
         if request.kind == "topn":
+            # Users ingested after the published generation's fit are not in
+            # its factor matrix; they are served through the fold-in path
+            # (their ingested interactions against the published factors),
+            # pinned to the same generation as everyone else in the request.
+            reference = session._engine if session is not None else self._engine
+            if reference is not None and any(
+                int(user) >= reference.train_matrix.n_users for user in request.users
+            ):
+                return self._recommend_mixed(request, session, shard_size, started)
             _users, rankings, scores, _n_shards, generation = self._serve_topn(
                 request.users,
                 n_items=request.n_items,
@@ -524,6 +788,87 @@ class RecommenderRuntime:
                 session=session,
                 return_scores=request.with_scores,
             )
+        return RecommendResponse(
+            rankings=rankings,
+            scores=scores,
+            generation=generation,
+            serve_ms=(time.perf_counter() - started) * 1000.0,
+            batch_users=request.n_rows,
+        )
+
+    def _recommend_mixed(
+        self,
+        request: RecommendRequest,
+        session: Optional[ServingSession],
+        shard_size: Optional[int],
+        started: float,
+    ) -> RecommendResponse:
+        """Serve a top-N request mixing published and post-ingest users.
+
+        Users inside the published generation's corpus go down the normal
+        sharded top-N path; users ingested after it are folded in from their
+        accumulated interactions (restricted to the published catalogue —
+        ingested *items* only enter rankings after a refit + update).  Both
+        halves run against one pinned generation — a caller-provided session
+        or a private one — and the results are merged back into request
+        order, so a mid-flight :meth:`update` can never split the batch
+        across model versions.
+        """
+        own = self.serving_session() if session is None else None
+        active = session if own is None else own
+        try:
+            engine = active._engine
+            limit = engine.train_matrix.n_users
+            users = [int(user) for user in request.users]
+            known_idx = [i for i, user in enumerate(users) if user < limit]
+            fresh_idx = [i for i, user in enumerate(users) if user >= limit]
+            matrix = self.train_matrix
+            if matrix is None or not hasattr(matrix, "items_of_user"):
+                raise ConfigurationError(
+                    "serving post-ingest users requires the runtime's stored "
+                    "InteractionMatrix corpus"
+                )
+            rankings: List[Optional[np.ndarray]] = [None] * len(users)
+            scores: Optional[List[Optional[np.ndarray]]] = (
+                [None] * len(users) if request.with_scores else None
+            )
+            generation = active.generation
+            if known_idx:
+                _ul, known_rankings, known_scores, _ns, generation = self._serve_topn(
+                    [users[i] for i in known_idx],
+                    n_items=request.n_items,
+                    exclude_seen=request.exclude_seen,
+                    shard_size=shard_size,
+                    session=active,
+                    return_scores=request.with_scores,
+                )
+                for position, index in enumerate(known_idx):
+                    rankings[index] = known_rankings[position]
+                    if scores is not None:
+                        scores[index] = known_scores[position]
+            if fresh_idx:
+                catalogue = engine.n_items
+                interactions = []
+                for index in fresh_idx:
+                    row = matrix.items_of_user(users[index])
+                    interactions.append([int(item) for item in row if item < catalogue])
+                folded_rankings, folded_scores, _ns, generation = self._serve_folded(
+                    interactions,
+                    n_items=request.n_items,
+                    exclude_seen=request.exclude_seen,
+                    n_sweeps=request.n_sweeps,
+                    tolerance=request.tolerance,
+                    shard_size=shard_size,
+                    session=active,
+                    return_scores=request.with_scores,
+                )
+                for position, index in enumerate(fresh_idx):
+                    rankings[index] = folded_rankings[position]
+                    if scores is not None:
+                        scores[index] = folded_scores[position]
+        finally:
+            if own is not None:
+                own.release()
         return RecommendResponse(
             rankings=rankings,
             scores=scores,

@@ -12,7 +12,9 @@ from repro.serving.batch import BatchServingResult, serve_sharded
 from repro.serving.engine import TopNEngine
 from repro.serving.fold_in import (
     clear_fold_in_plan_cache,
+    extend_factors,
     fold_in_factors,
+    fold_in_items,
     fold_in_user,
     fold_in_users,
     recommend_folded,
@@ -30,7 +32,9 @@ __all__ = [
     "BatchServingResult",
     "serve_sharded",
     "clear_fold_in_plan_cache",
+    "extend_factors",
     "fold_in_factors",
+    "fold_in_items",
     "fold_in_user",
     "fold_in_users",
     "recommend_folded",

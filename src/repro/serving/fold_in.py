@@ -41,8 +41,14 @@ InteractionsLike = Union[
 ]
 
 
-def _interactions_to_csr(interactions: InteractionsLike, n_items: int) -> sp.csr_matrix:
-    """Normalise the accepted interaction forms to a binary CSR of width ``n_items``."""
+def _interactions_to_csr(
+    interactions: InteractionsLike, n_items: int, entity: str = "item"
+) -> sp.csr_matrix:
+    """Normalise the accepted interaction forms to a binary CSR of width ``n_items``.
+
+    ``entity`` names what the columns are in error messages — ``"item"`` for
+    the user fold-in, ``"user"`` for the symmetric item fold-in.
+    """
     if isinstance(interactions, InteractionMatrix):
         csr = interactions.csr().copy()
     elif sp.issparse(interactions):
@@ -60,7 +66,7 @@ def _interactions_to_csr(interactions: InteractionsLike, n_items: int) -> sp.csr
                 item = int(item)
                 if not 0 <= item < n_items:
                     raise DataError(
-                        f"interaction item index {item} out of range [0, {n_items})"
+                        f"interaction {entity} index {item} out of range [0, {n_items})"
                     )
                 rows.append(row)
                 cols.append(item)
@@ -69,10 +75,10 @@ def _interactions_to_csr(interactions: InteractionsLike, n_items: int) -> sp.csr
         )
     if csr.shape[1] != n_items:
         raise DataError(
-            f"interaction vectors have {csr.shape[1]} items, the model has {n_items}"
+            f"interaction vectors have {csr.shape[1]} {entity}s, the model has {n_items}"
         )
     if csr.nnz and (csr.indices.min() < 0 or csr.indices.max() >= n_items):
-        raise DataError("interaction item indices out of range")
+        raise DataError(f"interaction {entity} indices out of range")
     csr.data[:] = 1.0
     csr.sum_duplicates()
     csr.data[:] = 1.0
@@ -310,6 +316,159 @@ def fold_in_user(
 ) -> np.ndarray:
     """Fold a single unseen user in; returns their factor vector, shape ``(K,)``."""
     return fold_in_users(model, [list(items)], n_sweeps=n_sweeps, tolerance=tolerance)[0]
+
+
+def fold_in_items(
+    model,
+    interactions: InteractionsLike,
+    n_sweeps: int = 30,
+    tolerance: float = 1e-8,
+    init: Optional[np.ndarray] = None,
+    backend: Optional[Union[Backend, str]] = None,
+) -> np.ndarray:
+    """Fold a batch of unseen *items* into a fitted OCuLaR-family model.
+
+    The mirror of :func:`fold_in_users`: hold the fitted **user** factors
+    fixed and solve the per-item convex subproblem for each new item's
+    interaction vector.  The objective is symmetric in the two factor blocks
+    — ``-log(1 - exp(-<f_i, f_u>))`` is the same function of whichever side
+    is free — so the exact sweep machinery applies with the roles swapped.
+
+    Parameters
+    ----------
+    model:
+        A fitted model exposing ``factors_``.
+    interactions:
+        The new items' positives, *item-major*: a list of user-index
+        sequences (one per new item), a sparse matrix of shape
+        ``(m, n_users)``, or a dense 0/1 array of that shape.
+    n_sweeps, tolerance, init:
+        See :func:`fold_in_factors`.
+    backend:
+        Optional backend override, as in :func:`fold_in_users`.
+
+    Returns
+    -------
+    np.ndarray
+        Folded item factors, shape ``(m, K)``.
+    """
+    factors = getattr(model, "factors_", None)
+    if not isinstance(factors, FactorModel):
+        raise NotFittedError("fold_in_items requires a fitted factor model")
+    csr = _interactions_to_csr(interactions, factors.n_users, entity="user")
+    return fold_in_factors(
+        factors.user_factors,
+        csr,
+        regularization=getattr(model, "regularization", 0.0),
+        backend=getattr(model, "backend", "vectorized") if backend is None else backend,
+        n_sweeps=n_sweeps,
+        tolerance=tolerance,
+        sigma=getattr(model, "sigma", 0.1),
+        beta=getattr(model, "beta", 0.5),
+        max_backtracks=getattr(model, "max_backtracks", 20),
+        init=init,
+    )
+
+
+def extend_factors(
+    model,
+    matrix,
+    backend: Optional[Union[Backend, str]] = None,
+    n_sweeps: int = 30,
+    tolerance: float = 1e-8,
+    interior: float = 0.01,
+) -> FactorModel:
+    """Extend a fitted model's factors to a grown interaction matrix.
+
+    The warm-start seed for an incremental refit: existing rows carry the
+    previous generation's factors, new **user** rows are folded in against
+    the old item catalogue (their interactions restricted to the old
+    columns), and new **item** rows are folded in against the *extended*
+    user factors — so late items see their early adopters, including
+    just-folded new users.  The result is a feasible (non-negative) point of
+    the training program on the grown matrix, ready for
+    ``fit(..., initial_factors=...)``.
+
+    Parameters
+    ----------
+    model:
+        A fitted model exposing ``factors_`` plus the solver constants
+        (``regularization``, ``sigma``, ``beta``, ``max_backtracks``).
+    matrix:
+        The grown corpus — an :class:`InteractionMatrix` (e.g. from
+        :meth:`~repro.data.interactions.InteractionMatrix.extended_with`) or
+        CSR whose shape is at least the fitted one in both dimensions.
+    backend:
+        Optional backend override for the fold-in sweeps (a runtime's warm
+        pool, typically).
+    n_sweeps, tolerance:
+        Fold-in sweep budget, as in :func:`fold_in_factors`.
+    interior:
+        Exact zeros in the seed are lifted to ``interior`` times the mean
+        positive entry of their factor block.  A converged generation is
+        mostly exact zeros, and zero is an absorbing artifact of the clamped
+        objective — the projected sweeps cannot regrow a coordinate whose
+        (clamped) gradient is non-negative at the boundary, so restarting
+        from the previous factors verbatim stalls at a partially absorbed
+        critical point well above what a cold fit reaches.  A tiny interior
+        lift restores trainability while staying within rounding distance of
+        the previous generation.  Set to ``0.0`` for the verbatim extension
+        (diagnostics that compare objectives, not warm starts).
+
+    Returns
+    -------
+    FactorModel
+        Factors of the grown shape ``(matrix.n_users, K)`` / ``(matrix.n_items, K)``.
+    """
+    factors = getattr(model, "factors_", None)
+    if not isinstance(factors, FactorModel):
+        raise NotFittedError("extend_factors requires a fitted factor model")
+    interior = check_non_negative_float(interior, "interior")
+    csr = matrix.csr() if isinstance(matrix, InteractionMatrix) else sp.csr_matrix(matrix)
+    n_users, n_items = csr.shape
+    if n_users < factors.n_users or n_items < factors.n_items:
+        raise ConfigurationError(
+            f"extend_factors needs a matrix at least as large as the fitted one; "
+            f"got ({n_users}, {n_items}) vs fitted ({factors.n_users}, {factors.n_items})"
+        )
+    dtype = factors.user_factors.dtype
+    n_coclusters = factors.user_factors.shape[1]
+
+    user_out = np.zeros((n_users, n_coclusters), dtype=dtype)
+    user_out[: factors.n_users] = factors.user_factors
+    if n_users > factors.n_users:
+        # New users' positives restricted to the items the model knows.
+        new_user_rows = sp.csr_matrix(csr[factors.n_users :, : factors.n_items])
+        user_out[factors.n_users :] = fold_in_users(
+            model, new_user_rows, n_sweeps=n_sweeps, tolerance=tolerance, backend=backend
+        ).astype(dtype, copy=False)
+
+    item_out = np.zeros((n_items, n_coclusters), dtype=dtype)
+    item_out[: factors.n_items] = factors.item_factors
+    if n_items > factors.n_items:
+        # New items' positives, item-major, against the extended user block.
+        new_item_rows = sp.csr_matrix(csr[:, factors.n_items :].T)
+        item_out[factors.n_items :] = fold_in_factors(
+            user_out,
+            new_item_rows,
+            regularization=getattr(model, "regularization", 0.0),
+            backend=(
+                getattr(model, "backend", "vectorized") if backend is None else backend
+            ),
+            n_sweeps=n_sweeps,
+            tolerance=tolerance,
+            sigma=getattr(model, "sigma", 0.1),
+            beta=getattr(model, "beta", 0.5),
+            max_backtracks=getattr(model, "max_backtracks", 20),
+        ).astype(dtype, copy=False)
+
+    if interior > 0.0:
+        for block in (user_out, item_out):
+            positive = block[block > 0]
+            if positive.size:
+                np.maximum(block, interior * float(positive.mean()), out=block)
+
+    return FactorModel(user_out, item_out)
 
 
 def recommend_folded(

@@ -21,9 +21,17 @@ from repro.data.synthetic import make_paper_toy_example, make_planted_coclusters
 
 @pytest.fixture(autouse=True)
 def _silence_convergence_warnings():
-    """Tests use tiny iteration budgets; convergence warnings are expected."""
+    """Tests use tiny iteration budgets; convergence warnings are expected.
+
+    Deprecations raised from ``repro`` itself stay fatal: internal code must
+    never call its own deprecated shims.  ``tests/test_deprecation_shims.py``
+    overrides the filter locally to exercise them.
+    """
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
+        warnings.filterwarnings(
+            "error", category=DeprecationWarning, module=r"repro(\..*)?$"
+        )
         yield
 
 

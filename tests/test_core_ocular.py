@@ -262,3 +262,93 @@ class TestDtype:
         assert params["n_workers"] == 2
         rebuilt = OCuLaR(**params)
         assert rebuilt.get_params() == params
+
+
+class TestWarmStartFit:
+    @pytest.fixture()
+    def planted_matrix(self):
+        return make_planted_coclusters(
+            n_users=40,
+            n_items=30,
+            n_coclusters=3,
+            users_per_cocluster=14,
+            items_per_cocluster=10,
+            random_state=11,
+        ).matrix
+
+    def _model(self, **overrides):
+        settings = dict(
+            n_coclusters=3,
+            regularization=1.0,
+            max_iterations=4,
+            tolerance=0.0,
+            random_state=0,
+        )
+        settings.update(overrides)
+        return OCuLaR(**settings)
+
+    def test_factor_model_and_tuple_seeds_are_equivalent(self, planted_matrix):
+        seed = self._model().fit(planted_matrix)
+        via_model = self._model().fit(planted_matrix, initial_factors=seed.factors_)
+        via_tuple = self._model().fit(
+            planted_matrix,
+            initial_factors=(
+                seed.factors_.user_factors,
+                seed.factors_.item_factors,
+            ),
+        )
+        np.testing.assert_array_equal(
+            via_model.factors_.user_factors, via_tuple.factors_.user_factors
+        )
+        np.testing.assert_array_equal(
+            via_model.factors_.item_factors, via_tuple.factors_.item_factors
+        )
+        assert via_model.history_.warm_started
+        assert via_tuple.history_.warm_started
+        assert not seed.history_.warm_started
+
+    def test_seed_factors_are_copied_not_mutated(self, planted_matrix):
+        seed = self._model().fit(planted_matrix)
+        user_before = seed.factors_.user_factors.copy()
+        item_before = seed.factors_.item_factors.copy()
+        self._model().fit(planted_matrix, initial_factors=seed.factors_)
+        np.testing.assert_array_equal(seed.factors_.user_factors, user_before)
+        np.testing.assert_array_equal(seed.factors_.item_factors, item_before)
+
+    def test_wrong_shape_rejected_with_extend_hint(self, planted_matrix):
+        seed = self._model().fit(planted_matrix)
+        grown = planted_matrix.extended_with([], n_new_users=2)
+        with pytest.raises(ConfigurationError, match="extend_factors"):
+            self._model().fit(grown, initial_factors=seed.factors_)
+
+    def test_negative_seed_rejected(self, planted_matrix):
+        user = np.full((planted_matrix.n_users, 3), 0.5)
+        item = np.full((planted_matrix.n_items, 3), 0.5)
+        user[0, 0] = -1e-6
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            self._model().fit(planted_matrix, initial_factors=(user, item))
+
+    def test_garbage_seed_rejected(self, planted_matrix):
+        with pytest.raises(ConfigurationError, match="FactorModel"):
+            self._model().fit(planted_matrix, initial_factors=42)
+
+    def test_seed_cast_to_model_dtype(self, planted_matrix):
+        seed = self._model().fit(planted_matrix)
+        warm = self._model(dtype="float32").fit(
+            planted_matrix, initial_factors=seed.factors_
+        )
+        assert warm.factors_.user_factors.dtype == np.float32
+
+    def test_cold_fit_unchanged_by_warm_machinery(self, planted_matrix):
+        # Two cold fits from the same seed are bit-identical — the presence
+        # of the warm-start/plateau parameters must not perturb the default
+        # path.
+        a = self._model().fit(planted_matrix)
+        b = self._model().fit(planted_matrix)
+        np.testing.assert_array_equal(
+            a.factors_.user_factors, b.factors_.user_factors
+        )
+        np.testing.assert_array_equal(
+            a.factors_.item_factors, b.factors_.item_factors
+        )
+        assert a.history_.plateau_tolerance is None

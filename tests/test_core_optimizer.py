@@ -281,3 +281,88 @@ class TestTraining:
         )
         values = history.objective_values
         assert all(later <= earlier + 1e-8 for earlier, later in zip(values, values[1:]))
+
+
+class TestWarmStartAndPlateau:
+    def test_initial_factors_records_warm_started(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=3, tolerance=0.0)
+        _, _, history = trainer.train(
+            matrix, initial_factors=(user_factors, item_factors)
+        )
+        assert history.warm_started
+        _, _, cold_history = trainer.train(matrix, user_factors, item_factors)
+        assert not cold_history.warm_started
+
+    def test_initial_factors_mutually_exclusive_with_positional(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=2)
+        with pytest.raises(ConfigurationError, match="not both"):
+            trainer.train(
+                matrix,
+                user_factors,
+                item_factors,
+                initial_factors=(user_factors, item_factors),
+            )
+
+    def test_warm_start_equals_positional_start(self, training_problem):
+        # The warm path is a naming convenience: the sweeps from the same
+        # starting point must be bit-identical either way.
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=3, tolerance=0.0)
+        warm_u, warm_v, _ = trainer.train(
+            matrix, initial_factors=(user_factors.copy(), item_factors.copy())
+        )
+        cold_u, cold_v, _ = trainer.train(
+            matrix, user_factors.copy(), item_factors.copy()
+        )
+        np.testing.assert_array_equal(warm_u, cold_u)
+        np.testing.assert_array_equal(warm_v, cold_v)
+
+    def test_plateau_stop_fires_and_is_recorded(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(
+            max_iterations=50,
+            tolerance=0.0,
+            plateau_tolerance=1.0,  # any iteration counts as a plateau
+            plateau_patience=2,
+        )
+        _, _, history = trainer.train(
+            matrix, user_factors.copy(), item_factors.copy()
+        )
+        assert history.stopped_on_plateau
+        assert history.plateau_tolerance == 1.0
+        assert history.n_iterations < 50
+
+    def test_plateau_patience_delays_the_stop(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+
+        def run(patience):
+            trainer = BlockCoordinateTrainer(
+                max_iterations=50,
+                tolerance=0.0,
+                plateau_tolerance=1.0,
+                plateau_patience=patience,
+            )
+            _, _, history = trainer.train(
+                matrix, user_factors.copy(), item_factors.copy()
+            )
+            return history
+
+        assert run(4).n_iterations > run(2).n_iterations
+
+    def test_plateau_off_by_default(self, training_problem):
+        matrix, user_factors, item_factors = training_problem
+        trainer = BlockCoordinateTrainer(max_iterations=3, tolerance=0.0)
+        _, _, history = trainer.train(
+            matrix, user_factors.copy(), item_factors.copy()
+        )
+        assert history.plateau_tolerance is None
+        assert not history.stopped_on_plateau
+        assert history.n_iterations == 3
+
+    def test_plateau_tolerance_validated(self):
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(plateau_tolerance=-0.1)
+        with pytest.raises(ConfigurationError):
+            BlockCoordinateTrainer(plateau_patience=0)

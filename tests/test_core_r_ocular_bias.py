@@ -143,3 +143,42 @@ class TestBiasedOCuLaR:
         assert len(ranked) == 3
         seen = set(toy_dataset.matrix.items_of_user(6).tolist())
         assert not (set(int(i) for i in ranked) & seen)
+
+
+class TestBiasedOCuLaRWarmStart:
+    def test_warm_start_accepted_and_biases_carry_over(self, toy_dataset):
+        seed = BiasedOCuLaR(
+            n_coclusters=3, regularization=0.1, max_iterations=10, random_state=0
+        ).fit(toy_dataset.matrix)
+        user_biases = seed.user_biases_.copy()
+        item_biases = seed.item_biases_.copy()
+
+        warm = BiasedOCuLaR(
+            n_coclusters=3, regularization=0.1, max_iterations=3, tolerance=0.0,
+            random_state=1,
+        )
+        warm.user_biases_ = user_biases
+        warm.item_biases_ = item_biases
+        warm.fit(toy_dataset.matrix, initial_factors=seed.factors_)
+        assert warm.history_.warm_started
+        assert warm.user_biases_ is not None and (warm.user_biases_ >= 0).all()
+        assert warm.item_biases_ is not None and (warm.item_biases_ >= 0).all()
+        # The exposed co-cluster factors keep the bias columns stripped.
+        assert warm.user_factors_.shape == (12, 3)
+        assert warm.item_factors_.shape == (12, 3)
+
+    def test_warm_start_plateau_stop(self, toy_dataset):
+        seed = BiasedOCuLaR(
+            n_coclusters=3, regularization=0.1, max_iterations=10, random_state=0
+        ).fit(toy_dataset.matrix)
+        warm = BiasedOCuLaR(
+            n_coclusters=3, regularization=0.1, max_iterations=40, tolerance=0.0,
+            random_state=1,
+        ).fit(
+            toy_dataset.matrix,
+            initial_factors=seed.factors_,
+            plateau_tolerance=1.0,
+            plateau_patience=2,
+        )
+        assert warm.history_.stopped_on_plateau
+        assert warm.history_.n_iterations < 40

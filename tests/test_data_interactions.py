@@ -177,3 +177,69 @@ class TestStatistics:
         assert stats["n_positives"] == 4
         assert stats["density"] == pytest.approx(0.2)
         assert stats["mean_user_degree"] == pytest.approx(1.0)
+
+
+class TestExtendedWith:
+    def test_grows_shape_and_sets_pairs(self, dense_example):
+        matrix = InteractionMatrix(dense_example)
+        grown = matrix.extended_with(
+            [(4, 5), (0, 5), (5, 0)], n_new_users=2, n_new_items=1
+        )
+        assert grown.shape == (6, 6)
+        assert grown.nnz == matrix.nnz + 3
+        assert grown.contains(4, 5) and grown.contains(0, 5) and grown.contains(5, 0)
+        # Every original interaction survives in place.
+        for user, item in matrix.pairs():
+            assert grown.contains(int(user), int(item))
+
+    def test_original_matrix_untouched(self, dense_example):
+        matrix = InteractionMatrix(dense_example)
+        before = matrix.toarray().copy()
+        matrix.extended_with([(0, 1)], n_new_users=1)
+        np.testing.assert_array_equal(matrix.toarray(), before)
+        assert matrix.shape == (4, 5)
+
+    def test_duplicate_pairs_are_idempotent(self, dense_example):
+        matrix = InteractionMatrix(dense_example)
+        grown = matrix.extended_with([(0, 0), (0, 0), (1, 2)])
+        assert grown == matrix
+        np.testing.assert_array_equal(grown.csr().data, 1.0)
+
+    def test_empty_delta_no_growth_is_a_copy(self, dense_example):
+        matrix = InteractionMatrix(dense_example)
+        grown = matrix.extended_with([])
+        assert grown == matrix
+        assert grown is not matrix
+
+    def test_pair_outside_extended_shape_rejected(self, dense_example):
+        matrix = InteractionMatrix(dense_example)
+        with pytest.raises(DataError, match="exceeds the extended shape"):
+            matrix.extended_with([(4, 0)])  # no new user row appended
+        with pytest.raises(DataError, match="exceeds the extended shape"):
+            matrix.extended_with([(0, 6)], n_new_items=1)
+
+    def test_negative_indices_and_counts_rejected(self, dense_example):
+        matrix = InteractionMatrix(dense_example)
+        with pytest.raises(DataError, match="non-negative"):
+            matrix.extended_with([(-1, 0)], n_new_users=1)
+        with pytest.raises(DataError, match="non-negative"):
+            matrix.extended_with([], n_new_users=-1)
+
+    def test_labels_extend_with_new_rows(self):
+        matrix = InteractionMatrix(
+            np.eye(2), user_labels=["u0", "u1"], item_labels=["i0", "i1"]
+        )
+        grown = matrix.extended_with(
+            [(2, 2)],
+            n_new_users=1,
+            n_new_items=1,
+            new_user_labels=["u2"],
+            new_item_labels=["i2"],
+        )
+        assert grown.user_labels == ["u0", "u1", "u2"]
+        assert grown.item_labels == ["i0", "i1", "i2"]
+
+    def test_label_count_mismatch_rejected(self):
+        matrix = InteractionMatrix(np.eye(2), user_labels=["u0", "u1"])
+        with pytest.raises(DataError):
+            matrix.extended_with([], n_new_users=2, new_user_labels=["only-one"])

@@ -1,0 +1,136 @@
+"""Deprecation shims: each legacy entrypoint warns once and matches the
+unified request/response API exactly.
+
+Eight shims are covered — ``topn``/``recommend_folded`` on both
+:class:`~repro.runtime.RecommenderRuntime` and
+:class:`~repro.runtime.ServingSession`, and ``submit``/``submit_folded``/
+``topn_blocking``/``recommend_folded_blocking`` on
+:class:`~repro.runtime.BatchingFrontEnd`.  The test suite otherwise runs
+with ``DeprecationWarning`` escalated to an error for ``repro`` modules
+(see ``tests/conftest.py``), so any internal caller that slips back onto a
+shim fails loudly; this module is the one place the warnings are expected,
+caught, and asserted on.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import RecommendRequest
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import make_netflix_like
+from repro.runtime import BatchingFrontEnd, RecommenderRuntime
+
+USERS = [0, 3, 7, 11]
+INTERACTIONS = [[1, 4, 9], [2, 5], [0, 6, 8, 10]]
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    matrix, _spec = make_netflix_like(n_users=120, n_items=50, random_state=0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model = OCuLaR(
+            n_coclusters=6,
+            regularization=5.0,
+            max_iterations=3,
+            tolerance=0.0,
+            random_state=0,
+        )
+        with RecommenderRuntime(executor="serial") as rt:
+            rt.fit(model, matrix)
+            rt.publish()
+            yield rt
+
+
+def _call_shim(bound_method, *args, **kwargs):
+    """Invoke a shim asserting exactly one DeprecationWarning is emitted."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = bound_method(*args, **kwargs)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"{bound_method.__name__} emitted {len(deprecations)} DeprecationWarnings"
+    )
+    assert "deprecated" in str(deprecations[0].message)
+    return result
+
+
+def _assert_rankings_equal(actual, expected):
+    assert len(actual) == len(expected)
+    for got, want in zip(actual, expected):
+        assert np.array_equal(got, want)
+
+
+class TestRuntimeShims:
+    def test_topn_matches_recommend(self, runtime):
+        expected = runtime.recommend(RecommendRequest(users=USERS, n_items=5))
+        result = _call_shim(runtime.topn, USERS, n_items=5)
+        assert list(result.users) == USERS
+        _assert_rankings_equal(result.rankings, expected.rankings)
+
+    def test_recommend_folded_matches_recommend(self, runtime):
+        expected = runtime.recommend(
+            RecommendRequest(interactions=INTERACTIONS, n_items=5)
+        )
+        rankings = _call_shim(runtime.recommend_folded, INTERACTIONS, n_items=5)
+        _assert_rankings_equal(rankings, expected.rankings)
+
+
+class TestSessionShims:
+    def test_topn_matches_recommend(self, runtime):
+        with runtime.serving_session() as session:
+            expected = session.recommend(RecommendRequest(users=USERS, n_items=5))
+            result = _call_shim(session.topn, USERS, n_items=5)
+        assert list(result.users) == USERS
+        _assert_rankings_equal(result.rankings, expected.rankings)
+
+    def test_recommend_folded_matches_recommend(self, runtime):
+        with runtime.serving_session() as session:
+            expected = session.recommend(
+                RecommendRequest(interactions=INTERACTIONS, n_items=5)
+            )
+            rankings = _call_shim(session.recommend_folded, INTERACTIONS, n_items=5)
+        _assert_rankings_equal(rankings, expected.rankings)
+
+
+class TestFrontEndShims:
+    @pytest.fixture()
+    def front(self, runtime):
+        with BatchingFrontEnd(runtime, max_delay_ms=1) as front:
+            yield front
+
+    def test_submit_matches_submit_request(self, runtime, front):
+        expected = front.submit_request(
+            RecommendRequest(users=USERS, n_items=5)
+        ).result(timeout=30)
+        response = _call_shim(front.submit, USERS, n_items=5).result(timeout=30)
+        _assert_rankings_equal(response.rankings, expected.rankings)
+
+    def test_submit_folded_matches_submit_request(self, runtime, front):
+        expected = front.submit_request(
+            RecommendRequest(interactions=INTERACTIONS, n_items=5)
+        ).result(timeout=30)
+        response = _call_shim(front.submit_folded, INTERACTIONS, n_items=5).result(
+            timeout=30
+        )
+        _assert_rankings_equal(response.rankings, expected.rankings)
+
+    def test_topn_blocking_matches_recommend(self, runtime, front):
+        expected = front.recommend(
+            RecommendRequest(users=USERS, n_items=5), timeout=30
+        )
+        rankings = _call_shim(front.topn_blocking, USERS, n_items=5, timeout=30)
+        _assert_rankings_equal(rankings, expected.rankings)
+
+    def test_recommend_folded_blocking_matches_recommend(self, runtime, front):
+        expected = front.recommend(
+            RecommendRequest(interactions=INTERACTIONS, n_items=5), timeout=30
+        )
+        rankings = _call_shim(
+            front.recommend_folded_blocking, INTERACTIONS, n_items=5, timeout=30
+        )
+        _assert_rankings_equal(rankings, expected.rankings)

@@ -1,0 +1,279 @@
+"""Incremental refit: drifting-corpus construction, the warm-vs-cold study,
+and the runtime's ingest → fold-in-now → warm-refit lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import RecommendRequest
+from repro.core.ocular import OCuLaR
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.experiments.incremental import (
+    DriftingCorpus,
+    make_drifting_corpus,
+    run_incremental_study,
+)
+from repro.runtime import IngestStats, RecommenderRuntime
+from repro.runtime.service import DEFAULT_WARM_PLATEAU_TOLERANCE
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_drifting_corpus(n_users=150, n_items=60, random_state=0)
+
+
+def _model(**overrides):
+    settings = dict(
+        n_coclusters=4,
+        regularization=5.0,
+        max_iterations=4,
+        tolerance=0.0,
+        random_state=0,
+    )
+    settings.update(overrides)
+    return OCuLaR(**settings)
+
+
+# --------------------------------------------------------------------------- #
+# Drifting-corpus construction
+# --------------------------------------------------------------------------- #
+class TestMakeDriftingCorpus:
+    def test_shapes_and_rewind(self, corpus):
+        grown = corpus.split.train
+        assert corpus.base.n_users + corpus.n_new_users == grown.n_users
+        assert corpus.base.n_items + corpus.n_new_items == grown.n_items
+        assert corpus.n_new_users > 0 and corpus.n_new_items > 0
+        # The delta replays exactly onto the base: same matrix the split
+        # evaluates against.
+        reconstructed = corpus.base.extended_with(
+            corpus.delta_pairs,
+            n_new_users=corpus.n_new_users,
+            n_new_items=corpus.n_new_items,
+        )
+        assert reconstructed == grown
+
+    def test_drift_is_delta_over_base(self, corpus):
+        assert corpus.drift == pytest.approx(
+            len(corpus.delta_pairs) / corpus.base.nnz
+        )
+        assert 0.0 < corpus.drift < 1.0
+
+    def test_deterministic_in_seed(self):
+        a = make_drifting_corpus(n_users=80, n_items=40, random_state=7)
+        b = make_drifting_corpus(n_users=80, n_items=40, random_state=7)
+        assert a.base == b.base
+        assert a.delta_pairs == b.delta_pairs
+
+    def test_base_shape_must_fit_within_grown(self):
+        with pytest.raises(DataError, match="within the grown shape"):
+            make_drifting_corpus(n_users=80, n_items=40, n_base_users=81)
+
+    def test_late_fraction_validated(self):
+        with pytest.raises(DataError, match="late_fraction"):
+            make_drifting_corpus(n_users=80, n_items=40, late_fraction=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# The warm-vs-cold study protocol
+# --------------------------------------------------------------------------- #
+class TestIncrementalStudy:
+    def test_study_runs_and_reports_both_arms(self, corpus):
+        result = run_incremental_study(
+            corpus=corpus,
+            n_coclusters=4,
+            max_iterations=6,
+            m=10,
+            random_state=0,
+        )
+        warm, cold = result.arm("warm"), result.arm("cold")
+        assert warm.sweeps >= 1 and cold.sweeps >= 1
+        assert np.isfinite(warm.objective) and np.isfinite(cold.objective)
+        assert result.sweep_ratio == warm.sweeps / cold.sweeps
+        assert result.recall_gap == pytest.approx(cold.recall - warm.recall)
+        text = result.to_text()
+        assert "incremental refit" in text
+        assert "warm" in text and "cold" in text
+        with pytest.raises(KeyError):
+            result.arm("lukewarm")
+
+
+# --------------------------------------------------------------------------- #
+# Runtime lifecycle: ingest, drift, refit modes, mixed serving
+# --------------------------------------------------------------------------- #
+class TestRuntimeIngest:
+    def test_ingest_stats_and_drift(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            runtime.fit(_model(), corpus.base)
+            assert runtime.drift == 0.0
+            stats = runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            assert isinstance(stats, IngestStats)
+            assert stats.n_pairs == len(corpus.delta_pairs)
+            assert stats.n_new_users == corpus.n_new_users
+            assert stats.n_new_items == corpus.n_new_items
+            grown = corpus.split.train
+            assert (stats.n_users, stats.n_items) == (grown.n_users, grown.n_items)
+            assert stats.nnz == grown.nnz
+            assert stats.drift == runtime.drift > 0.0
+            assert runtime.train_matrix == grown
+
+    def test_ingest_accumulates_across_deltas(self, corpus):
+        half = len(corpus.delta_pairs) // 2
+        old_shape_pairs = [
+            (u, i)
+            for u, i in corpus.delta_pairs
+            if u < corpus.base.n_users and i < corpus.base.n_items
+        ]
+        with RecommenderRuntime(executor="serial") as runtime:
+            runtime.fit(_model(), corpus.base)
+            first = runtime.ingest(old_shape_pairs[:half])
+            second = runtime.ingest(old_shape_pairs[half:])
+            assert second.drift >= first.drift
+            assert runtime.drift == second.drift
+
+    def test_ingest_requires_fit(self):
+        with RecommenderRuntime(executor="serial") as runtime:
+            with pytest.raises(NotFittedError, match="ingest"):
+                runtime.ingest([(0, 0)])
+
+    def test_objective_drift_zero_after_fit_and_finite_after_ingest(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            runtime.fit(_model(), corpus.base)
+            assert runtime.objective_drift() == pytest.approx(0.0, abs=1e-9)
+            runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            assert np.isfinite(runtime.objective_drift())
+
+
+class TestRuntimeRefit:
+    def test_warm_refit_seeds_and_plateaus(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            model = _model(max_iterations=8)
+            runtime.fit(model, corpus.base)
+            runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            runtime.refit(mode="warm")
+            assert runtime.last_refit_mode == "warm"
+            assert model.history_.warm_started
+            assert model.history_.plateau_tolerance == DEFAULT_WARM_PLATEAU_TOLERANCE
+            # The warm refit trains on the grown corpus.
+            assert model.factors_.n_users == corpus.split.train.n_users
+            assert model.factors_.n_items == corpus.split.train.n_items
+            # Warm refits do not reset the drift baseline.
+            assert runtime.drift > 0.0
+
+    def test_cold_refit_resets_drift_and_random_inits(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            model = _model()
+            runtime.fit(model, corpus.base)
+            runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            runtime.refit(mode="cold")
+            assert runtime.last_refit_mode == "cold"
+            assert not model.history_.warm_started
+            assert model.history_.plateau_tolerance is None
+            assert runtime.drift == 0.0
+
+    def test_auto_resolves_warm_below_threshold(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            runtime.fit(_model(), corpus.base)
+            runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            assert runtime.drift <= runtime.drift_threshold
+            runtime.refit(mode="auto")
+            assert runtime.last_refit_mode == "warm"
+
+    def test_auto_resolves_cold_above_threshold(self, corpus):
+        with RecommenderRuntime(executor="serial", drift_threshold=0.0) as runtime:
+            runtime.fit(_model(), corpus.base)
+            runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            assert runtime.drift > runtime.drift_threshold
+            runtime.refit(mode="auto")
+            assert runtime.last_refit_mode == "cold"
+
+    def test_refit_mode_validated(self, corpus):
+        with RecommenderRuntime(executor="serial") as runtime:
+            runtime.fit(_model(), corpus.base)
+            with pytest.raises(ConfigurationError, match="mode"):
+                runtime.refit(mode="tepid")
+
+    def test_refit_requires_previous_fit(self):
+        with RecommenderRuntime(executor="serial") as runtime:
+            with pytest.raises(NotFittedError, match="refit"):
+                runtime.refit()
+
+
+class TestMixedServing:
+    def test_fresh_users_served_at_pinned_generation(self, corpus):
+        grown = corpus.split.train
+        with RecommenderRuntime(executor="serial") as runtime:
+            runtime.fit(_model(), corpus.base)
+            base_generation = runtime.publish()
+            runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            fresh = grown.n_users - 1
+            known = 0
+            response = runtime.recommend(
+                RecommendRequest(users=[known, fresh], n_items=5)
+            )
+            # Both users answered from the published (pre-ingest) generation:
+            # the known user directly, the fresh one via fold-in of their
+            # ingested interactions against the pinned factors.
+            assert response.generation == base_generation
+            assert len(response.rankings) == 2
+            for ranking in response.rankings:
+                assert len(ranking) == 5
+            # The known user's ranking matches a pure known-users request.
+            alone = runtime.recommend(RecommendRequest(users=[known], n_items=5))
+            assert np.array_equal(response.rankings[0], alone.rankings[0])
+
+    def test_update_after_warm_refit_promotes_new_users(self, corpus):
+        grown = corpus.split.train
+        with RecommenderRuntime(executor="serial") as runtime:
+            runtime.fit(_model(), corpus.base)
+            base_generation = runtime.publish()
+            runtime.ingest(
+                corpus.delta_pairs,
+                n_new_users=corpus.n_new_users,
+                n_new_items=corpus.n_new_items,
+            )
+            runtime.refit(mode="warm")
+            new_generation = runtime.update()
+            assert new_generation > base_generation
+            response = runtime.recommend(
+                RecommendRequest(users=[grown.n_users - 1], n_items=5)
+            )
+            assert response.generation == new_generation
+            # New items are rankable once the refit generation is live.
+            all_items = np.concatenate(
+                runtime.recommend(
+                    RecommendRequest(
+                        users=list(range(grown.n_users)), n_items=grown.n_items
+                    ),
+                    # full-catalogue rankings include the appended items
+                ).rankings
+            )
+            assert all_items.max() == grown.n_items - 1

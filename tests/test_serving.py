@@ -16,10 +16,16 @@ from repro.exceptions import ConfigurationError, NotFittedError
 from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
 import scipy.sparse as sp
 
+from types import SimpleNamespace
+
+from repro.core.factors import FactorModel
+from repro.data.interactions import InteractionMatrix
 from repro.serving import (
     TopNEngine,
     clear_fold_in_plan_cache,
+    extend_factors,
     fold_in_factors,
+    fold_in_items,
     fold_in_user,
     fold_in_users,
     recommend_folded,
@@ -598,3 +604,125 @@ class TestEngineRoutedReports:
         for report in reports:
             reference = model.recommend(report.user, n_items=3, exclude_seen=True)
             assert report.items == [int(item) for item in reference]
+
+
+# --------------------------------------------------------------------------- #
+# Item fold-in and warm-start factor extension
+# --------------------------------------------------------------------------- #
+class TestFoldInItems:
+    def test_factor_close_to_fitted(self, fitted_movielens_model):
+        # Fold an item's own training column back in against the fitted user
+        # factors: the convex single-item subproblem lands (numerically) on
+        # the fitted item factor, mirroring the user-side parity test.
+        model = fitted_movielens_model
+        csr = model.train_matrix.csr().tocsc()
+        items = [3, 11, 42]
+        interactions = [csr[:, item].nonzero()[0].tolist() for item in items]
+        folded = fold_in_items(model, interactions)
+        assert folded.shape == (len(items), model.n_coclusters)
+        for row, item in zip(folded, items):
+            fitted = model.factors_.item_factors[item]
+            assert np.linalg.norm(row - fitted) < 1e-2 * max(
+                np.linalg.norm(fitted), 1.0
+            )
+
+    def test_mirrors_fold_in_users_on_the_transposed_model(
+        self, fitted_movielens_model
+    ):
+        # The objective is symmetric in the two factor blocks, so item
+        # fold-in must be bit-identical to user fold-in with the roles
+        # swapped.
+        model = fitted_movielens_model
+        transposed = SimpleNamespace(
+            factors_=FactorModel(
+                model.factors_.item_factors, model.factors_.user_factors
+            ),
+            regularization=model.regularization,
+            backend=model.backend,
+            sigma=model.sigma,
+            beta=model.beta,
+            max_backtracks=model.max_backtracks,
+        )
+        interactions = [[0, 5, 9], [2, 40], [7, 13, 77, 101]]
+        np.testing.assert_array_equal(
+            fold_in_items(model, interactions),
+            fold_in_users(transposed, interactions),
+        )
+
+    def test_requires_fitted_model(self):
+        with pytest.raises(NotFittedError):
+            fold_in_items(OCuLaR(n_coclusters=3), [[0, 1]])
+
+
+class TestExtendFactors:
+    @pytest.fixture()
+    def grown_pair(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        grown = model.train_matrix.extended_with(
+            [(120, 3), (120, 11), (121, 4), (0, 80), (17, 80)],
+            n_new_users=2,
+            n_new_items=1,
+        )
+        return model, grown
+
+    def test_shapes_and_feasibility(self, grown_pair):
+        model, grown = grown_pair
+        extended = extend_factors(model, grown)
+        assert extended.user_factors.shape == (grown.n_users, model.n_coclusters)
+        assert extended.item_factors.shape == (grown.n_items, model.n_coclusters)
+        assert (extended.user_factors >= 0).all()
+        assert (extended.item_factors >= 0).all()
+        assert np.isfinite(extended.user_factors).all()
+        assert np.isfinite(extended.item_factors).all()
+
+    def test_interior_zero_preserves_old_rows_verbatim(self, grown_pair):
+        model, grown = grown_pair
+        extended = extend_factors(model, grown, interior=0.0)
+        np.testing.assert_array_equal(
+            extended.user_factors[: model.factors_.n_users],
+            model.factors_.user_factors,
+        )
+        np.testing.assert_array_equal(
+            extended.item_factors[: model.factors_.n_items],
+            model.factors_.item_factors,
+        )
+
+    def test_interior_lift_floors_only_the_zeros(self, grown_pair):
+        model, grown = grown_pair
+        interior = 0.01
+        extended = extend_factors(model, grown, interior=interior)
+        old = model.factors_.user_factors
+        lifted = extended.user_factors[: model.factors_.n_users]
+        floor = lifted[old == 0]
+        assert floor.size and (floor > 0).all()
+        # Entries already above the floor are untouched.
+        np.testing.assert_array_equal(
+            lifted[old >= floor.max()], old[old >= floor.max()]
+        )
+        # The floor stays tiny relative to the block's positive mass.
+        assert floor.max() <= interior * old[old > 0].mean() + 1e-12
+
+    def test_same_shape_matrix_is_identity_modulo_lift(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        extended = extend_factors(model, model.train_matrix, interior=0.0)
+        np.testing.assert_array_equal(
+            extended.user_factors, model.factors_.user_factors
+        )
+        np.testing.assert_array_equal(
+            extended.item_factors, model.factors_.item_factors
+        )
+
+    def test_smaller_matrix_rejected(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        small = InteractionMatrix(np.eye(3))
+        with pytest.raises(ConfigurationError, match="at least as large"):
+            extend_factors(model, small)
+
+    def test_requires_fitted_model(self, fitted_movielens_model):
+        with pytest.raises(NotFittedError):
+            extend_factors(OCuLaR(n_coclusters=3), fitted_movielens_model.train_matrix)
+
+    def test_negative_interior_rejected(self, grown_pair):
+        model, grown = grown_pair
+        with pytest.raises(ConfigurationError):
+            extend_factors(model, grown, interior=-0.5)
