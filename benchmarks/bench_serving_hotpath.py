@@ -1,0 +1,89 @@
+"""Serving hot path: pooled flat engines versus the legacy allocating loop.
+
+Not a paper figure — this guards the zero-allocation serving rewrite
+(score-buffer pool, chunk autotune, flat ``TopNResult``, float32 path) on a
+catalogue large enough (100k items in full mode) that the legacy engine's
+per-chunk allocation and double-width bandwidth dominate.  Three invariants
+are asserted in every mode:
+
+* the rewritten float64 rankings equal the legacy engine's on every user
+  and the per-user reference kernel on a subsample,
+* the pooled engines perform **zero** score-block allocations across the
+  timed passes (the pool's stats counter is the witness),
+* the float32 top-N substantially overlaps the float64 one.
+
+The >= 1.5x users/s floor over the legacy engine is asserted in full mode
+on multi-core hosts (single-core containers cannot overlap the BLAS
+product with selection, and smoke corpora are too small to be
+bandwidth-bound).
+"""
+
+from __future__ import annotations
+
+import os
+
+from _report import write_bench_json
+from conftest import run_once, scaled, smoke_mode
+
+from repro.experiments.hotpath import run_serving_hotpath
+
+
+def test_serving_hotpath(benchmark, report_writer):
+    params = scaled(
+        dict(
+            n_users=2_048,
+            n_items=100_000,
+            n_coclusters=32,
+            top_n=10,
+            n_repeats=3,
+        ),
+        n_users=256,
+        n_items=2_000,
+        n_repeats=1,
+    )
+    result = run_once(benchmark, run_serving_hotpath, random_state=0, **params)
+
+    lines = [
+        result.to_text(),
+        "",
+        f"per-run legacy seconds:  {[f'{t:.3f}' for t in result.per_run_legacy_seconds]}",
+        f"per-run flat64 seconds:  {[f'{t:.3f}' for t in result.per_run_flat64_seconds]}",
+        f"per-run flat32 seconds:  {[f'{t:.3f}' for t in result.per_run_flat32_seconds]}",
+        "note: float64 is asserted exact against the legacy engine and the per-user",
+        "reference kernel; float32 trades bit-exactness for half the scoring",
+        "bandwidth — its top-N overlap against float64 is reported above.",
+    ]
+    report_writer("serving_hotpath", "\n".join(lines))
+    write_bench_json(
+        "serving_hotpath",
+        dict(
+            speedup=result.speedup(),
+            speedup_float64=result.speedup64(),
+            legacy_users_per_second=result.legacy_users_per_second(),
+            flat64_users_per_second=result.flat64_users_per_second(),
+            flat32_users_per_second=result.flat32_users_per_second(),
+            float64_exact=result.float64_exact,
+            float32_overlap=result.float32_overlap,
+            pool_allocations_after_warmup=result.pool_allocations_after_warmup,
+            pool_reuses=result.pool_reuses,
+            effective_chunk=result.effective_chunk,
+        ),
+        **params,
+    )
+
+    # The rewrite must be a pure optimisation on the default path.
+    assert result.float64_exact
+    # Steady state allocates nothing: every timed chunk reuses pooled blocks.
+    assert result.pool_allocations_after_warmup == 0
+    assert result.pool_reuses > 0
+    # Half-width scoring must not wreck the lists.
+    assert result.float32_overlap >= 0.9
+
+    # Throughput floor: full mode on multi-core hosts only — smoke corpora
+    # are not bandwidth-bound, and a single core cannot overlap scoring with
+    # selection, which is where much of the win comes from.
+    if not smoke_mode() and (os.cpu_count() or 1) >= 2:
+        assert result.speedup() >= 1.5, (
+            f"hot-path speedup {result.speedup():.2f}x below the 1.5x floor "
+            f"(legacy {result.legacy_seconds:.3f}s vs flat32 {result.flat32_seconds:.3f}s)"
+        )

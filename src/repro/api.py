@@ -32,11 +32,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.serving.results import TopNResult
 
 #: Default tenant for requests that do not name one.  Tenancy only matters
 #: under gateway backpressure, where the weighted fair queue arbitrates
@@ -227,9 +228,12 @@ class RecommendResponse:
     Attributes
     ----------
     rankings:
-        One ranked item-index array per requested row, aligned with the
-        request's rows — identical to what the in-process engine returns
-        for the same request and model version.
+        The ranked item indices, aligned with the request's rows —
+        identical to what the in-process engine returns for the same
+        request and model version.  Runtime-served responses carry a flat
+        :class:`~repro.serving.results.TopNResult`; decoded and merged
+        responses may carry the equivalent list of per-row arrays.  Both
+        iterate, index and compare row-wise the same way.
     generation:
         The runtime model generation that served the request.  Batched and
         gateway responses pin it per micro-batch, so a response formed
@@ -249,7 +253,7 @@ class RecommendResponse:
         the unbatched path.
     """
 
-    rankings: List[np.ndarray]
+    rankings: Union[TopNResult, List[np.ndarray]]
     generation: int
     scores: Optional[List[np.ndarray]] = None
     queue_ms: float = 0.0
@@ -267,8 +271,14 @@ class RecommendResponse:
     # Codecs
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
+        # Flat results serialise through one vectorised tolist per block
+        # instead of a Python int() per ranked item.
+        if isinstance(self.rankings, TopNResult):
+            rankings = self.rankings.to_lists()
+        else:
+            rankings = [[int(item) for item in row] for row in self.rankings]
         payload = {
-            "rankings": [[int(item) for item in row] for row in self.rankings],
+            "rankings": rankings,
             "generation": int(self.generation),
             "queue_ms": float(self.queue_ms),
             "serve_ms": float(self.serve_ms),
@@ -277,7 +287,9 @@ class RecommendResponse:
             "batch_users": int(self.batch_users),
         }
         if self.scores is not None:
-            payload["scores"] = [[float(score) for score in row] for row in self.scores]
+            payload["scores"] = [
+                np.asarray(row, dtype=float).tolist() for row in self.scores
+            ]
         return payload
 
     def to_json(self) -> str:
@@ -294,9 +306,12 @@ class RecommendResponse:
             raise ConfigurationError("a response frame must be a JSON object")
         scores = payload.get("scores")
         return cls(
-            rankings=[
-                np.asarray(row, dtype=np.int64) for row in payload.get("rankings", [])
-            ],
+            # Decoded straight into the flat container: one packed block
+            # instead of one array object per row, and row-wise consumers
+            # (iteration, indexing, equality) behave like the old list.
+            rankings=TopNResult.from_rows(
+                [np.asarray(row, dtype=np.int64) for row in payload.get("rankings", [])]
+            ),
             generation=int(payload.get("generation", 0)),
             scores=(
                 None

@@ -31,6 +31,7 @@ from repro.experiments.incremental import (
     make_drifting_corpus,
     run_incremental_study,
 )
+from repro.experiments.hotpath import run_serving_hotpath
 
 __all__ = [
     "build_model_zoo",
@@ -51,4 +52,5 @@ __all__ = [
     "run_deployment_example",
     "make_drifting_corpus",
     "run_incremental_study",
+    "run_serving_hotpath",
 ]

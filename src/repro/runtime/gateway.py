@@ -158,8 +158,8 @@ class ServingGateway:
         return len(self._queue)
 
     def stats_payload(self) -> dict:
-        """JSON-ready gateway + batcher + model state for the stats frame."""
-        return {
+        """JSON-ready gateway + batcher + serving + model state for the stats frame."""
+        payload = {
             "gateway": {
                 "connections": len(self._connections),
                 "connections_accepted": self._accepted,
@@ -174,6 +174,27 @@ class ServingGateway:
             "batching": self._front.stats().as_dict(),
             "generation": getattr(self._front.runtime, "generation", 0),
         }
+        engine = getattr(self._front.runtime, "engine", None)
+        if engine is not None:
+            # Operational visibility into the serving hot path: what dtype
+            # and chunk the engine actually runs, and the buffer pool's
+            # allocation counters (allocations flat + reuses growing is the
+            # steady-state zero-allocation signature).
+            pool = engine.pool.stats()
+            payload["serving"] = {
+                "dtype": engine.serving_dtype.name,
+                "chunk_size": engine.chunk_size,
+                "effective_chunk_size": engine.effective_chunk_size(),
+                "buffer_budget_bytes": engine.buffer_budget_bytes,
+                "pool": {
+                    "allocations": pool.allocations,
+                    "reuses": pool.reuses,
+                    "outstanding": pool.outstanding,
+                    "bytes_allocated": pool.bytes_allocated,
+                    "cached_blocks": pool.cached_blocks,
+                },
+            }
+        return payload
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -58,6 +58,7 @@ from repro.serving.batch import BatchServingResult, _serve_shard
 from repro.serving.engine import DEFAULT_CHUNK_SIZE, TopNEngine
 from repro.core.factors import FactorModel
 from repro.serving.fold_in import _interactions_to_csr, extend_factors, fold_in_scores
+from repro.serving.results import TopNResult
 from repro.serving.shared import (
     SharedEngineSpec,
     _rank_scored_shard,
@@ -326,6 +327,7 @@ class RecommenderRuntime:
         n_shards: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         drift_threshold: float = 0.25,
+        serving_dtype=None,
     ) -> None:
         # Validate everything cheap BEFORE the scheduler builds the executor
         # — a pool spawned and then abandoned by a constructor error would
@@ -333,6 +335,10 @@ class RecommenderRuntime:
         if n_shards is not None:
             check_positive_int(n_shards, "n_shards")
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        # Serving precision for every published engine: None serves in the
+        # trained dtype (bit-exact); "float32" halves serving bandwidth and
+        # the published /dev/shm footprint (see TopNEngine's dtype docs).
+        self.serving_dtype = None if serving_dtype is None else str(np.dtype(serving_dtype))
         if not (isinstance(drift_threshold, (int, float)) and drift_threshold >= 0):
             raise ConfigurationError(
                 f"drift_threshold must be a non-negative number, got {drift_threshold!r}"
@@ -677,7 +683,9 @@ class RecommenderRuntime:
         model = self.model if model is None else model
         if model is None or not getattr(model, "is_fitted", False):
             raise NotFittedError("publish requires a fitted model")
-        engine = TopNEngine.from_model(model, chunk_size=self.chunk_size)
+        engine = TopNEngine.from_model(
+            model, chunk_size=self.chunk_size, dtype=self.serving_dtype
+        )
         spec = None
         if (
             isinstance(self._executor, SharedMemoryProcessExecutor)
@@ -910,7 +918,7 @@ class RecommenderRuntime:
         tolerance: float = 1e-8,
         shard_size: Optional[int] = None,
         session: Optional[ServingSession] = None,
-    ) -> List[np.ndarray]:
+    ) -> TopNResult:
         """Deprecated: use :meth:`recommend` with ``RecommendRequest(interactions=...)``."""
         warnings.warn(
             "RecommenderRuntime.recommend_folded() is deprecated; use "
@@ -931,7 +939,17 @@ class RecommenderRuntime:
 
     @staticmethod
     def _flatten_shards(shard_results, return_scores: bool):
-        """Concatenate per-shard results, splitting off scores when present."""
+        """Concatenate per-shard results, splitting off scores when present.
+
+        Shard workers return flat :class:`TopNResult` blocks (score block
+        embedded when requested), so flattening is a single vstack of
+        contiguous arrays.  The legacy list/tuple shard shape is still
+        accepted for third-party executors shipping older workers.
+        """
+        shard_results = list(shard_results)
+        if all(isinstance(result, TopNResult) for result in shard_results):
+            merged = TopNResult.concat(shard_results)
+            return merged, (merged.score_rows() if return_scores else None)
         rankings: List[np.ndarray] = []
         scores: List[np.ndarray] = []
         for result in shard_results:
@@ -950,7 +968,7 @@ class RecommenderRuntime:
         shard_size: Optional[int] = None,
         session: Optional[ServingSession] = None,
         return_scores: bool = False,
-    ) -> Tuple[List[int], List[np.ndarray], Optional[List[np.ndarray]], int, int]:
+    ) -> Tuple[List[int], TopNResult, Optional[List[np.ndarray]], int, int]:
         """Sharded known-users top-N over the warm pool.
 
         On the shared path each task carries only the published engine's
@@ -1007,7 +1025,7 @@ class RecommenderRuntime:
         shard_size: Optional[int] = None,
         session: Optional[ServingSession] = None,
         return_scores: bool = False,
-    ) -> Tuple[List[np.ndarray], Optional[List[np.ndarray]], int, int]:
+    ) -> Tuple[TopNResult, Optional[List[np.ndarray]], int, int]:
         """Cold-start serving through the runtime.
 
         Folds the unseen interaction vectors into the **published** model
@@ -1049,7 +1067,10 @@ class RecommenderRuntime:
                     n_items=n_items,
                     seen=csr if exclude_seen else None,
                     return_scores=return_scores,
+                    writable=True,  # the fold-in block is this call's own
                 )
+                if return_scores:
+                    ranked = ranked[0]  # flat result embeds the score block
                 rankings, ranked_scores = self._flatten_shards([ranked], return_scores)
                 return rankings, ranked_scores, 1, generation
             if shard_size is None:

@@ -9,6 +9,13 @@ executors of :mod:`repro.parallel`.
 """
 
 from repro.serving.batch import BatchServingResult, serve_sharded
+from repro.serving.buffers import (
+    BUFFER_BUDGET_ENV,
+    DEFAULT_BUFFER_BUDGET_MB,
+    BufferPoolStats,
+    ScoreBufferPool,
+    score_buffer_budget_bytes,
+)
 from repro.serving.engine import TopNEngine
 from repro.serving.fold_in import (
     clear_fold_in_plan_cache,
@@ -19,6 +26,7 @@ from repro.serving.fold_in import (
     fold_in_users,
     recommend_folded,
 )
+from repro.serving.results import TopNResult
 from repro.serving.shared import (
     SharedCsrSpec,
     SharedEngineSpec,
@@ -29,8 +37,14 @@ from repro.serving.shared import (
 
 __all__ = [
     "TopNEngine",
+    "TopNResult",
     "BatchServingResult",
     "serve_sharded",
+    "BUFFER_BUDGET_ENV",
+    "DEFAULT_BUFFER_BUDGET_MB",
+    "BufferPoolStats",
+    "ScoreBufferPool",
+    "score_buffer_budget_bytes",
     "clear_fold_in_plan_cache",
     "extend_factors",
     "fold_in_factors",

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
 from repro.serving.engine import TopNEngine
+from repro.serving.results import TopNResult
 from repro.serving.shared import _topn_shard, publish_engine, unpublish_engine
 from repro.utils.validation import check_positive_int
 
@@ -64,13 +65,17 @@ def scatter_results(
     Inverse of :func:`merge_request_lists`: ``results`` must be aligned with
     the merged list (one entry per merged row, in order), which every
     serving path guarantees — executors return shard results in submission
-    order.
+    order.  Flat :class:`~repro.serving.results.TopNResult` batches scatter
+    as zero-copy block views — one array slice per request instead of a
+    Python list copy per row.
     """
     if spans and len(results) < spans[-1][1]:
         raise ValueError(
             f"merged results cover {len(results)} rows but the request spans "
             f"extend to {spans[-1][1]}"
         )
+    if isinstance(results, TopNResult):
+        return [results[start:stop] for start, stop in spans]
     return [list(results[start:stop]) for start, stop in spans]
 
 
@@ -80,15 +85,16 @@ def _serve_shard(
     n_items: int,
     exclude_seen: bool,
     return_scores: bool = False,
-) -> List[np.ndarray]:
+) -> TopNResult:
     """Module-level shard worker (picklable for :class:`ProcessExecutor`).
 
-    Returns the shard's rankings, or a ``(rankings, scores)`` pair when
-    ``return_scores`` is set — the shape :meth:`TopNEngine.recommend_batch`
-    itself uses, so callers can concatenate shard results uniformly.
+    Returns the shard's flat :class:`TopNResult`; with ``return_scores``
+    the result's score block rides along, so the shard pickles as three
+    contiguous arrays either way and callers flatten shards with
+    :meth:`TopNResult.concat`.
     """
-    return engine.recommend_batch(
-        users, n_items=n_items, exclude_seen=exclude_seen, return_scores=return_scores
+    return engine.topn(
+        users, n_items=n_items, exclude_seen=exclude_seen, with_scores=return_scores
     )
 
 
@@ -101,13 +107,15 @@ class BatchServingResult:
     users:
         The users served, in input order.
     rankings:
-        One ranked item array per user, aligned with ``users``.
+        Flat :class:`~repro.serving.results.TopNResult` aligned with
+        ``users`` (iterates and indexes like the historical list of
+        per-user arrays).
     n_shards:
         Number of shards the users were split into.
     """
 
     users: List[int]
-    rankings: List[np.ndarray]
+    rankings: TopNResult
     n_shards: int
 
     def as_dict(self) -> dict[int, np.ndarray]:
@@ -175,7 +183,7 @@ def serve_sharded(
             shard_results = scheduler.starmap(
                 _serve_shard, [(engine, shard, n_items, exclude_seen) for shard in shards]
             )
-    rankings: List[np.ndarray] = []
-    for result in shard_results:
-        rankings.extend(result)
+    # Shards of one call share a width, so flattening is one vstack of the
+    # flat blocks — no per-user list rebuilding.
+    rankings = TopNResult.concat(shard_results)
     return BatchServingResult(users=user_list, rankings=rankings, n_shards=len(shards))

@@ -15,6 +15,22 @@ chunks:
 * top-N selection with :func:`numpy.argpartition` followed by a stable sort
   of only the selected entries, instead of a full per-row sort.
 
+The hot path is allocation-free in steady state: every chunk's dense score
+block comes from a :class:`~repro.serving.buffers.ScoreBufferPool` (the
+gather of the chunk's user factors too), the chunk size autotunes so
+``chunk × n_items × itemsize`` stays inside a byte budget, and results land
+directly in the flat :class:`~repro.serving.results.TopNResult` blocks
+instead of per-user list objects.  On multi-core hosts the BLAS product of
+chunk ``k+1`` overlaps the masking/selection of chunk ``k`` on a prefetch
+thread (NumPy releases the GIL inside the gemm); chunks are independent and
+write disjoint output rows, so pipelined rankings are bitwise the serial
+ones.
+
+Engines can also serve at a reduced precision: ``dtype="float32"`` casts
+the factor matrices once at construction and scores every chunk at half the
+memory bandwidth.  The default serving dtype is the factors' own, keeping
+the float64 path bit-exact against the per-user reference.
+
 The selection kernel is operation-for-operation the one used by
 :meth:`Recommender.recommend`, and the post-matmul arithmetic is bitwise
 equivalent, so the chunked rankings match the per-user ones except in the
@@ -27,7 +43,11 @@ fixtures.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+import threading
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -35,12 +55,52 @@ import scipy.sparse as sp
 from repro.core.factors import FactorModel
 from repro.data.interactions import InteractionMatrix
 from repro.exceptions import ConfigurationError, NotFittedError
+from repro.serving.buffers import ScoreBufferPool, score_buffer_budget_bytes
+from repro.serving.results import TopNResult
 from repro.utils.validation import check_positive_int
 
-#: Default number of users scored per BLAS call.  Large enough to amortise
-#: call overhead, small enough that a chunk's dense score block stays in cache
-#: for catalogue sizes in the tens of thousands.
+#: Default number of users scored per BLAS call — an upper bound; the
+#: effective chunk additionally honours the score-buffer byte budget (see
+#: :meth:`TopNEngine.effective_chunk_size`).
 DEFAULT_CHUNK_SIZE = 1024
+
+#: Serving dtypes the engine accepts (scores are ranked, not summed, so
+#: half-width floats keep ranking quality; see the float32 parity tests).
+_SERVING_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+# --------------------------------------------------------------------------- #
+# Shared prefetch executor for pipelined chunking
+# --------------------------------------------------------------------------- #
+# One small module-level pool rather than a thread per engine: test suites
+# and notebooks create hundreds of engines, and the prefetch stage is a
+# single GIL-releasing BLAS call, so a couple of threads serve everyone.
+_PREFETCH_LOCK = threading.Lock()
+_PREFETCH: Optional[ThreadPoolExecutor] = None
+
+
+def _prefetch_executor() -> ThreadPoolExecutor:
+    global _PREFETCH
+    if _PREFETCH is None:
+        with _PREFETCH_LOCK:
+            if _PREFETCH is None:
+                workers = max(1, min(4, os.cpu_count() or 1))
+                _PREFETCH = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="topn-prefetch"
+                )
+    return _PREFETCH
+
+
+def _reset_prefetch_after_fork() -> None:
+    # A forked child must not inherit the parent's executor threads (they do
+    # not exist in the child) or a lock captured mid-acquire.
+    global _PREFETCH, _PREFETCH_LOCK
+    _PREFETCH = None
+    _PREFETCH_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix in CI
+    os.register_at_fork(after_in_child=_reset_prefetch_after_fork)
 
 
 class TopNEngine:
@@ -51,9 +111,25 @@ class TopNEngine:
     :class:`~repro.core.factors.FactorModel` plus its training matrix, the
     fast path used for serving and fold-in cold-start).
 
-    The engine holds only plain arrays / sparse matrices, so it pickles and
-    can be shipped to worker processes by
-    :func:`repro.serving.batch.serve_sharded`.
+    Parameters
+    ----------
+    dtype:
+        Serving dtype (``"float32"`` / ``"float64"``).  ``None`` (default)
+        serves in the factors' own dtype — bit-exact.  ``"float32"`` on
+        float64-trained factors casts serving copies once and scores at
+        half bandwidth; rankings then agree with float64 up to score ties
+        within float32 resolution (see the parity tests).
+    buffer_budget_mb:
+        Byte budget (MiB) for one chunk's score block; caps the effective
+        chunk size.  Defaults to the :data:`~repro.serving.buffers.
+        BUFFER_BUDGET_ENV` environment value or 128 MiB.
+    pipeline:
+        ``True``/``False`` forces pipelined chunking on/off; ``None``
+        (default) enables it on multi-core hosts for factor-path engines.
+
+    The engine holds only plain arrays / sparse matrices (the buffer pool
+    resets on pickling), so it pickles and can be shipped to worker
+    processes by :func:`repro.serving.batch.serve_sharded`.
     """
 
     def __init__(
@@ -62,6 +138,9 @@ class TopNEngine:
         factors: Optional[FactorModel] = None,
         model=None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        dtype: Optional[Union[str, np.dtype]] = None,
+        buffer_budget_mb: Optional[float] = None,
+        pipeline: Optional[bool] = None,
     ) -> None:
         if factors is None and model is None:
             raise ConfigurationError("TopNEngine needs a FactorModel or a fitted model")
@@ -74,12 +153,45 @@ class TopNEngine:
         self.factors = factors
         self.model = model
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        if dtype is None:
+            serving_dtype = (
+                factors.dtype if factors is not None else np.dtype(np.float64)
+            )
+        else:
+            serving_dtype = np.dtype(dtype)
+        if np.dtype(serving_dtype) not in _SERVING_DTYPES:
+            raise ConfigurationError(
+                f"serving dtype must be float32 or float64, got {serving_dtype}"
+            )
+        self.serving_dtype = np.dtype(serving_dtype)
+        if factors is not None and factors.dtype != self.serving_dtype:
+            # One cast at construction buys half-bandwidth scoring on every
+            # chunk; the original factors stay untouched (fold-in and
+            # publication of the training-precision model read them).
+            self._serving_user_factors = factors.user_factors.astype(self.serving_dtype)
+            self._serving_item_factors = factors.item_factors.astype(self.serving_dtype)
+        elif factors is not None:
+            self._serving_user_factors = factors.user_factors
+            self._serving_item_factors = factors.item_factors
+        else:
+            self._serving_user_factors = None
+            self._serving_item_factors = None
+        self.buffer_budget_bytes = score_buffer_budget_bytes(buffer_budget_mb)
+        self.pipeline = pipeline
+        self.pool = ScoreBufferPool()
 
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_model(cls, model, chunk_size: int = DEFAULT_CHUNK_SIZE) -> "TopNEngine":
+    def from_model(
+        cls,
+        model,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        dtype: Optional[Union[str, np.dtype]] = None,
+        buffer_budget_mb: Optional[float] = None,
+        pipeline: Optional[bool] = None,
+    ) -> "TopNEngine":
         """Build an engine for any fitted recommender.
 
         Models declaring ``serving_factors_`` — a :class:`FactorModel` whose
@@ -92,8 +204,22 @@ class TopNEngine:
             raise NotFittedError("TopNEngine requires a fitted recommender")
         factors = getattr(model, "serving_factors_", None)
         if isinstance(factors, FactorModel):
-            return cls(model.train_matrix, factors=factors, chunk_size=chunk_size)
-        return cls(model.train_matrix, model=model, chunk_size=chunk_size)
+            return cls(
+                model.train_matrix,
+                factors=factors,
+                chunk_size=chunk_size,
+                dtype=dtype,
+                buffer_budget_mb=buffer_budget_mb,
+                pipeline=pipeline,
+            )
+        return cls(
+            model.train_matrix,
+            model=model,
+            chunk_size=chunk_size,
+            dtype=dtype,
+            buffer_budget_mb=buffer_budget_mb,
+            pipeline=pipeline,
+        )
 
     @classmethod
     def from_factors(
@@ -101,9 +227,19 @@ class TopNEngine:
         factors: FactorModel,
         train_matrix: InteractionMatrix,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        dtype: Optional[Union[str, np.dtype]] = None,
+        buffer_budget_mb: Optional[float] = None,
+        pipeline: Optional[bool] = None,
     ) -> "TopNEngine":
         """Build an engine directly from factor matrices (the serving path)."""
-        return cls(train_matrix, factors=factors, chunk_size=chunk_size)
+        return cls(
+            train_matrix,
+            factors=factors,
+            chunk_size=chunk_size,
+            dtype=dtype,
+            buffer_budget_mb=buffer_budget_mb,
+            pipeline=pipeline,
+        )
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -113,43 +249,146 @@ class TopNEngine:
         """Catalogue size."""
         return self.train_matrix.n_items
 
+    @property
+    def serving_user_factors(self) -> Optional[np.ndarray]:
+        """User factors in the serving dtype (factor path only)."""
+        return self._serving_user_factors
+
+    @property
+    def serving_item_factors(self) -> Optional[np.ndarray]:
+        """Item factors in the serving dtype (factor path only)."""
+        return self._serving_item_factors
+
+    def effective_chunk_size(self, chunk_size: Optional[int] = None) -> int:
+        """Rows per chunk after the score-buffer budget cap.
+
+        ``min(requested, floor(budget / row_bytes))`` with a floor of one
+        row, where ``row_bytes = n_items × itemsize`` of the serving dtype.
+        A 100k-item float64 catalogue under the default 128 MiB budget
+        serves ~160-row chunks instead of 800 MB blocks.
+        """
+        size = (
+            self.chunk_size
+            if chunk_size is None
+            else check_positive_int(chunk_size, "chunk_size")
+        )
+        row_bytes = max(1, self.n_items) * self.serving_dtype.itemsize
+        return max(1, min(size, self.buffer_budget_bytes // row_bytes or 1))
+
     def score_chunk(self, users: np.ndarray) -> np.ndarray:
         """Dense score block for a chunk of users, shape ``(len(users), n_items)``.
 
         The factor path computes ``1 - exp(-F_u[users] @ F_i^T)`` in one
         matrix product; the generic path delegates to the model's
-        ``score_users``.
+        ``score_users``.  The caller owns the returned block.
         """
-        neg = self._neg_score_chunk(np.asarray(users, dtype=np.int64))
-        return np.negative(neg, out=neg)
+        users = np.asarray(users, dtype=np.int64)
+        neg = self._neg_scores_pooled(users)
+        block = np.negative(neg)
+        self.pool.release(neg)
+        return block
 
-    def _neg_score_chunk(self, users: np.ndarray) -> np.ndarray:
+    def _neg_scores_pooled(self, users: np.ndarray) -> np.ndarray:
         """*Negated* score block (the form the selection kernel consumes).
 
-        The factor path computes ``exp(-aff) - 1`` with in-place ufuncs: one
-        BLAS product and no temporaries beyond the score block itself.  IEEE
-        subtraction is antisymmetric (``fl(e - 1) == -fl(1 - e)`` exactly),
-        so this is bitwise the negation of the probability ``1 - exp(-aff)``
-        that the per-user reference path ranks by — parity is preserved
-        while the explicit negation pass before ``argpartition`` disappears.
+        The factor path gathers the chunk's user factors and computes
+        ``exp(-aff) - 1`` with in-place ufuncs into a pooled block: one BLAS
+        product, zero fresh allocations in steady state.  IEEE subtraction
+        is antisymmetric (``fl(e - 1) == -fl(1 - e)`` exactly), so this is
+        bitwise the negation of the probability ``1 - exp(-aff)`` that the
+        per-user reference path ranks by.  The caller must release the
+        returned block back to :attr:`pool`.
         """
-        if self.factors is not None:
-            block = self.factors.user_factors[users] @ self.factors.item_factors.T
+        rows = users.shape[0]
+        if self._serving_user_factors is not None:
+            gather = self.pool.take(
+                rows, self._serving_user_factors.shape[1], self.serving_dtype
+            )
+            np.take(self._serving_user_factors, users, axis=0, out=gather)
+            block = self.pool.take(rows, self.n_items, self.serving_dtype)
+            np.matmul(gather, self._serving_item_factors.T, out=block)
+            self.pool.release(gather)
             np.negative(block, out=block)
             np.exp(block, out=block)
             np.subtract(block, 1.0, out=block)
             return block
-        scores = np.array(self.model.score_users(users), dtype=float)
-        if scores.shape != (len(users), self.n_items):
+        scores = np.asarray(self.model.score_users(users), dtype=self.serving_dtype)
+        if scores.shape != (rows, self.n_items):
             raise ConfigurationError(
-                f"score_users must return shape ({len(users)}, {self.n_items}), "
+                f"score_users must return shape ({rows}, {self.n_items}), "
                 f"got {scores.shape}"
             )
-        return np.negative(scores, out=scores)
+        block = self.pool.take(rows, self.n_items, self.serving_dtype)
+        np.negative(scores, out=block)
+        return block
 
     # ------------------------------------------------------------------ #
     # Ranking
     # ------------------------------------------------------------------ #
+    def topn(
+        self,
+        users: Sequence[int],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        chunk_size: Optional[int] = None,
+        with_scores: bool = False,
+        pipeline: Optional[bool] = None,
+    ) -> TopNResult:
+        """Flat top-``n_items`` rankings for many users — the core hot path.
+
+        Returns a :class:`~repro.serving.results.TopNResult` aligned with
+        ``users``; rows may be shorter than ``n_items`` when a user has
+        fewer unseen items than requested (exactly like
+        :meth:`Recommender.recommend`, which never pads with excluded
+        items).  With ``with_scores`` the ranked entries' scores ride along
+        in the result's flat score block — gathered from the block already
+        computed for the selection, no rescoring pass.
+        """
+        check_positive_int(n_items, "n_items")
+        user_array = np.asarray(list(users), dtype=np.int64)
+        n = min(n_items, self.n_items)
+        if user_array.size == 0:
+            return TopNResult.empty(width=n, with_scores=with_scores)
+        if user_array.min() < 0 or user_array.max() >= self.train_matrix.n_users:
+            raise ConfigurationError(
+                f"user indices must lie in [0, {self.train_matrix.n_users})"
+            )
+        size = self.effective_chunk_size(chunk_size)
+        total = int(user_array.size)
+        out_items = np.full((total, n), -1, dtype=np.int32)
+        out_lengths = np.empty(total, dtype=np.int32)
+        out_scores = (
+            np.empty((total, n), dtype=self.serving_dtype) if with_scores else None
+        )
+        csr = self.train_matrix.csr() if exclude_seen else None
+        starts = list(range(0, total, size))
+        if self._resolve_pipeline(pipeline) and len(starts) > 1:
+            executor = _prefetch_executor()
+            future = executor.submit(
+                self._neg_scores_pooled, user_array[starts[0] : starts[0] + size]
+            )
+            for index, start in enumerate(starts):
+                neg_scores = future.result()
+                if index + 1 < len(starts):
+                    nxt = starts[index + 1]
+                    future = executor.submit(
+                        self._neg_scores_pooled, user_array[nxt : nxt + size]
+                    )
+                chunk = user_array[start : start + size]
+                self._select_chunk(
+                    neg_scores, chunk, csr, start, out_items, out_lengths, out_scores
+                )
+                self.pool.release(neg_scores)
+        else:
+            for start in starts:
+                chunk = user_array[start : start + size]
+                neg_scores = self._neg_scores_pooled(chunk)
+                self._select_chunk(
+                    neg_scores, chunk, csr, start, out_items, out_lengths, out_scores
+                )
+                self.pool.release(neg_scores)
+        return TopNResult(out_items, out_lengths, out_scores)
+
     def recommend_batch(
         self,
         users: Sequence[int],
@@ -157,42 +396,56 @@ class TopNEngine:
         exclude_seen: bool = True,
         chunk_size: Optional[int] = None,
         return_scores: bool = False,
-    ) -> List[np.ndarray]:
+    ) -> Union[TopNResult, Tuple[TopNResult, List[np.ndarray]]]:
         """Top-``n_items`` lists for many users, one chunk at a time.
 
-        Returns one ranked index array per user, aligned with ``users``.
-        Lists may be shorter than ``n_items`` when a user has fewer unseen
-        items than requested (exactly like :meth:`Recommender.recommend`,
-        which never pads with excluded items).  With ``return_scores`` the
-        return value is a ``(rankings, scores)`` pair, the scores aligned
-        entry-for-entry with each ranking (gathered from the block already
-        computed for the selection — no rescoring pass).
+        Returns a flat :class:`~repro.serving.results.TopNResult` aligned
+        with ``users`` — it iterates, indexes and compares like the
+        list-of-arrays this method used to return, so row-wise callers are
+        unchanged.  With ``return_scores`` the return value is a
+        ``(rankings, scores)`` pair, the scores one view per row aligned
+        entry-for-entry with each ranking.  Empty input yields an empty
+        result (and an empty score list) — the same shapes as non-empty
+        input, with zero rows.
         """
-        check_positive_int(n_items, "n_items")
-        user_array = np.asarray(list(users), dtype=np.int64)
-        if user_array.size == 0:
-            return ([], []) if return_scores else []
-        if user_array.min() < 0 or user_array.max() >= self.train_matrix.n_users:
-            raise ConfigurationError(
-                f"user indices must lie in [0, {self.train_matrix.n_users})"
-            )
-        size = self.chunk_size if chunk_size is None else check_positive_int(chunk_size, "chunk_size")
+        result = self.topn(
+            users,
+            n_items=n_items,
+            exclude_seen=exclude_seen,
+            chunk_size=chunk_size,
+            with_scores=return_scores,
+        )
+        if return_scores:
+            return result, result.score_rows()
+        return result
 
-        ranked: List[np.ndarray] = []
-        scores: List[np.ndarray] = []
-        csr = self.train_matrix.csr()
-        for start in range(0, user_array.size, size):
-            chunk = user_array[start : start + size]
-            neg_scores = self._neg_score_chunk(chunk)
-            if exclude_seen:
-                self._mask_seen(neg_scores, chunk, csr)
-            if return_scores:
-                rows, row_scores = self._top_n_rows(neg_scores, n_items, with_scores=True)
-                ranked.extend(rows)
-                scores.extend(row_scores)
-            else:
-                ranked.extend(self._top_n_rows(neg_scores, n_items))
-        return (ranked, scores) if return_scores else ranked
+    def recommend_batch_lists(
+        self,
+        users: Sequence[int],
+        n_items: int = 10,
+        exclude_seen: bool = True,
+        chunk_size: Optional[int] = None,
+        return_scores: bool = False,
+    ):
+        """Deprecated list-of-arrays shim over :meth:`recommend_batch`."""
+        warnings.warn(
+            "TopNEngine.recommend_batch_lists() is deprecated; recommend_batch() "
+            "returns a TopNResult that supports the same row-wise access "
+            "(use .as_lists() if a plain list is required)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.recommend_batch(
+            users,
+            n_items=n_items,
+            exclude_seen=exclude_seen,
+            chunk_size=chunk_size,
+            return_scores=return_scores,
+        )
+        if return_scores:
+            rankings, scores = result
+            return rankings.as_lists(), scores
+        return result.as_lists()
 
     def recommend_many(
         self,
@@ -215,13 +468,15 @@ class TopNEngine:
         n_items: int = 10,
         seen: Optional[sp.csr_matrix] = None,
         return_scores: bool = False,
-    ) -> List[np.ndarray]:
+        writable: bool = False,
+    ) -> Union[TopNResult, Tuple[TopNResult, List[np.ndarray]]]:
         """Rank externally computed score rows (the fold-in serving path).
 
         Parameters
         ----------
         scores:
-            Dense score block, shape ``(n_rows, n_items)``; not modified.
+            Dense score block, shape ``(n_rows, n_items)``.  Not modified
+            unless ``writable`` is set.
         n_items:
             List length.
         seen:
@@ -231,81 +486,143 @@ class TopNEngine:
             row plays for in-matrix users.
         return_scores:
             Also return the score of every ranked entry; the return value
-            is then a ``(rankings, scores)`` pair.
+            is then a ``(rankings, scores)`` pair and the result's flat
+            score block is populated.
+        writable:
+            The caller owns ``scores`` and the engine may negate it in
+            place instead of copying into a pooled buffer — the zero-copy
+            path for freshly computed fold-in blocks.  The array's contents
+            are destroyed.
         """
         check_positive_int(n_items, "n_items")
-        scores = np.asarray(scores, dtype=float)
-        if scores.ndim != 2 or scores.shape[1] != self.n_items:
+        raw = np.asarray(scores)
+        if raw.dtype not in _SERVING_DTYPES:
+            raw = raw.astype(np.float64)
+            writable = True  # the cast copy is ours to negate
+        if raw.ndim != 2 or raw.shape[1] != self.n_items:
             raise ConfigurationError(
-                f"scores must have shape (n_rows, {self.n_items}), got {scores.shape}"
+                f"scores must have shape (n_rows, {self.n_items}), got {raw.shape}"
             )
-        neg_scores = -scores
+        n_rows = raw.shape[0]
+        n = min(n_items, self.n_items)
         if seen is not None:
             seen = sp.csr_matrix(seen)
-            if seen.shape != scores.shape:
+            if seen.shape != raw.shape:
                 raise ConfigurationError(
-                    f"seen matrix shape {seen.shape} does not match scores {scores.shape}"
+                    f"seen matrix shape {seen.shape} does not match scores {raw.shape}"
                 )
-            self._mask_seen(neg_scores, np.arange(neg_scores.shape[0]), seen)
-        return self._top_n_rows(neg_scores, n_items, with_scores=return_scores)
+        if n_rows == 0:
+            result = TopNResult.empty(width=n, with_scores=return_scores)
+            return (result, []) if return_scores else result
+        if writable and raw.flags.writeable:
+            neg_scores = np.negative(raw, out=raw)
+            pooled = None
+        else:
+            pooled = self.pool.take(n_rows, self.n_items, raw.dtype)
+            neg_scores = np.negative(raw, out=pooled)
+        if seen is not None:
+            self._mask_seen(neg_scores, np.arange(n_rows), seen)
+        out_items = np.full((n_rows, n), -1, dtype=np.int32)
+        out_lengths = np.empty(n_rows, dtype=np.int32)
+        out_scores = np.empty((n_rows, n), dtype=neg_scores.dtype) if return_scores else None
+        self._select_rows(neg_scores, n, out_items, out_lengths, out_scores, row0=0)
+        if pooled is not None:
+            self.pool.release(pooled)
+        result = TopNResult(out_items, out_lengths, out_scores)
+        if return_scores:
+            return result, result.score_rows()
+        return result
 
     # ------------------------------------------------------------------ #
     # Kernels
     # ------------------------------------------------------------------ #
+    def _resolve_pipeline(self, pipeline: Optional[bool]) -> bool:
+        """Whether this call overlaps scoring with selection.
+
+        Explicit per-call flag, then the engine's construction flag, then
+        auto: multi-core hosts pipeline factor-path engines (the model path
+        may not be thread-safe, so it never pipelines implicitly).
+        """
+        flag = self.pipeline if pipeline is None else pipeline
+        if self._serving_user_factors is None and flag is None:
+            return False
+        if flag is None:
+            return (os.cpu_count() or 1) > 1
+        return bool(flag)
+
     @staticmethod
     def _mask_seen(neg_scores: np.ndarray, rows: np.ndarray, csr: sp.csr_matrix) -> None:
         """Write ``+inf`` over the training positives of ``rows``, in place.
 
         ``neg_scores`` holds negated scores, so ``+inf`` here plays the role
-        ``-inf`` plays in the per-user reference path.  The (row, item)
-        positives of the chunk are gathered straight from the CSR
-        ``indptr``/``indices`` arrays — no per-user Python loop and no
-        densified mask.
+        ``-inf`` plays in the per-user reference path.  Each row's positives
+        are sliced straight out of the CSR ``indptr``/``indices`` arrays —
+        no densified mask and no full-size scratch arrays; the only
+        temporaries are the two ``len(rows)``-long pointer gathers.
         """
         indptr, indices = csr.indptr, csr.indices
-        counts = (indptr[rows + 1] - indptr[rows]).astype(np.int64)
-        total = int(counts.sum())
-        if total == 0:
-            return
-        starts = indptr[rows].astype(np.int64)
-        offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
-        positions = np.repeat(starts, counts) + offsets
-        chunk_rows = np.repeat(np.arange(len(rows)), counts)
-        neg_scores[chunk_rows, indices[positions]] = np.inf
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = indptr[rows]
+        stops = indptr[rows + 1]
+        for i, (start, stop) in enumerate(zip(starts.tolist(), stops.tolist())):
+            if start != stop:
+                neg_scores[i, indices[start:stop]] = np.inf
+
+    def _select_chunk(
+        self,
+        neg_scores: np.ndarray,
+        chunk_users: np.ndarray,
+        csr: Optional[sp.csr_matrix],
+        row0: int,
+        out_items: np.ndarray,
+        out_lengths: np.ndarray,
+        out_scores: Optional[np.ndarray],
+    ) -> None:
+        """Mask and select one scored chunk into the flat output blocks."""
+        if csr is not None:
+            self._mask_seen(neg_scores, chunk_users, csr)
+        self._select_rows(neg_scores, out_items.shape[1], out_items, out_lengths, out_scores, row0)
 
     @staticmethod
-    def _top_n_rows(
-        neg_scores: np.ndarray, n_items: int, with_scores: bool = False
-    ) -> List[np.ndarray]:
+    def _select_rows(
+        neg_scores: np.ndarray,
+        n: int,
+        out_items: np.ndarray,
+        out_lengths: np.ndarray,
+        out_scores: Optional[np.ndarray],
+        row0: int,
+    ) -> None:
         """Per-row top-N selection, identical to ``Recommender.recommend``.
 
         Operates on *negated* scores: ``argpartition`` pulls the ``n``
         smallest entries of every row without a full sort (the same
         partition the reference path runs on ``-scores``), then a stable
-        ascending sort orders just those entries.  Rows keep only their
-        finite (non-masked) entries, so heavily-seen users get shorter
-        lists rather than padded ones.  With ``with_scores`` the (negated
-        back) scores of the selected entries ride along as a second list.
+        ascending sort orders just those entries.  Masked (``+inf``)
+        entries sort to each row's tail, so a row's valid ranking is a
+        prefix: its length is the finite count, and padding positions hold
+        ``-1`` (items) / ``-inf`` (scores).  Results are written into the
+        flat blocks at ``row0`` — no per-row list objects.
         """
-        n = min(n_items, neg_scores.shape[1])
+        rows = neg_scores.shape[0]
         top = np.argpartition(neg_scores, n - 1, axis=1)[:, :n]
         top_scores = np.take_along_axis(neg_scores, top, axis=1)
         order = np.argsort(top_scores, axis=1, kind="stable")
         ranked = np.take_along_axis(top, order, axis=1)
         ranked_scores = np.take_along_axis(top_scores, order, axis=1)
         finite = np.isfinite(ranked_scores)
-        if finite.all():
-            if with_scores:
-                return list(ranked), list(np.negative(ranked_scores))
-            return list(ranked)
-        rows = [row[keep] for row, keep in zip(ranked, finite)]
-        if with_scores:
-            return rows, [-row[keep] for row, keep in zip(ranked_scores, finite)]
-        return rows
+        block = out_items[row0 : row0 + rows]
+        block[...] = ranked
+        out_lengths[row0 : row0 + rows] = finite.sum(axis=1, dtype=np.int32)
+        if not finite.all():
+            block[~finite] = -1
+        if out_scores is not None:
+            np.negative(ranked_scores, out=ranked_scores)
+            out_scores[row0 : row0 + rows] = ranked_scores
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         path = "factors" if self.factors is not None else type(self.model).__name__
         return (
             f"TopNEngine(path={path!r}, n_users={self.train_matrix.n_users}, "
-            f"n_items={self.n_items}, chunk_size={self.chunk_size})"
+            f"n_items={self.n_items}, chunk_size={self.chunk_size}, "
+            f"dtype={self.serving_dtype.name})"
         )

@@ -480,12 +480,14 @@ def recommend_folded(
     n_sweeps: int = 30,
     tolerance: float = 1e-8,
     backend: Optional[Union[Backend, str]] = None,
-) -> list[np.ndarray]:
+):
     """Serve top-N lists for users that are not in the training matrix.
 
     Folds the interaction vectors into the engine's factor model and ranks
     with the same chunked kernel as in-matrix serving, masking the provided
     interactions the way training positives are masked for known users.
+    Returns a flat :class:`~repro.serving.results.TopNResult` aligned with
+    the interaction rows.
 
     Parameters
     ----------
@@ -507,7 +509,11 @@ def recommend_folded(
     scores = fold_in_scores(
         engine, csr, model=model, n_sweeps=n_sweeps, tolerance=tolerance, backend=backend
     )
-    return engine.rank_scored(scores, n_items=n_items, seen=csr if exclude_seen else None)
+    # The score block was computed for this call — hand its buffer to the
+    # ranking kernel (``writable``) instead of paying a full negated copy.
+    return engine.rank_scored(
+        scores, n_items=n_items, seen=csr if exclude_seen else None, writable=True
+    )
 
 
 def fold_in_scores(
@@ -544,5 +550,11 @@ def fold_in_scores(
             tolerance=tolerance,
         )
         item_factors = engine.factors.item_factors
+    # One allocation (the matmul result); the probability transform runs in
+    # place on it.  ``1 - exp(-aff)`` computed via negate/exp/subtract is
+    # bitwise the straightforward expression.
     affinities = folded @ item_factors.T
-    return 1.0 - np.exp(-affinities)
+    np.negative(affinities, out=affinities)
+    np.exp(affinities, out=affinities)
+    np.subtract(1.0, affinities, out=affinities)
+    return affinities

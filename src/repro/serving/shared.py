@@ -31,7 +31,6 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.data.interactions import InteractionMatrix
@@ -64,6 +63,11 @@ class SharedEngineSpec:
     user_factors: SharedArraySpec
     item_factors: SharedArraySpec
     seen: SharedCsrSpec
+    #: Serving dtype string (e.g. ``"float32"``); ``None`` means the
+    #: published arrays' native dtype.  The published arrays are already in
+    #: this dtype, so workers never cast — publisher and worker score the
+    #: same bytes.
+    dtype: Optional[str] = None
 
     def segment_names(self) -> List[str]:
         """Names of every segment backing this engine."""
@@ -141,18 +145,22 @@ def publish_engine(
     # Non-evictable: a published model version must stay attachable until
     # unpublish_engine — LRU churn from per-call publications (fold-in
     # blocks) must never silently unlink a generation workers still serve.
+    # The *serving*-dtype arrays are published (for a float32-serving engine
+    # that is half the shared-memory footprint and bandwidth), so workers
+    # score byte-identically to the publisher without casting.
     return SharedEngineSpec(
         generation=generation,
         chunk_size=engine.chunk_size,
         user_factors=executor.publish(
-            user_key, engine.factors.user_factors, evictable=False
+            user_key, engine.serving_user_factors, evictable=False
         ),
         item_factors=executor.publish(
-            item_key, engine.factors.item_factors, evictable=False
+            item_key, engine.serving_item_factors, evictable=False
         ),
         seen=publish_csr(
             executor, csr, ("engine", generation, "seen"), evictable=False
         ),
+        dtype=str(engine.serving_dtype),
     )
 
 
@@ -270,7 +278,10 @@ def attach_engine(
             attach_shared_array(spec.item_factors),
         )
         engine = TopNEngine(
-            train_matrix, factors=factors, chunk_size=spec.chunk_size
+            train_matrix,
+            factors=factors,
+            chunk_size=spec.chunk_size,
+            dtype=spec.dtype,
         )
         _WORKER_ENGINES[spec] = engine
         close_stale_attachments(set(spec.segment_names()), max_bytes=max_bytes)
@@ -289,10 +300,15 @@ def _topn_shard(
     n_items: int,
     exclude_seen: bool,
     return_scores: bool = False,
-) -> List[np.ndarray]:
-    """Serve one user shard from shared-memory descriptors (worker side)."""
-    return attach_engine(spec, max_bytes=attachment_budget_bytes()).recommend_batch(
-        users, n_items=n_items, exclude_seen=exclude_seen, return_scores=return_scores
+):
+    """Serve one user shard from shared-memory descriptors (worker side).
+
+    Returns the shard's flat :class:`~repro.serving.results.TopNResult`
+    (score block embedded when ``return_scores``), which pickles back to the
+    caller as three contiguous arrays instead of ``O(shard)`` row objects.
+    """
+    return attach_engine(spec, max_bytes=attachment_budget_bytes()).topn(
+        users, n_items=n_items, exclude_seen=exclude_seen, with_scores=return_scores
     )
 
 
@@ -304,13 +320,15 @@ def _rank_scored_shard(
     stop: int,
     n_items: int,
     return_scores: bool = False,
-) -> List[np.ndarray]:
+):
     """Rank rows ``[start, stop)`` of a published score block (worker side).
 
     Used by the runtime's cold-start path: the fold-in scores are published
     once per call and each shard ranks its row slice.  Per-row ranking is
     row-independent, so the slice's rankings are bitwise the rankings the
     single-process :meth:`TopNEngine.rank_scored` produces for those rows.
+    Returns the shard's flat :class:`~repro.serving.results.TopNResult`
+    (score block embedded when ``return_scores``).
     """
     engine = attach_engine(spec, max_bytes=attachment_budget_bytes())
     score_rows = attach_shared_array(scores)[start:stop]
@@ -318,6 +336,10 @@ def _rank_scored_shard(
     ranked = engine.rank_scored(
         score_rows, n_items=n_items, seen=seen_rows, return_scores=return_scores
     )
+    if return_scores:
+        # rank_scored returns a (result, score-views) pair; the flat result
+        # already embeds the score block, so ship only it across processes.
+        ranked = ranked[0]
     # The score/seen segments are per *call*, not per model version: drop
     # their attachments now (the views above die with this frame) or a
     # cold-start service would grow one mapped block per call until the next

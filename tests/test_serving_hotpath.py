@@ -1,0 +1,513 @@
+"""Tests for the zero-allocation serving hot path.
+
+Covers the flat :class:`TopNResult` container, the score-buffer pool and its
+zero-allocation steady state, the chunk-size autotuner, pipelined chunking
+parity, the writable ``rank_scored`` path, the unified empty-input contract,
+and float32 serving parity against float64 across seen-masking, fold-in and
+sharded process serving.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.ocular import OCuLaR
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    BUFFER_BUDGET_ENV,
+    ScoreBufferPool,
+    TopNEngine,
+    TopNResult,
+    recommend_folded,
+    score_buffer_budget_bytes,
+    serve_sharded,
+)
+
+
+def _ranking_overlap(a, b) -> float:
+    """Mean per-row Jaccard-free overlap |A ∩ B| / |A| between two results."""
+    overlaps = []
+    for row_a, row_b in zip(a, b):
+        if len(row_a) == 0:
+            continue
+        overlaps.append(len(set(row_a.tolist()) & set(row_b.tolist())) / len(row_a))
+    return float(np.mean(overlaps)) if overlaps else 1.0
+
+
+@pytest.fixture(scope="module")
+def float32_model(movielens_small):
+    """OCuLaR trained in float32 on the small MovieLens-like split."""
+    import warnings
+
+    _, _, split = movielens_small
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return OCuLaR(
+            n_coclusters=12,
+            regularization=8.0,
+            max_iterations=60,
+            random_state=0,
+            dtype="float32",
+        ).fit(split.train)
+
+
+# --------------------------------------------------------------------------- #
+# TopNResult container
+# --------------------------------------------------------------------------- #
+class TestTopNResult:
+    def test_from_rows_round_trip(self):
+        rows = [np.array([3, 1, 4]), np.array([1, 5]), np.array([], dtype=np.int64)]
+        result = TopNResult.from_rows(rows)
+        assert result.n_rows == 3
+        assert result.width == 3
+        assert list(result.lengths) == [3, 2, 0]
+        assert result == rows
+        assert result.as_lists()[0].tolist() == [3, 1, 4]
+        # Padding positions hold the sentinel.
+        assert result.items[1, 2] == -1
+
+    def test_sequence_protocol(self):
+        result = TopNResult.from_rows([np.array([7, 8]), np.array([9])])
+        assert len(result) == 2
+        np.testing.assert_array_equal(result[0], [7, 8])
+        np.testing.assert_array_equal(result[-1], [9])
+        assert [row.tolist() for row in result] == [[7, 8], [9]]
+        with pytest.raises(IndexError):
+            result[2]
+
+    def test_slicing_returns_view(self):
+        result = TopNResult.from_rows(
+            [np.array([1, 2]), np.array([3, 4]), np.array([5])]
+        )
+        tail = result[1:]
+        assert isinstance(tail, TopNResult)
+        assert len(tail) == 2
+        np.testing.assert_array_equal(tail[0], [3, 4])
+        # Zero-copy: the slice shares the parent's buffer.
+        assert tail.items.base is result.items
+
+    def test_equality_against_lists(self):
+        rows = [np.array([2, 0]), np.array([1])]
+        result = TopNResult.from_rows(rows)
+        assert result == rows
+        assert result == [[2, 0], [1]]
+        assert result != [[2, 0], [1, 3]]
+        assert (result == object()) is False or (result != object()) is True
+
+    def test_empty(self):
+        result = TopNResult.empty(width=5)
+        assert len(result) == 0
+        assert result == []
+        scored = TopNResult.empty(width=5, with_scores=True)
+        assert scored.scores is not None and scored.scores.shape == (0, 5)
+
+    def test_concat_equal_widths(self):
+        a = TopNResult.from_rows([np.array([1, 2])], width=2)
+        b = TopNResult.from_rows([np.array([3])], width=2)
+        merged = TopNResult.concat([a, b])
+        assert merged == [[1, 2], [3]]
+
+    def test_concat_mixed_widths_pads(self):
+        a = TopNResult.from_rows([np.array([1])], width=1)
+        b = TopNResult.from_rows([np.array([2, 3, 4])], width=3)
+        merged = TopNResult.concat([a, b])
+        assert merged.width == 3
+        assert merged == [[1], [2, 3, 4]]
+
+    def test_concat_empty_input(self):
+        assert TopNResult.concat([]) == []
+
+    def test_scores_alignment(self):
+        result = TopNResult.from_rows(
+            [np.array([4, 2]), np.array([9])],
+            scores=[np.array([0.9, 0.5]), np.array([0.7])],
+        )
+        np.testing.assert_allclose(result.row_scores(0), [0.9, 0.5])
+        assert [row.tolist() for row in result.score_rows()] == [[0.9, 0.5], [0.7]]
+
+    def test_to_lists_json_ready(self):
+        result = TopNResult.from_rows([np.array([1, 2]), np.array([3])])
+        lists = result.to_lists()
+        assert lists == [[1, 2], [3]]
+        assert all(isinstance(v, int) for row in lists for v in row)
+
+    def test_pickle_round_trip(self):
+        result = TopNResult.from_rows(
+            [np.array([5, 6]), np.array([7])], scores=[np.array([0.2, 0.1]), np.array([0.3])]
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result
+        np.testing.assert_allclose(clone.scores, result.scores)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TopNResult(np.zeros(3, dtype=np.int32), np.zeros(3, dtype=np.int32))
+        with pytest.raises(ValueError):
+            TopNResult(
+                np.zeros((2, 3), dtype=np.int32),
+                np.zeros(1, dtype=np.int32),
+            )
+        with pytest.raises(ValueError):
+            TopNResult(
+                np.zeros((2, 3), dtype=np.int32),
+                np.zeros(2, dtype=np.int32),
+                scores=np.zeros((2, 4)),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Score-buffer pool
+# --------------------------------------------------------------------------- #
+class TestScoreBufferPool:
+    def test_take_release_reuses(self):
+        pool = ScoreBufferPool()
+        block = pool.take(4, 8, np.float64)
+        assert block.shape == (4, 8) and block.flags.c_contiguous
+        pool.release(block)
+        again = pool.take(4, 8, np.float64)
+        stats = pool.stats()
+        assert stats.allocations == 1
+        assert stats.reuses == 1
+        pool.release(again)
+
+    def test_shorter_rows_reuse_larger_block(self):
+        pool = ScoreBufferPool()
+        pool.release(pool.take(10, 6, np.float64))
+        short = pool.take(3, 6, np.float64)
+        assert short.shape == (3, 6)
+        assert pool.stats().allocations == 1
+        pool.release(short)
+        assert pool.stats().cached_blocks == 1
+
+    def test_dtype_and_width_keying(self):
+        pool = ScoreBufferPool()
+        pool.release(pool.take(4, 8, np.float64))
+        f32 = pool.take(4, 8, np.float32)  # different dtype -> new block
+        narrow = pool.take(4, 4, np.float64)  # different width -> new block
+        assert pool.stats().allocations == 3
+        pool.release(f32)
+        pool.release(narrow)
+
+    def test_max_cached_cap(self):
+        pool = ScoreBufferPool(max_cached=2)
+        blocks = [pool.take(2, 3, np.float64) for _ in range(4)]
+        for block in blocks:
+            pool.release(block)
+        assert pool.stats().cached_blocks == 2
+
+    def test_outstanding_counter(self):
+        pool = ScoreBufferPool()
+        block = pool.take(2, 2, np.float64)
+        assert pool.stats().outstanding == 1
+        pool.release(block)
+        assert pool.stats().outstanding == 0
+
+    def test_clear_keeps_counters(self):
+        pool = ScoreBufferPool()
+        pool.release(pool.take(2, 2, np.float64))
+        pool.clear()
+        stats = pool.stats()
+        assert stats.cached_blocks == 0
+        assert stats.allocations == 1
+
+    def test_pickles_to_fresh_pool(self):
+        pool = ScoreBufferPool(max_cached=3)
+        pool.release(pool.take(2, 2, np.float64))
+        clone = pickle.loads(pickle.dumps(pool))
+        assert clone.max_cached == 3
+        assert clone.stats().allocations == 0
+
+
+# --------------------------------------------------------------------------- #
+# Budget resolution and chunk autotune
+# --------------------------------------------------------------------------- #
+class TestChunkAutotune:
+    def test_budget_priority(self, monkeypatch):
+        monkeypatch.delenv(BUFFER_BUDGET_ENV, raising=False)
+        assert score_buffer_budget_bytes(1.0) == 1024 * 1024
+        monkeypatch.setenv(BUFFER_BUDGET_ENV, "2")
+        assert score_buffer_budget_bytes() == 2 * 1024 * 1024
+        assert score_buffer_budget_bytes(1.0) == 1024 * 1024  # param wins
+        monkeypatch.setenv(BUFFER_BUDGET_ENV, "not-a-number")
+        assert score_buffer_budget_bytes() == 128 * 1024 * 1024
+        assert score_buffer_budget_bytes(-5) == 128 * 1024 * 1024
+
+    def test_effective_chunk_capped_by_budget(self, fitted_movielens_model):
+        # 80 items x 8 bytes = 640 B per row; a 64 KiB budget caps at 102 rows.
+        engine = TopNEngine.from_model(
+            fitted_movielens_model, chunk_size=4096, buffer_budget_mb=64 / 1024
+        )
+        row_bytes = engine.n_items * engine.serving_dtype.itemsize
+        assert engine.effective_chunk_size() == (64 * 1024) // row_bytes
+        # An ample budget leaves the requested chunk unchanged.
+        roomy = TopNEngine.from_model(fitted_movielens_model, chunk_size=64)
+        assert roomy.effective_chunk_size() == 64
+
+    def test_effective_chunk_floor_is_one(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(
+            fitted_movielens_model, buffer_budget_mb=1e-9
+        )
+        assert engine.effective_chunk_size() == 1
+
+    def test_env_budget_reaches_engine(self, fitted_movielens_model, monkeypatch):
+        monkeypatch.setenv(BUFFER_BUDGET_ENV, str(64 / 1024))
+        engine = TopNEngine.from_model(fitted_movielens_model, chunk_size=4096)
+        assert engine.buffer_budget_bytes == 64 * 1024
+        assert engine.effective_chunk_size() < 4096
+
+    def test_float32_doubles_the_chunk(self, fitted_movielens_model):
+        f64 = TopNEngine.from_model(
+            fitted_movielens_model, chunk_size=1 << 20, buffer_budget_mb=1.0
+        )
+        f32 = TopNEngine.from_model(
+            fitted_movielens_model,
+            chunk_size=1 << 20,
+            buffer_budget_mb=1.0,
+            dtype="float32",
+        )
+        assert f32.effective_chunk_size() == 2 * f64.effective_chunk_size()
+
+
+# --------------------------------------------------------------------------- #
+# Engine hot path: flat results, empty contract, zero allocation, pipeline
+# --------------------------------------------------------------------------- #
+class TestEngineHotPath:
+    def test_recommend_batch_returns_flat_result(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        result = engine.recommend_batch(range(20), n_items=7)
+        assert isinstance(result, TopNResult)
+        assert result.items.dtype == np.int32
+        for user, ranked in zip(range(20), result):
+            reference = fitted_movielens_model.recommend(user, n_items=7)
+            np.testing.assert_array_equal(ranked, reference)
+
+    def test_empty_input_contract_unified(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        bare = engine.recommend_batch([], n_items=5)
+        assert isinstance(bare, TopNResult) and bare == []
+        scored, scores = engine.recommend_batch([], n_items=5, return_scores=True)
+        assert isinstance(scored, TopNResult) and scored == []
+        assert scores == []
+
+    def test_return_scores_alignment(self, fitted_movielens_model):
+        model = fitted_movielens_model
+        engine = TopNEngine.from_model(model)
+        users = [0, 5, 17]
+        result, scores = engine.recommend_batch(users, n_items=9, return_scores=True)
+        for user, ranked, row_scores in zip(users, result, scores):
+            full = model.score_users([user])[0]
+            np.testing.assert_allclose(row_scores, full[ranked], rtol=1e-12)
+            assert np.all(np.diff(row_scores) <= 0)
+
+    def test_zero_allocations_after_warmup(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model, chunk_size=32)
+        users = list(range(120))
+        engine.topn(users, n_items=10)  # warm-up pass
+        warm = engine.pool.stats().allocations
+        for _ in range(3):
+            engine.topn(users, n_items=10)
+        after = engine.pool.stats()
+        assert after.allocations == warm
+        assert after.reuses > 0
+        assert after.outstanding == 0
+
+    def test_pipelined_matches_serial_exactly(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model, chunk_size=16)
+        users = list(range(120))
+        serial = engine.topn(users, n_items=12, pipeline=False)
+        piped = engine.topn(users, n_items=12, pipeline=True)
+        np.testing.assert_array_equal(serial.items, piped.items)
+        np.testing.assert_array_equal(serial.lengths, piped.lengths)
+        with_scores = engine.topn(users, n_items=12, pipeline=True, with_scores=True)
+        np.testing.assert_array_equal(serial.items, with_scores.items)
+
+    def test_pipeline_flag_at_construction(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(
+            fitted_movielens_model, chunk_size=16, pipeline=True
+        )
+        reference = TopNEngine.from_model(fitted_movielens_model)
+        users = list(range(60))
+        assert engine.topn(users, n_items=8) == reference.topn(users, n_items=8)
+
+    def test_rank_scored_writable_parity(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        rng = np.random.default_rng(11)
+        scores = rng.random((9, engine.n_items))
+        seen = sp.random(9, engine.n_items, density=0.1, random_state=3, format="csr")
+        copied = engine.rank_scored(scores.copy(), n_items=6, seen=seen)
+        original = scores.copy()
+        owned = scores.copy()
+        in_place = engine.rank_scored(owned, n_items=6, seen=seen, writable=True)
+        assert copied == in_place
+        # writable=True may destroy its input...
+        assert not np.array_equal(owned, original)
+        # ...but the default must not.
+        untouched = scores.copy()
+        engine.rank_scored(untouched, n_items=6, seen=seen)
+        np.testing.assert_array_equal(untouched, scores)
+
+    def test_rank_scored_empty_rows(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        empty = np.zeros((0, engine.n_items))
+        assert engine.rank_scored(empty, n_items=4) == []
+        result, scores = engine.rank_scored(empty, n_items=4, return_scores=True)
+        assert result == [] and scores == []
+
+    def test_recommend_batch_lists_shim_warns(self, fitted_movielens_model):
+        import warnings as _warnings
+
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning):
+                engine.recommend_batch_lists([0, 1], n_items=5)
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", DeprecationWarning)
+            lists = engine.recommend_batch_lists([0, 1], n_items=5)
+        assert isinstance(lists, list)
+        assert TopNResult.from_rows(lists) == engine.recommend_batch([0, 1], n_items=5)
+
+    def test_invalid_serving_dtype_rejected(self, fitted_movielens_model):
+        with pytest.raises(ConfigurationError):
+            TopNEngine.from_model(fitted_movielens_model, dtype="int32")
+
+    def test_engine_pickles_with_fresh_pool(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model, dtype="float32")
+        engine.topn(range(10), n_items=5)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone.serving_dtype == np.dtype(np.float32)
+        assert clone.pool.stats().allocations == 0
+        assert clone.topn(range(10), n_items=5) == engine.topn(range(10), n_items=5)
+
+
+# --------------------------------------------------------------------------- #
+# Float32 serving parity (satellite S3)
+# --------------------------------------------------------------------------- #
+class TestFloat32Parity:
+    OVERLAP_FLOOR = 0.9
+
+    @pytest.mark.parametrize("exclude_seen", [True, False])
+    def test_float32_vs_float64_overlap(self, fitted_movielens_model, exclude_seen):
+        f64 = TopNEngine.from_model(fitted_movielens_model)
+        f32 = TopNEngine.from_model(fitted_movielens_model, dtype="float32")
+        assert f32.serving_dtype == np.dtype(np.float32)
+        # The trained factors are untouched; only the serving copies cast.
+        assert f32.factors.dtype == np.dtype(np.float64)
+        assert f32.serving_user_factors.dtype == np.dtype(np.float32)
+        users = list(range(fitted_movielens_model.train_matrix.n_users))
+        a = f64.recommend_batch(users, n_items=20, exclude_seen=exclude_seen)
+        b = f32.recommend_batch(users, n_items=20, exclude_seen=exclude_seen)
+        assert _ranking_overlap(a, b) >= self.OVERLAP_FLOOR
+
+    def test_float32_native_factors_are_bit_exact_default(self, float32_model):
+        engine = TopNEngine.from_model(float32_model)
+        assert engine.serving_dtype == np.dtype(np.float32)
+        # Native dtype: no cast copy at all.
+        assert engine.serving_user_factors is engine.factors.user_factors
+
+    def test_float32_fold_in_overlap(self, fitted_movielens_model):
+        f64 = TopNEngine.from_model(fitted_movielens_model)
+        f32 = TopNEngine.from_model(fitted_movielens_model, dtype="float32")
+        interactions = [[0, 3, 9], [1, 2], [5]]
+        a = recommend_folded(f64, interactions, model=fitted_movielens_model, n_items=15)
+        b = recommend_folded(f32, interactions, model=fitted_movielens_model, n_items=15)
+        assert isinstance(a, TopNResult)
+        assert _ranking_overlap(a, b) >= self.OVERLAP_FLOOR
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_float32_sharded_process_serving(self, fitted_movielens_model, n_shards):
+        from repro.parallel import SharedMemoryProcessExecutor
+
+        engine = TopNEngine.from_model(fitted_movielens_model, dtype="float32")
+        users = list(range(fitted_movielens_model.train_matrix.n_users))
+        shard_size = -(-len(users) // n_shards)
+        local = engine.topn(users, n_items=10)
+        with SharedMemoryProcessExecutor(max_workers=2) as executor:
+            sharded = serve_sharded(
+                engine, users, n_items=10, executor=executor, shard_size=shard_size
+            )
+        assert sharded.n_shards == n_shards
+        # Workers attach the very float32 bytes the publisher serves, so the
+        # process-sharded rankings are exactly the local float32 ones.
+        assert sharded.rankings == local
+        f64 = TopNEngine.from_model(fitted_movielens_model).topn(users, n_items=10)
+        assert _ranking_overlap(f64, sharded.rankings) >= self.OVERLAP_FLOOR
+
+
+# --------------------------------------------------------------------------- #
+# Flat results through serve_sharded
+# --------------------------------------------------------------------------- #
+class TestShardedFlatResults:
+    def test_serve_sharded_returns_flat_result(self, fitted_movielens_model):
+        engine = TopNEngine.from_model(fitted_movielens_model)
+        users = list(range(30))
+        outcome = serve_sharded(engine, users, n_items=8, shard_size=7)
+        assert isinstance(outcome.rankings, TopNResult)
+        reference = engine.recommend_batch(users, n_items=8)
+        assert outcome.rankings == reference
+
+    def test_scatter_results_slices_flat_blocks(self):
+        from repro.serving.batch import merge_request_lists, scatter_results
+
+        merged, spans = merge_request_lists([[0, 1], [2], [3, 4, 5]])
+        result = TopNResult.from_rows([np.array([i, i + 1]) for i in merged])
+        scattered = scatter_results(result, spans)
+        assert all(isinstance(part, TopNResult) for part in scattered)
+        assert [len(part) for part in scattered] == [2, 1, 3]
+        np.testing.assert_array_equal(scattered[2][0], [3, 4])
+
+
+# --------------------------------------------------------------------------- #
+# Mask kernel (satellite S1)
+# --------------------------------------------------------------------------- #
+class TestMaskSeen:
+    def test_masks_exactly_the_row_positives(self):
+        rng = np.random.default_rng(5)
+        dense = (rng.random((7, 11)) < 0.3).astype(float)
+        csr = sp.csr_matrix(dense)
+        neg_scores = rng.standard_normal((7, 11))
+        expected = neg_scores.copy()
+        expected[dense.astype(bool)] = np.inf
+        TopNEngine._mask_seen(neg_scores, np.arange(7), csr)
+        np.testing.assert_array_equal(neg_scores, expected)
+
+    def test_row_subset_masking(self):
+        dense = np.zeros((5, 6))
+        dense[3, [1, 4]] = 1.0
+        dense[4, 2] = 1.0
+        csr = sp.csr_matrix(dense)
+        neg_scores = np.zeros((2, 6))
+        TopNEngine._mask_seen(neg_scores, np.array([3, 4]), csr)
+        assert np.isinf(neg_scores[0, 1]) and np.isinf(neg_scores[0, 4])
+        assert np.isinf(neg_scores[1, 2])
+        assert np.isfinite(neg_scores).sum() == 12 - 3
+
+
+# --------------------------------------------------------------------------- #
+# Prefetch executor fork hygiene
+# --------------------------------------------------------------------------- #
+class TestPrefetchForkSafety:
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork")
+    def test_child_does_not_inherit_executor(self, fitted_movielens_model):
+        from repro.serving import engine as engine_module
+
+        engine = TopNEngine.from_model(fitted_movielens_model, chunk_size=16)
+        engine.topn(range(60), n_items=5, pipeline=True)  # warm the executor
+        assert engine_module._PREFETCH is not None
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 1
+            try:
+                if engine_module._PREFETCH is None:
+                    child = TopNEngine.from_model(fitted_movielens_model, chunk_size=16)
+                    child.topn(range(60), n_items=5, pipeline=True)
+                    status = 0
+            finally:
+                os._exit(status)
+        _, raw_status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(raw_status) == 0
