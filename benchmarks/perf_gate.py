@@ -54,6 +54,7 @@ DEFAULT_RATIO = 5.0
 #: perf-gated — their own asserts guard correctness.
 HEADLINES: Dict[str, Tuple[str, str]] = {
     "serving_hotpath": ("speedup", "higher"),
+    "training_hotpath": ("speedup", "higher"),
     "serving_throughput": ("speedup", "higher"),
     "gateway_throughput": ("gateway_users_per_s", "higher"),
     "gateway_adaptive_delay": ("adaptive_p50_ms", "lower"),

@@ -26,6 +26,12 @@ from repro.core.backends.plan import SweepPlan, SweepSide, nnz_balanced_ranges
 from repro.core.backends.reference import ReferenceBackend
 from repro.core.backends.vectorized import VectorizedBackend
 from repro.core.backends.parallel import ParallelBackend
+from repro.core.backends.workspace import (
+    SweepWorkspace,
+    SweepWorkspaceStore,
+    WorkspaceStats,
+    workspace_cache_size,
+)
 
 from repro.exceptions import ConfigurationError
 
@@ -133,7 +139,11 @@ __all__ = [
     "ReferenceBackend",
     "VectorizedBackend",
     "ParallelBackend",
+    "SweepWorkspace",
+    "SweepWorkspaceStore",
+    "WorkspaceStats",
     "get_backend",
     "available_backends",
     "nnz_balanced_ranges",
+    "workspace_cache_size",
 ]

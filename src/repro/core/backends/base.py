@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
@@ -24,11 +24,24 @@ class SweepStats:
         Number of rows whose Armijo line search accepted a step.
     n_backtracks:
         Total number of step-size halvings performed across all rows.
+    workspace_bytes:
+        Scratch bytes of the pooled sweep workspace(s) the sweep ran in
+        (summed across shards).  Zero for backends without workspaces.
+    workspace_allocations, workspace_reuses:
+        How many of those workspaces were freshly built versus served from
+        the plan side's free list.  After warm-up every sweep should be pure
+        reuse — the zero-allocation property the benchmark asserts.  The
+        workspace fields are diagnostics, not results, so they are excluded
+        from equality: sharded and serial sweeps of identical factors
+        compare equal even though their arena layouts differ.
     """
 
     n_rows: int
     n_accepted: int
     n_backtracks: int
+    workspace_bytes: int = field(default=0, compare=False)
+    workspace_allocations: int = field(default=0, compare=False)
+    workspace_reuses: int = field(default=0, compare=False)
 
     @property
     def acceptance_rate(self) -> float:
@@ -41,11 +54,22 @@ class SweepStats:
     def combined(cls, parts: Iterable["SweepStats"]) -> "SweepStats":
         """Aggregate the stats of disjoint row shards of one sweep."""
         n_rows = n_accepted = n_backtracks = 0
+        workspace_bytes = workspace_allocations = workspace_reuses = 0
         for part in parts:
             n_rows += part.n_rows
             n_accepted += part.n_accepted
             n_backtracks += part.n_backtracks
-        return cls(n_rows=n_rows, n_accepted=n_accepted, n_backtracks=n_backtracks)
+            workspace_bytes += part.workspace_bytes
+            workspace_allocations += part.workspace_allocations
+            workspace_reuses += part.workspace_reuses
+        return cls(
+            n_rows=n_rows,
+            n_accepted=n_accepted,
+            n_backtracks=n_backtracks,
+            workspace_bytes=workspace_bytes,
+            workspace_allocations=workspace_allocations,
+            workspace_reuses=workspace_reuses,
+        )
 
 
 class Backend(abc.ABC):

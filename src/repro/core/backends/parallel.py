@@ -29,6 +29,15 @@ properties guarantee it:
   sweep's result, and
 * shard results are stitched in shard (submission) order, never completion
   order, and the shard boundaries are a pure function of the plan.
+
+Workspace locality: each shard's pooled scratch arena lives on the plan
+side's :class:`~repro.core.backends.workspace.SweepWorkspaceStore`, keyed by
+row range — so under threads the shards of one sweep draw disjoint arenas
+from one store, and under the process executor each worker's cached
+attached side (``_WORKER_SIDES``) carries its own store (stores pickle to
+empty), making workspaces worker-local exactly like the serving pool's
+buffers.  Reuse across the sweeps of a fit is preserved in both cases
+because shard boundaries are deterministic per plan.
 """
 
 from __future__ import annotations

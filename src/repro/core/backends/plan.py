@@ -19,12 +19,13 @@ possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.backends.workspace import SweepWorkspaceStore
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_float_dtype, check_positive_int
 
@@ -107,11 +108,23 @@ class SweepSide:
     entry_weights:
         Per-entry positive-example weights in the training dtype, or ``None``
         when every weight is 1 (plain OCuLaR).
+    workspaces:
+        The side's :class:`~repro.core.backends.workspace.SweepWorkspaceStore`
+        — pooled sweep scratch arenas plus the plan-cached sparse operator
+        structure (the fit-constant ``positives`` data rides the CSR this
+        side already owns).  Hanging the store off the side gives workspaces
+        exactly plan lifetime: reused across the sweeps of a fit, dropped
+        with the plan, never leaked into the next fit.  It pickles to a
+        fresh empty store, so process-executor workers (which cache attached
+        sides) warm worker-local workspaces.
     """
 
     matrix: sp.csr_matrix
     row_index: np.ndarray
     entry_weights: Optional[np.ndarray]
+    workspaces: SweepWorkspaceStore = field(
+        default_factory=SweepWorkspaceStore, compare=False, repr=False
+    )
 
     @property
     def n_rows(self) -> int:

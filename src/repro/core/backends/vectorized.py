@@ -7,11 +7,11 @@ adds.  The same structure maps onto one sparse-matrix product here:
 
 * compute the affinity of every positive entry in one ``einsum`` over the
   plan's precomputed entry list (the "thread block per rating" of the paper),
-* scatter ``weight * alpha(affinity)`` back into a sparse matrix and multiply
-  it by the fixed factors to accumulate all row gradients at once (the
-  atomic-add reduction),
-* run the Armijo backtracking for all rows simultaneously, masking out rows
-  whose step has already been accepted.
+* scatter ``weight * alpha(affinity)`` back through the plan's CSR structure
+  and multiply by the fixed factors to accumulate all row gradients at once
+  (the atomic-add reduction),
+* run the Armijo backtracking for all rows simultaneously, compacting the
+  set of rows whose step has not yet been accepted.
 
 The result is mathematically identical to the reference backend but runs one
 to two orders of magnitude faster in NumPy, which is what the Figure 8
@@ -22,6 +22,19 @@ row never read another row's state, and all row reductions accumulate in CSR
 entry order.  Sweeping the range ``[a, b)`` therefore produces bit-for-bit
 the rows ``[a, b)`` of a full sweep — the invariant the sharded parallel
 backend builds on.
+
+Since the zero-allocation rewrite, all scratch lives in a pooled
+:class:`~repro.core.backends.workspace.SweepWorkspace` acquired from the
+plan side's store: gathers go through ``np.take(out=)``, sparse products
+through the workspace's plan-cached operators (the fit-constant
+``positives`` CSR and the ``scatter`` CSR whose data is overwritten in
+place), and the gradient/objective/Armijo arithmetic runs in place.  The
+float64 factors are bit-identical to the pre-rewrite allocating kernel —
+identical operations in identical order, only the storage is reused — which
+the test suite asserts against the preserved legacy replica in
+:mod:`repro.experiments.training_hotpath`.  Under float32 the objective
+reductions now stay in float32 (the old ``np.bincount`` silently
+accumulated in float64), keeping every intermediate in the training dtype.
 """
 
 from __future__ import annotations
@@ -33,7 +46,16 @@ import scipy.sparse as sp
 
 from repro.core.backends.base import Backend, SweepStats
 from repro.core.backends.plan import SweepSide
-from repro.core.objective import gradient_ratio, safe_log1mexp
+from repro.core.backends.workspace import (
+    SweepWorkspace,
+    csr_row_sums_into,
+)
+from repro.core.objective import (
+    gradient_ratio,
+    gradient_ratio_into,
+    safe_log1mexp,
+    safe_log1mexp_into,
+)
 
 
 class VectorizedBackend(Backend):
@@ -54,6 +76,323 @@ class VectorizedBackend(Backend):
         stop: int,
         total_col_sum: np.ndarray,
     ) -> Tuple[np.ndarray, SweepStats]:
+        dtype = row_factors.dtype
+        if not (col_factors.dtype == dtype and plan.dtype == dtype):
+            # Exotic mixed-dtype callers (the supported training and fold-in
+            # paths always match factor and plan dtypes) keep the allocating
+            # kernel — pooled buffers are single-dtype.
+            return self._sweep_rows_unpooled(
+                plan,
+                row_factors,
+                col_factors,
+                regularization,
+                sigma,
+                beta,
+                max_backtracks,
+                start,
+                stop,
+                total_col_sum,
+            )
+
+        n_local = stop - start
+        local_factors = row_factors[start:stop]
+        store = plan.workspaces
+        workspace = store.acquire(plan, start, stop, row_factors.shape[1], dtype)
+        # Snapshot before release: once back on the free list the arena may
+        # be handed to a concurrent sweep that flips ``fresh``.
+        workspace_bytes = workspace.nbytes
+        was_fresh = workspace.fresh
+        try:
+            new_factors, n_accepted, n_backtracks = self._pooled_sweep(
+                workspace,
+                local_factors,
+                col_factors,
+                regularization,
+                sigma,
+                beta,
+                max_backtracks,
+                total_col_sum,
+            )
+        finally:
+            store.release(workspace)
+        stats = SweepStats(
+            n_rows=n_local,
+            n_accepted=n_accepted,
+            n_backtracks=n_backtracks,
+            workspace_bytes=workspace_bytes,
+            workspace_allocations=int(was_fresh),
+            workspace_reuses=int(not was_fresh),
+        )
+        return new_factors, stats
+
+    @staticmethod
+    def _pooled_sweep(
+        ws: SweepWorkspace,
+        local_factors: np.ndarray,
+        col_factors: np.ndarray,
+        regularization: float,
+        sigma: float,
+        beta: float,
+        max_backtracks: int,
+        total_col_sum: np.ndarray,
+    ) -> Tuple[np.ndarray, int, int]:
+        """One sweep through the pooled arena; zero scratch allocations.
+
+        Every operation below replicates the allocating kernel's exact
+        elementwise sequence and grouping (additions left-to-right, scalar
+        products commuted only where IEEE multiplication is exact), so
+        float64 results are bit-identical.
+        """
+        n_local = ws.n_local
+
+        # --- gradient of every row at the current point ------------------- #
+        # mode="clip" everywhere: plan indices are in range by construction,
+        # and clip mode lets ``take`` write straight into the pooled block
+        # (mode="raise" buffers through a fresh temporary).
+        np.take(local_factors, ws.entry_rows, axis=0, out=ws.gather_rows, mode="clip")
+        np.take(col_factors, ws.indices, axis=0, out=ws.gather_cols, mode="clip")
+        affinities = np.einsum(
+            "ij,ij->i", ws.gather_rows, ws.gather_cols, out=ws.entry_a
+        )
+        ratios = gradient_ratio_into(affinities, out=ws.entry_b, scratch=ws.entry_c)
+        if ws.entry_weights is not None:
+            np.multiply(ratios, ws.entry_weights, out=ratios)
+        # The ratios buffer *is* the scatter operator's data — overwritten in
+        # place each sweep, structure cached since the plan is fit-constant.
+        gradients = ws.grad_rows
+        ws.scatter_matmul(col_factors, out=gradients)
+
+        unknown_sums = ws.unknown_rows
+        ws.positives_matmul(col_factors, out=unknown_sums)
+        np.subtract(total_col_sum[np.newaxis, :], unknown_sums, out=unknown_sums)
+
+        # gradients = -gradient_positive + unknown_sums + 2 lambda f, grouped
+        # left to right as in the allocating kernel.
+        np.negative(gradients, out=gradients)
+        np.add(gradients, unknown_sums, out=gradients)
+        np.multiply(local_factors, 2.0 * regularization, out=ws.scratch_rows)
+        np.add(gradients, ws.scratch_rows, out=gradients)
+
+        # --- current per-row objective values ------------------------------ #
+        # The affinities at the current point were just computed for the
+        # gradient; reuse them for the objective instead of a second einsum.
+        log_terms = safe_log1mexp_into(affinities, out=affinities)
+        if ws.entry_weights is not None:
+            np.multiply(log_terms, ws.entry_weights, out=log_terms)
+        current_values = ws.current_values
+        csr_row_sums_into(
+            ws.row_starts, ws.indices, log_terms, ws.local_shape,
+            ws.ones_cols, current_values,
+        )  # fmt: skip
+        np.negative(current_values, out=current_values)
+        np.einsum("ij,ij->i", local_factors, unknown_sums, out=ws.row_tmp)
+        np.add(current_values, ws.row_tmp, out=current_values)
+        np.einsum("ij,ij->i", local_factors, local_factors, out=ws.row_tmp)
+        np.multiply(ws.row_tmp, regularization, out=ws.row_tmp)
+        np.add(current_values, ws.row_tmp, out=current_values)
+
+        # --- batched Armijo backtracking ----------------------------------- #
+        # The one per-sweep allocation: the returned factors are caller-owned
+        # and cannot live in the pool.
+        new_factors = local_factors.copy()
+        # The still-active rows are kept compacted in ping-pong index/step
+        # buffers instead of a boolean mask: ``np.compress(out=)`` preserves
+        # order, so the compacted sets equal the old ``np.flatnonzero`` ones,
+        # and the per-row step values (beta ** iteration) are carried along.
+        cur_rows, cur_steps = ws.arange_rows, ws.step_a
+        cur_steps.fill(1.0)
+        nxt_rows, nxt_steps = ws.active_a, ws.step_b
+        n_active = n_local
+        n_backtracks = 0
+
+        for _ in range(max_backtracks + 1):
+            if n_active == 0:
+                break
+            act = cur_rows[:n_active]
+            steps = cur_steps[:n_active]
+            grads = ws.grad_gather[:n_active]
+            np.take(gradients, act, axis=0, out=grads, mode="clip")
+            lf = ws.lf_rows[:n_active]
+            np.take(local_factors, act, axis=0, out=lf, mode="clip")
+            candidates = ws.cand_rows[:n_active]
+            np.multiply(grads, steps[:, np.newaxis], out=candidates)
+            np.subtract(lf, candidates, out=candidates)
+            np.maximum(0.0, candidates, out=candidates)
+
+            candidate_values = VectorizedBackend._candidate_objectives(
+                ws, candidates, act, col_factors, regularization
+            )
+
+            differences = ws.diff_rows[:n_active]
+            np.subtract(candidates, lf, out=differences)
+            rhs = ws.armijo_rhs[:n_active]
+            np.einsum("ij,ij->i", grads, differences, out=rhs)
+            np.multiply(rhs, sigma, out=rhs)
+
+            margin = ws.row_tmp[:n_active]
+            np.take(current_values, act, out=margin, mode="clip")
+            np.subtract(candidate_values, margin, out=margin)
+            accepted = ws.accepted[:n_active]
+            np.less_equal(margin, rhs, out=accepted)
+
+            n_acc = int(np.count_nonzero(accepted))
+            if n_acc:
+                acc_rows = ws.accepted_rows[:n_acc]
+                np.compress(accepted, act, out=acc_rows)
+                # The local-factor gather is dead by now; reuse its block for
+                # the accepted candidates so the scatter reads compacted rows.
+                acc_cand = ws.lf_rows[:n_acc]
+                np.compress(accepted, candidates, axis=0, out=acc_cand)
+                new_factors[acc_rows] = acc_cand
+            n_backtracks += n_active - n_acc
+            n_next = n_active - n_acc
+            if n_next:
+                rejected = ws.not_accepted[:n_active]
+                np.logical_not(accepted, out=rejected)
+                np.compress(rejected, act, out=nxt_rows[:n_next])
+                np.compress(rejected, steps, out=nxt_steps[:n_next])
+                np.multiply(nxt_steps[:n_next], beta, out=nxt_steps[:n_next])
+            cur_rows, cur_steps = nxt_rows, nxt_steps
+            nxt_rows = ws.active_b if cur_rows is ws.active_a else ws.active_a
+            nxt_steps = ws.step_b if cur_steps is ws.step_a else ws.step_a
+            n_active = n_next
+
+        return new_factors, n_local - n_active, n_backtracks
+
+    # ------------------------------------------------------------------ #
+    # Row objective helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _candidate_objectives(
+        ws: SweepWorkspace,
+        candidates: np.ndarray,
+        active_rows: np.ndarray,
+        col_factors: np.ndarray,
+        regularization: float,
+    ) -> np.ndarray:
+        """Objective values of the active rows at their Armijo candidates.
+
+        ``candidates[k]`` is the candidate for the shard-local row
+        ``active_rows[k]``.  Writes into ``ws.candidate_values`` — zero
+        allocations.  On the first backtracking iteration every row is
+        active, so the plan's cached full-range entry structure is reused
+        verbatim (no index building at all); later, shrinking active sets
+        build a sub-CSR in pooled integer buffers via a compress /
+        boundary-scatter / cumsum expansion instead of the allocating
+        ``np.arange``/``np.repeat`` machinery the old kernel rebuilt per
+        backtrack iteration.
+        """
+        n_active = candidates.shape[0]
+        out = ws.candidate_values[:n_active]
+        weights = ws.entry_weights
+        positions = None
+
+        if n_active == ws.n_local:
+            total = ws.nnz_local
+            rows_entries = ws.entry_rows
+            cols_entries = ws.indices
+            sub_indptr = ws.row_starts
+        else:
+            starts = ws.starts[:n_active]
+            np.take(ws.row_starts, active_rows, out=starts, mode="clip")
+            counts = ws.counts[:n_active]
+            np.add(active_rows, 1, out=counts)
+            ends = ws.ends[:n_active]
+            np.take(ws.row_starts, counts, out=ends, mode="clip")
+            np.subtract(ends, starts, out=counts)
+            sub_indptr = ws.sub_indptr[: n_active + 1]
+            sub_indptr[0] = 0
+            np.cumsum(counts, out=sub_indptr[1:])
+            total = int(sub_indptr[n_active])
+            if total:
+                # Expand per-entry (row id, CSR position) for the active
+                # rows without ``np.repeat`` (which cannot write into a
+                # pooled buffer): compress away empty rows, scatter ones at
+                # the segment boundaries, cumsum into segment ids, then
+                # gather.  Integer arithmetic — exact by construction.
+                nonempty = ws.nonempty[:n_active]
+                np.greater(counts, 0, out=nonempty)
+                n_nonempty = int(np.count_nonzero(nonempty))
+                ne_rows = ws.ne_rows[:n_nonempty]
+                np.compress(nonempty, ws.arange_rows[:n_active], out=ne_rows)
+                ne_starts = ws.ne_starts[:n_nonempty]
+                np.compress(nonempty, starts, out=ne_starts)
+                ne_offsets = ws.ne_offsets[:n_nonempty]
+                np.compress(nonempty, sub_indptr[:n_active], out=ne_offsets)
+                seg = ws.entry_seg[:total]
+                seg.fill(0)
+                seg[ne_offsets[1:]] = 1
+                np.cumsum(seg, out=seg)
+                rows_entries = ws.entry_row_ids[:total]
+                np.take(ne_rows, seg, out=rows_entries, mode="clip")
+                positions = ws.entry_pos[:total]
+                np.take(ne_starts, seg, out=positions, mode="clip")
+                cols_entries = ws.entry_col_ids[:total]
+                np.take(ne_offsets, seg, out=cols_entries, mode="clip")
+                np.subtract(ws.arange_entries[:total], cols_entries, out=cols_entries)
+                np.add(positions, cols_entries, out=positions)
+                np.take(ws.indices, positions, out=cols_entries, mode="clip")
+
+        if total:
+            rows_gather = ws.gather_rows[:total]
+            np.take(candidates, rows_entries, axis=0, out=rows_gather, mode="clip")
+            cols_gather = ws.gather_cols[:total]
+            np.take(col_factors, cols_entries, axis=0, out=cols_gather, mode="clip")
+            affinities = ws.entry_a[:total]
+            np.einsum("ij,ij->i", rows_gather, cols_gather, out=affinities)
+            log_terms = safe_log1mexp_into(affinities, out=affinities)
+            if weights is not None:
+                if positions is None:
+                    np.multiply(log_terms, weights, out=log_terms)
+                else:
+                    entry_w = ws.entry_b[:total]
+                    np.take(weights, positions, out=entry_w, mode="clip")
+                    np.multiply(log_terms, entry_w, out=log_terms)
+            csr_row_sums_into(
+                sub_indptr, cols_entries, log_terms,
+                (n_active, ws.n_cols), ws.ones_cols, out,
+            )  # fmt: skip
+            np.negative(out, out=out)
+        else:
+            # The allocating kernel fell back to float64 ``np.zeros`` here
+            # even under float32 training; the pooled buffer keeps the
+            # training dtype (the dtype-consistency rule).
+            out.fill(0)
+
+        unknown = ws.scratch_rows[:n_active]
+        np.take(ws.unknown_rows, active_rows, axis=0, out=unknown, mode="clip")
+        tmp = ws.row_tmp2[:n_active]
+        np.einsum("ij,ij->i", candidates, unknown, out=tmp)
+        np.add(out, tmp, out=out)
+        np.einsum("ij,ij->i", candidates, candidates, out=tmp)
+        np.multiply(tmp, regularization, out=tmp)
+        np.add(out, tmp, out=out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Allocating fallback (mixed factor/plan dtypes only)
+    # ------------------------------------------------------------------ #
+    def _sweep_rows_unpooled(
+        self,
+        plan: SweepSide,
+        row_factors: np.ndarray,
+        col_factors: np.ndarray,
+        regularization: float,
+        sigma: float,
+        beta: float,
+        max_backtracks: int,
+        start: int,
+        stop: int,
+        total_col_sum: np.ndarray,
+    ) -> Tuple[np.ndarray, SweepStats]:
+        """The pre-workspace allocating kernel, kept for mixed-dtype sweeps.
+
+        Callers that pass factors whose dtype differs from the plan's (or
+        from each other) get numpy's usual upcasting semantics, exactly as
+        before the rewrite.  The supported paths never take this branch; a
+        second verbatim copy frozen as the benchmark baseline lives in
+        :mod:`repro.experiments.training_hotpath`.
+        """
         indptr = plan.matrix.indptr
         first, last = int(indptr[start]), int(indptr[stop])
         n_local = stop - start
@@ -64,20 +403,15 @@ class VectorizedBackend(Backend):
         entry_weights = (
             None if plan.entry_weights is None else plan.entry_weights[first:last]
         )
-        # The local rows reuse the global CSR structure: data/indices slices
-        # are views, and the index pointer is rebased to the shard origin.
         local_indptr = indptr[start : stop + 1] - first
         local_shape = (n_local, plan.n_cols)
 
-        # --- gradient of every row at the current point ------------------- #
         affinities = np.einsum(
             "ij,ij->i", local_factors[entry_rows], col_factors[entry_cols]
         )
         ratios = gradient_ratio(affinities)
         if entry_weights is not None:
             ratios = ratios * entry_weights
-        # CSR order is row-major, so the per-entry ratios scatter through the
-        # (rebased) CSR structure directly — no COO rebuild, no re-sorting.
         scatter = sp.csr_matrix((ratios, entry_cols, local_indptr), shape=local_shape)
         gradient_positive = scatter @ col_factors
 
@@ -89,9 +423,6 @@ class VectorizedBackend(Backend):
 
         gradients = -gradient_positive + unknown_sums + 2.0 * regularization * local_factors
 
-        # --- current per-row objective values ------------------------------ #
-        # The affinities at the current point were just computed for the
-        # gradient; reuse them for the objective instead of a second einsum.
         log_terms = safe_log1mexp(affinities)
         if entry_weights is not None:
             log_terms = log_terms * entry_weights
@@ -100,7 +431,6 @@ class VectorizedBackend(Backend):
         penalty = regularization * np.einsum("ij,ij->i", local_factors, local_factors)
         current_values = positive_part + unknown_part + penalty
 
-        # --- batched Armijo backtracking ----------------------------------- #
         new_factors = local_factors.copy()
         step_sizes = np.ones(n_local, dtype=row_factors.dtype)
         active = np.ones(n_local, dtype=bool)
@@ -115,7 +445,7 @@ class VectorizedBackend(Backend):
                 local_factors[active_rows]
                 - step_sizes[active_rows, np.newaxis] * gradients[active_rows],
             )
-            candidate_values = self._candidate_objectives(
+            candidate_values = self._candidate_objectives_unpooled(
                 plan,
                 candidates,
                 active_rows,
@@ -138,11 +468,8 @@ class VectorizedBackend(Backend):
         stats = SweepStats(n_rows=n_local, n_accepted=n_accepted, n_backtracks=n_backtracks)
         return new_factors, stats
 
-    # ------------------------------------------------------------------ #
-    # Row objective helpers
-    # ------------------------------------------------------------------ #
     @staticmethod
-    def _candidate_objectives(
+    def _candidate_objectives_unpooled(
         plan: SweepSide,
         candidate_factors: np.ndarray,
         active_rows: np.ndarray,
@@ -151,15 +478,7 @@ class VectorizedBackend(Backend):
         unknown_sums: np.ndarray,
         regularization: float,
     ) -> np.ndarray:
-        """Objective values of ``active_rows`` evaluated at ``candidate_factors``.
-
-        ``candidate_factors[k]`` is the candidate for the shard-local row
-        ``active_rows[k]`` (global row ``start + active_rows[k]``).  The
-        positive entries of the active rows are gathered directly from the
-        plan's CSR structure, so a late backtracking pass over a handful of
-        stubborn rows costs only those rows' entries rather than a scan of
-        the whole matrix.
-        """
+        """Allocating candidate objectives, paired with the unpooled sweep."""
         n_active = len(active_rows)
         indptr, indices = plan.matrix.indptr, plan.matrix.indices
         global_rows = active_rows + start

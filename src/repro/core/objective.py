@@ -42,6 +42,22 @@ def safe_log1mexp(affinity: np.ndarray) -> np.ndarray:
     return np.log(-np.expm1(-clipped))
 
 
+def safe_log1mexp_into(affinity: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place :func:`safe_log1mexp` writing into a caller-owned buffer.
+
+    Runs the identical elementwise sequence (clip, negate, ``expm1``,
+    negate, ``log``) through ``out=``, so the result is bit-for-bit the
+    allocating form — the property the pooled sweep kernels rely on.
+    ``out`` may alias ``affinity``.
+    """
+    np.clip(affinity, MIN_AFFINITY, None, out=out)
+    np.negative(out, out=out)
+    np.expm1(out, out=out)
+    np.negative(out, out=out)
+    np.log(out, out=out)
+    return out
+
+
 def gradient_ratio(affinity: np.ndarray) -> np.ndarray:
     """Numerically safe ``exp(-x) / (1 - exp(-x))`` for non-negative ``x``.
 
@@ -50,6 +66,24 @@ def gradient_ratio(affinity: np.ndarray) -> np.ndarray:
     """
     clipped = np.clip(affinity, MIN_AFFINITY, MAX_AFFINITY)
     return np.exp(-clipped) / (-np.expm1(-clipped))
+
+
+def gradient_ratio_into(
+    affinity: np.ndarray, out: np.ndarray, scratch: np.ndarray
+) -> np.ndarray:
+    """In-place :func:`gradient_ratio` writing into caller-owned buffers.
+
+    Same elementwise operations as the allocating form, so the result is
+    bitwise identical; ``scratch`` holds the ``-expm1(-x)`` denominator.
+    ``out`` may alias ``affinity`` (clobbering it) but not ``scratch``.
+    """
+    np.clip(affinity, MIN_AFFINITY, MAX_AFFINITY, out=out)
+    np.negative(out, out=out)
+    np.expm1(out, out=scratch)
+    np.negative(scratch, out=scratch)
+    np.exp(out, out=out)
+    np.divide(out, scratch, out=out)
+    return out
 
 
 def positive_affinities(

@@ -127,6 +127,38 @@ class TrainingHistory:
             for stats in (*self.item_sweep_stats, *self.user_sweep_stats)
         )
 
+    @property
+    def peak_workspace_bytes(self) -> int:
+        """Largest pooled sweep-workspace footprint any sweep of the run used.
+
+        Summed across the shards of a sweep (see
+        :class:`~repro.core.backends.SweepStats`); 0 for backends without
+        pooled workspaces.
+        """
+        return max(
+            (
+                stats.workspace_bytes
+                for stats in (*self.item_sweep_stats, *self.user_sweep_stats)
+            ),
+            default=0,
+        )
+
+    @property
+    def total_workspace_allocations(self) -> int:
+        """Workspace arenas built across the run (should stop growing fast)."""
+        return sum(
+            stats.workspace_allocations
+            for stats in (*self.item_sweep_stats, *self.user_sweep_stats)
+        )
+
+    @property
+    def total_workspace_reuses(self) -> int:
+        """Workspace acquisitions served from the free list across the run."""
+        return sum(
+            stats.workspace_reuses
+            for stats in (*self.item_sweep_stats, *self.user_sweep_stats)
+        )
+
 
 class BlockCoordinateTrainer:
     """Alternating projected-gradient trainer for the OCuLaR objective.

@@ -32,6 +32,7 @@ from repro.experiments.incremental import (
     run_incremental_study,
 )
 from repro.experiments.hotpath import run_serving_hotpath
+from repro.experiments.training_hotpath import run_training_hotpath
 
 __all__ = [
     "build_model_zoo",
@@ -53,4 +54,5 @@ __all__ = [
     "make_drifting_corpus",
     "run_incremental_study",
     "run_serving_hotpath",
+    "run_training_hotpath",
 ]

@@ -194,6 +194,18 @@ class ServingGateway:
                     "cached_blocks": pool.cached_blocks,
                 },
             }
+        model = getattr(self._front.runtime, "model", None)
+        history = getattr(model, "history_", None)
+        if history is not None and getattr(history, "item_sweep_stats", None):
+            # The training-side mirror of the pool counters above: the sweep
+            # workspaces' footprint and allocation-vs-reuse balance of the
+            # model's last (re)fit.
+            payload["training"] = {
+                "iterations": history.n_iterations,
+                "peak_workspace_bytes": history.peak_workspace_bytes,
+                "workspace_allocations": history.total_workspace_allocations,
+                "workspace_reuses": history.total_workspace_reuses,
+            }
         return payload
 
     # ------------------------------------------------------------------ #

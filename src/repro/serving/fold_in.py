@@ -118,6 +118,14 @@ def _cached_sweep_side(interactions: sp.csr_matrix, dtype: np.dtype) -> SweepSid
     threads presenting the same new batch may both build a side; the second
     insert simply wins — both sides are equivalent, so correctness is
     unaffected and the build happens outside the lock.
+
+    Cached sides also carry a warm
+    :class:`~repro.core.backends.workspace.SweepWorkspaceStore`: repeated
+    fold-ins of an identical batch (the cold-start retry pattern) reuse the
+    pooled sweep arenas, so the per-sweep allocation cost is paid once per
+    cached side, not once per request.  The store hands arenas out
+    exclusively, so concurrent fold-ins through one cached side — or a
+    fold-in racing a warm refit — stay isolated.
     """
     key = _side_cache_key(interactions, dtype)
     with _SIDE_CACHE_LOCK:

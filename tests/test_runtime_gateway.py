@@ -132,6 +132,12 @@ class TestWireProtocol:
         assert stats["batching"]["requests"] >= 1
         assert "current_delay_ms" in stats["batching"]
         assert stats["generation"] >= 1
+        # The fitted model's sweep-workspace counters ride along: the fit
+        # built at least one pooled arena and reused it across sweeps.
+        assert stats["training"]["iterations"] >= 1
+        assert stats["training"]["peak_workspace_bytes"] > 0
+        assert stats["training"]["workspace_allocations"] >= 1
+        assert stats["training"]["workspace_reuses"] > 0
 
     def test_concurrent_connections_all_served(self, runtime, gateway):
         host, port = gateway.address

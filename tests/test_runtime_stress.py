@@ -16,6 +16,7 @@ from types import SimpleNamespace
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.api import RecommendRequest
 from repro.core.ocular import OCuLaR
@@ -411,3 +412,125 @@ class TestIngestWarmRefitChurn:
                 assert np.array_equal(response.rankings[1], want_fresh[0])
             assert len(runtime.executor.active_segment_names()) == 5
         assert _dev_shm_entries() <= before
+
+
+class TestWarmBackendFoldInRefitChurn:
+    """Concurrent fold-ins and warm refits through ONE warm thread backend.
+
+    The pooled sweep workspaces hang off plan sides that both paths cache —
+    the fold-in side cache reuses one side across identical batches, and a
+    warm refit builds plans through the same backend's thread pool.  The
+    contract: arenas are handed out exclusively, so every concurrent result
+    is bit-identical to its serial reference and no sweep ever sees another
+    sweep's scratch."""
+
+    def test_concurrent_fold_in_and_warm_refit_share_backend(self, corpus):
+        from repro.core.backends import ParallelBackend
+        from repro.serving.fold_in import (
+            clear_fold_in_plan_cache,
+            fold_in_factors,
+        )
+
+        base = _model(0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            base.fit(corpus)
+        item_factors = base.factors_.item_factors
+        rng = np.random.default_rng(42)
+        batches = []
+        for _ in range(4):
+            rows = np.repeat(np.arange(3), 4)
+            cols = np.concatenate(
+                [
+                    np.sort(rng.choice(N_ITEMS, size=4, replace=False))
+                    for _ in range(3)
+                ]
+            )
+            batches.append(
+                sp.csr_matrix(
+                    (np.ones(rows.size), (rows, cols)), shape=(3, N_ITEMS)
+                )
+            )
+
+        clear_fold_in_plan_cache()
+        expected_folds = [
+            fold_in_factors(item_factors, batch, base.regularization, n_sweeps=8)
+            for batch in batches
+        ]
+        reference_refit = _model(1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            reference_refit.fit(
+                corpus, initial_factors=base.factors_
+            )
+
+        errors: list = []
+        fold_results: list = []
+        refit_results: list = []
+        stop = threading.Event()
+
+        with ParallelBackend(n_workers=2, executor="thread") as backend:
+
+            def folder(index: int) -> None:
+                rng = np.random.default_rng(index)
+                try:
+                    while not stop.is_set():
+                        pick = int(rng.integers(0, len(batches)))
+                        folded = fold_in_factors(
+                            item_factors,
+                            batches[pick],
+                            base.regularization,
+                            backend=backend,
+                            n_sweeps=8,
+                        )
+                        fold_results.append((pick, folded))
+                except Exception as exc:  # pragma: no cover - failure mode
+                    errors.append(exc)
+
+            def refitter() -> None:
+                try:
+                    for _ in range(3):
+                        model = _model(1)
+                        with warnings.catch_warnings():
+                            warnings.simplefilter("ignore")
+                            model.fit(
+                                corpus,
+                                backend=backend,
+                                initial_factors=base.factors_,
+                            )
+                        assert model.history_.warm_started
+                        refit_results.append(model.factors_)
+                except Exception as exc:  # pragma: no cover - failure mode
+                    errors.append(exc)
+                finally:
+                    stop.set()
+
+            refit_thread = threading.Thread(target=refitter)
+            fold_threads = [
+                threading.Thread(target=folder, args=(index,))
+                for index in range(6)
+            ]
+            refit_thread.start()
+            for thread in fold_threads:
+                thread.start()
+            _join_all([refit_thread])
+            _join_all(fold_threads)
+
+        clear_fold_in_plan_cache()
+        assert not errors
+        assert fold_results
+        # Every concurrent fold-in is bit-identical to its serial reference
+        # (parallel sweeps are bit-identical to vectorized ones, and arenas
+        # are exclusive, so concurrency must not change a single byte).
+        for pick, folded in fold_results:
+            assert np.array_equal(folded, expected_folds[pick]), pick
+        # Every warm refit through the contended backend equals the serial
+        # warm refit: same seed, same init, same math.
+        assert len(refit_results) == 3
+        for factors in refit_results:
+            assert np.array_equal(
+                factors.user_factors, reference_refit.factors_.user_factors
+            )
+            assert np.array_equal(
+                factors.item_factors, reference_refit.factors_.item_factors
+            )

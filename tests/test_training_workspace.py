@@ -1,0 +1,468 @@
+"""Pooled sweep workspaces: legacy bit-exactness, lifecycle, dtype rules.
+
+Four contracts of the zero-allocation training rewrite:
+
+* **Bit-exactness** — the pooled kernels produce float64 factors
+  ``np.array_equal`` to the pre-rewrite allocating kernel (frozen verbatim
+  as ``experiments.training_hotpath._LegacySweepBackend``) at every shard
+  count, under every executor, weighted and unweighted.
+* **Zero allocations after warm-up** — repeated sweeps through one plan
+  reuse their arenas; the store counters are the witness.
+* **Lifecycle** — workspaces live exactly as long as their plan: reused
+  across the sweeps of a fit, never leaked across fits, rebuilt fresh in
+  process-executor workers (stores pickle empty), handed out exclusively
+  under concurrency.
+* **Dtype consistency** — float32 training keeps objective reductions in
+  float32 (the old ``np.bincount`` / ``np.zeros`` silently upcast), and the
+  in-place objective helpers are bitwise equal to their allocating forms.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.backends import (
+    ParallelBackend,
+    SweepStats,
+    SweepWorkspaceStore,
+    VectorizedBackend,
+    workspace_cache_size,
+)
+from repro.core.backends.plan import SweepSide
+from repro.core.backends.workspace import (
+    WORKSPACE_CACHE_ENV,
+    csr_matmul_into,
+    csr_row_sums_into,
+)
+from repro.core.objective import (
+    gradient_ratio,
+    gradient_ratio_into,
+    safe_log1mexp,
+    safe_log1mexp_into,
+)
+from repro.core.ocular import OCuLaR
+from repro.data.datasets import make_netflix_like
+from repro.experiments.training_hotpath import _LegacySweepBackend
+
+
+def _random_problem(seed, n_rows=23, n_cols=14, k=4, density=0.3):
+    """A reproducible sweep problem with guaranteed empty rows."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n_rows, n_cols)) < density).astype(float)
+    dense[0] = 0.0
+    dense[rng.integers(1, n_rows)] = 0.0
+    matrix = sp.csr_matrix(dense)
+    row_factors = rng.uniform(0.05, 0.9, size=(n_rows, k))
+    col_factors = rng.uniform(0.05, 0.9, size=(n_cols, k))
+    row_weights = rng.uniform(0.5, 2.5, n_rows)
+    return matrix, row_factors, col_factors, row_weights
+
+
+# --------------------------------------------------------------------------- #
+# Bit-exactness against the frozen legacy kernel
+# --------------------------------------------------------------------------- #
+class TestLegacyParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_pooled_matches_legacy_serial(self, seed, weighted):
+        matrix, row_factors, col_factors, row_weights = _random_problem(
+            seed, n_rows=17 + 5 * seed, n_cols=9 + 3 * seed, k=3 + seed
+        )
+        kwargs = dict(regularization=0.4)
+        if weighted:
+            kwargs["row_positive_weights"] = row_weights
+        legacy, legacy_stats = _LegacySweepBackend().sweep(
+            matrix, row_factors, col_factors, **kwargs
+        )
+        pooled, pooled_stats = VectorizedBackend().sweep(
+            matrix, row_factors, col_factors, **kwargs
+        )
+        assert np.array_equal(legacy, pooled)
+        assert legacy_stats == pooled_stats  # workspace fields excluded
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_pooled_matches_legacy_sharded(self, n_shards, executor, weighted):
+        matrix, row_factors, col_factors, row_weights = _random_problem(3)
+        kwargs = dict(regularization=0.3)
+        if weighted:
+            kwargs["row_positive_weights"] = row_weights
+        legacy, _ = _LegacySweepBackend().sweep(
+            matrix, row_factors, col_factors, **kwargs
+        )
+        with ParallelBackend(
+            n_workers=2, n_shards=n_shards, executor=executor
+        ) as backend:
+            sharded, _ = backend.sweep(matrix, row_factors, col_factors, **kwargs)
+        assert np.array_equal(legacy, sharded)
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="requires a /dev/shm mount"
+    )
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_pooled_matches_legacy_process(self, weighted):
+        matrix, row_factors, col_factors, row_weights = _random_problem(4)
+        kwargs = dict(regularization=0.3)
+        if weighted:
+            kwargs["row_positive_weights"] = row_weights
+        legacy, _ = _LegacySweepBackend().sweep(
+            matrix, row_factors, col_factors, **kwargs
+        )
+        with ParallelBackend(n_workers=2, n_shards=3, executor="process") as backend:
+            sharded, _ = backend.sweep(matrix, row_factors, col_factors, **kwargs)
+        assert np.array_equal(legacy, sharded)
+
+    def test_pooled_matches_legacy_on_row_range(self):
+        # Partial ranges exercise the rebased workspace (start > 0) and the
+        # shrinking-active-set sub-CSR machinery on a shard boundary.
+        matrix, row_factors, col_factors, _ = _random_problem(5)
+        plan_legacy = SweepSide.build(matrix)
+        plan_pooled = SweepSide.build(matrix)
+        legacy, _ = _LegacySweepBackend().sweep(
+            None, row_factors, col_factors, 0.2,
+            plan=plan_legacy, row_range=(4, 15),
+        )  # fmt: skip
+        pooled, _ = VectorizedBackend().sweep(
+            None, row_factors, col_factors, 0.2,
+            plan=plan_pooled, row_range=(4, 15),
+        )  # fmt: skip
+        assert legacy.shape == (11, row_factors.shape[1])
+        assert np.array_equal(legacy, pooled)
+
+    def test_multi_sweep_trajectory_stays_exact(self):
+        # Errors would compound across alternating sweeps if any single
+        # sweep diverged by even one ulp.
+        matrix, row_factors, col_factors, _ = _random_problem(6)
+        legacy_rows, legacy_cols = row_factors, col_factors
+        pooled_rows, pooled_cols = row_factors, col_factors
+        legacy = _LegacySweepBackend()
+        pooled = VectorizedBackend()
+        plan_l = SweepSide.build(matrix)
+        plan_p = SweepSide.build(matrix)
+        for _ in range(4):
+            legacy_rows, _ = legacy.sweep(
+                None, legacy_rows, legacy_cols, 0.1, plan=plan_l
+            )
+            pooled_rows, _ = pooled.sweep(
+                None, pooled_rows, pooled_cols, 0.1, plan=plan_p
+            )
+            assert np.array_equal(legacy_rows, pooled_rows)
+
+
+# --------------------------------------------------------------------------- #
+# Dtype consistency (the float32 reduction fix) and in-place helpers
+# --------------------------------------------------------------------------- #
+class TestDtypeConsistency:
+    def test_float32_sweep_stays_float32(self):
+        matrix, row_factors, col_factors, _ = _random_problem(7)
+        plan = SweepSide.build(matrix, dtype=np.float32)
+        new_factors, _ = VectorizedBackend().sweep(
+            None,
+            row_factors.astype(np.float32),
+            col_factors.astype(np.float32),
+            0.2,
+            plan=plan,
+        )
+        assert new_factors.dtype == np.float32
+
+    def test_float32_tracks_float64_closely(self):
+        matrix, row_factors, col_factors, _ = _random_problem(8)
+        full, _ = VectorizedBackend().sweep(matrix, row_factors, col_factors, 0.2)
+        plan = SweepSide.build(matrix, dtype=np.float32)
+        half, _ = VectorizedBackend().sweep(
+            None,
+            row_factors.astype(np.float32),
+            col_factors.astype(np.float32),
+            0.2,
+            plan=plan,
+        )
+        np.testing.assert_allclose(full, half, rtol=1e-3, atol=1e-4)
+
+    def test_mixed_dtype_falls_back_to_allocating_kernel(self):
+        # float64 factors against a float32 plan is unsupported-but-legal:
+        # it must keep the old upcasting kernel, not crash in pooled buffers.
+        matrix, row_factors, col_factors, _ = _random_problem(9)
+        plan = SweepSide.build(matrix, dtype=np.float32)
+        mixed, stats = VectorizedBackend().sweep(
+            None, row_factors, col_factors, 0.2, plan=plan
+        )
+        assert mixed.dtype == np.float64
+        assert stats.workspace_allocations == 0  # never touched the store
+        assert plan.workspaces.stats().allocations == 0
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_row_sums_keep_dtype_and_match_bincount(self, dtype):
+        rng = np.random.default_rng(0)
+        matrix = sp.csr_matrix((rng.random((9, 6)) < 0.4).astype(float)).astype(dtype)
+        data = rng.standard_normal(matrix.nnz).astype(dtype)
+        rows = np.repeat(np.arange(9), np.diff(matrix.indptr))
+        out = np.empty(9, dtype=dtype)
+        csr_row_sums_into(
+            matrix.indptr.astype(np.int64),
+            matrix.indices.astype(np.int64),
+            data,
+            (9, 6),
+            np.ones(6, dtype=dtype),
+            out,
+        )
+        assert out.dtype == dtype
+        reference = np.bincount(rows, weights=data.astype(np.float64), minlength=9)
+        if dtype == np.float64:
+            # bincount reduces in float64; on float64 data the pooled
+            # reduction must be bit-identical to it.
+            assert np.array_equal(out, reference)
+        else:
+            np.testing.assert_allclose(out, reference.astype(dtype), rtol=1e-5)
+
+    def test_csr_matmul_into_is_bitwise_scipy(self):
+        rng = np.random.default_rng(1)
+        matrix = sp.csr_matrix((rng.random((12, 8)) < 0.4).astype(float))
+        matrix.data[:] = rng.standard_normal(matrix.nnz)
+        dense = rng.standard_normal((8, 5))
+        out = np.empty((12, 5))
+        csr_matmul_into(
+            matrix.indptr.astype(np.int64),
+            matrix.indices.astype(np.int64),
+            matrix.data,
+            (12, 8),
+            dense,
+            out,
+        )
+        assert np.array_equal(out, matrix @ dense)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_inplace_objective_helpers_are_bitwise(self, dtype):
+        rng = np.random.default_rng(2)
+        affinity = rng.uniform(0.0, 3.0, size=257).astype(dtype)
+        affinity[:5] = [0.0, 1e-12, 60.0, 0.5, 2.0]
+
+        out = np.empty_like(affinity)
+        assert np.array_equal(
+            safe_log1mexp_into(affinity.copy(), out=out), safe_log1mexp(affinity)
+        )
+        # Aliased form (the kernel overwrites the affinities in place).
+        aliased = affinity.copy()
+        assert np.array_equal(
+            safe_log1mexp_into(aliased, out=aliased), safe_log1mexp(affinity)
+        )
+
+        scratch = np.empty_like(affinity)
+        assert np.array_equal(
+            gradient_ratio_into(affinity.copy(), out=out, scratch=scratch),
+            gradient_ratio(affinity),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Workspace store lifecycle
+# --------------------------------------------------------------------------- #
+class TestWorkspaceStore:
+    def test_repeated_sweeps_allocate_once(self):
+        matrix, row_factors, col_factors, _ = _random_problem(10)
+        plan = SweepSide.build(matrix)
+        backend = VectorizedBackend()
+        for _ in range(5):
+            row_factors, _ = backend.sweep(
+                None, row_factors, col_factors, 0.2, plan=plan
+            )
+        stats = plan.workspaces.stats()
+        assert stats.allocations == 1
+        assert stats.reuses == 4
+        assert stats.outstanding == 0
+        assert stats.peak_bytes > 0
+
+    def test_sweep_stats_carry_workspace_counters(self):
+        matrix, row_factors, col_factors, _ = _random_problem(11)
+        plan = SweepSide.build(matrix)
+        backend = VectorizedBackend()
+        _, first = backend.sweep(None, row_factors, col_factors, 0.2, plan=plan)
+        _, second = backend.sweep(None, row_factors, col_factors, 0.2, plan=plan)
+        assert first.workspace_allocations == 1 and first.workspace_reuses == 0
+        assert second.workspace_allocations == 0 and second.workspace_reuses == 1
+        assert first.workspace_bytes == second.workspace_bytes > 0
+
+    def test_workspace_fields_do_not_break_stats_equality(self):
+        a = SweepStats(n_rows=5, n_accepted=4, n_backtracks=1)
+        b = SweepStats(
+            n_rows=5,
+            n_accepted=4,
+            n_backtracks=1,
+            workspace_bytes=1234,
+            workspace_allocations=1,
+            workspace_reuses=7,
+        )
+        assert a == b  # diagnostics, not results
+
+    def test_combined_sums_workspace_counters(self):
+        parts = [
+            SweepStats(1, 1, 0, workspace_bytes=10, workspace_allocations=1),
+            SweepStats(2, 1, 3, workspace_bytes=20, workspace_reuses=2),
+        ]
+        total = SweepStats.combined(parts)
+        assert total.workspace_bytes == 30
+        assert total.workspace_allocations == 1
+        assert total.workspace_reuses == 2
+
+    def test_acquire_is_exclusive(self):
+        matrix, *_ = _random_problem(12)
+        plan = SweepSide.build(matrix)
+        store = plan.workspaces
+        first = store.acquire(plan, 0, plan.n_rows, 4, np.float64)
+        second = store.acquire(plan, 0, plan.n_rows, 4, np.float64)
+        assert first is not second
+        assert store.stats().outstanding == 2
+        store.release(first)
+        store.release(second)
+        assert store.stats().outstanding == 0
+        assert store.acquire(plan, 0, plan.n_rows, 4, np.float64) in (first, second)
+
+    def test_distinct_ranges_get_distinct_arenas(self):
+        matrix, *_ = _random_problem(13)
+        plan = SweepSide.build(matrix)
+        store = plan.workspaces
+        full = store.acquire(plan, 0, plan.n_rows, 3, np.float64)
+        half = store.acquire(plan, 0, plan.n_rows // 2, 3, np.float64)
+        assert full.n_local != half.n_local
+        store.release(full)
+        store.release(half)
+        assert store.stats().allocations == 2
+
+    def test_free_list_cap_drops_extras(self):
+        matrix, *_ = _random_problem(14)
+        plan = SweepSide.build(matrix)
+        store = SweepWorkspaceStore(max_cached=1)
+        arenas = [store.acquire(plan, 0, plan.n_rows, 3, np.float64) for _ in range(3)]
+        for arena in arenas:
+            store.release(arena)
+        stats = store.stats()
+        assert stats.cached == 1
+        assert stats.bytes_in_use == arenas[0].nbytes
+
+    def test_clear_drops_cached_arenas(self):
+        matrix, *_ = _random_problem(15)
+        plan = SweepSide.build(matrix)
+        store = plan.workspaces
+        store.release(store.acquire(plan, 0, plan.n_rows, 3, np.float64))
+        assert store.stats().cached == 1
+        store.clear()
+        assert store.stats().cached == 0
+        assert store.stats().bytes_in_use == 0
+
+    def test_cache_size_env_knob(self, monkeypatch):
+        monkeypatch.setenv(WORKSPACE_CACHE_ENV, "3")
+        assert workspace_cache_size() == 3
+        monkeypatch.setenv(WORKSPACE_CACHE_ENV, "not-a-number")
+        assert workspace_cache_size() == 8
+        monkeypatch.delenv(WORKSPACE_CACHE_ENV)
+        assert workspace_cache_size(5) == 5
+
+    def test_store_pickles_fresh(self):
+        # Process-executor workers receive plan sides by pickle; their
+        # stores must arrive empty (worker-local arenas, no dead buffers).
+        matrix, row_factors, col_factors, _ = _random_problem(16)
+        plan = SweepSide.build(matrix)
+        VectorizedBackend().sweep(None, row_factors, col_factors, 0.2, plan=plan)
+        assert plan.workspaces.stats().allocations == 1
+        clone = pickle.loads(pickle.dumps(plan))
+        stats = clone.workspaces.stats()
+        assert stats.allocations == 0
+        assert stats.cached == 0
+        assert clone.workspaces.max_cached == plan.workspaces.max_cached
+
+    def test_concurrent_sweeps_share_one_plan_safely(self):
+        # Eight threads sweeping one warm side concurrently: every result
+        # must equal the serial sweep (arenas are exclusive, never shared).
+        matrix, row_factors, col_factors, _ = _random_problem(17, n_rows=40)
+        plan = SweepSide.build(matrix)
+        backend = VectorizedBackend()
+        expected, _ = backend.sweep(None, row_factors, col_factors, 0.2, plan=plan)
+        results: list = [None] * 8
+        errors: list = []
+
+        def sweep(index: int) -> None:
+            try:
+                got, _ = backend.sweep(
+                    None, row_factors, col_factors, 0.2, plan=plan
+                )
+                results[index] = got
+            except Exception as exc:  # pragma: no cover - failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=sweep, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        for got in results:
+            assert np.array_equal(got, expected)
+        assert plan.workspaces.stats().outstanding == 0
+
+
+# --------------------------------------------------------------------------- #
+# Fit lifecycle: history plumbing and cross-fit isolation
+# --------------------------------------------------------------------------- #
+class TestFitLifecycle:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        matrix, _spec = make_netflix_like(n_users=80, n_items=30, random_state=0)
+        return matrix
+
+    def _fit(self, corpus, seed=0):
+        model = OCuLaR(
+            n_coclusters=4,
+            regularization=5.0,
+            max_iterations=3,
+            tolerance=0.0,
+            random_state=seed,
+        )
+        with pytest.warns(Warning):
+            model.fit(corpus)
+        return model
+
+    def test_history_records_workspace_stats(self, corpus):
+        model = self._fit(corpus)
+        history = model.history_
+        assert history.peak_workspace_bytes > 0
+        # One arena per side, built on the first sweep, reused afterwards.
+        assert history.total_workspace_allocations >= 2
+        assert history.total_workspace_reuses > 0
+        assert history.item_sweep_stats[0].workspace_allocations == 1
+        assert history.item_sweep_stats[-1].workspace_reuses == 1
+
+    def test_no_cross_fit_leakage(self, corpus):
+        # Each fit builds its own plan (and with it, fresh stores): the
+        # second fit's first sweeps must allocate again, proving the first
+        # fit's arenas were dropped with its plan rather than inherited.
+        model = self._fit(corpus)
+        first_fit_allocations = model.history_.total_workspace_allocations
+        with pytest.warns(Warning):
+            model.fit(corpus)
+        assert model.history_.total_workspace_allocations == first_fit_allocations
+        assert model.history_.item_sweep_stats[0].workspace_allocations == 1
+
+    def test_refit_and_fold_in_share_nothing_with_training_plans(self, corpus):
+        from repro.serving.fold_in import clear_fold_in_plan_cache, fold_in_factors
+
+        model = self._fit(corpus)
+        clear_fold_in_plan_cache()
+        interactions = sp.csr_matrix(
+            (np.ones(3), ([0, 0, 1], [2, 5, 7])), shape=(2, corpus.shape[1])
+        )
+        first = fold_in_factors(
+            model.factors_.item_factors, interactions, model.regularization
+        )
+        # Same batch again rides the cached side's warm workspaces and must
+        # reproduce the identical factors.
+        second = fold_in_factors(
+            model.factors_.item_factors, interactions, model.regularization
+        )
+        assert np.array_equal(first, second)
+        clear_fold_in_plan_cache()
