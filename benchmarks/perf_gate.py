@@ -59,6 +59,7 @@ HEADLINES: Dict[str, Tuple[str, str]] = {
     "gateway_throughput": ("gateway_users_per_s", "higher"),
     "gateway_adaptive_delay": ("adaptive_p50_ms", "lower"),
     "request_batching": ("batched_users_per_s", "higher"),
+    "cluster_serving": ("cluster_users_per_s", "higher"),
     "incremental_refit": ("speedup", "higher"),
     "parallel_training_speedup": ("speedup_2w", "higher"),
     "process_vs_thread_training": ("process_2w_seconds", "lower"),

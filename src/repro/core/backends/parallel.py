@@ -57,11 +57,11 @@ from repro.parallel.scheduler import ShardScheduler
 from repro.parallel.shared_memory import (
     SharedArraySpec,
     SharedCsrSpec,
-    SharedMemoryProcessExecutor,
     attach_shared_array,
     attach_shared_csr,
     close_stale_attachments,
     register_attachment_holder,
+    supports_publication,
 )
 from repro.utils.validation import check_positive_int
 
@@ -270,7 +270,7 @@ class ParallelBackend(Backend):
             )
         executor = self._scheduler.executor
         common = (regularization, sigma, beta, max_backtracks)
-        if isinstance(executor, SharedMemoryProcessExecutor):
+        if supports_publication(executor):
             with self._sweep_lock:
                 side_spec = self._publish_side(executor, plan)
                 row_spec = self._publish_slot(
@@ -305,25 +305,19 @@ class ParallelBackend(Backend):
     # ------------------------------------------------------------------ #
     # Shared-memory publication
     # ------------------------------------------------------------------ #
-    def _publish_slot(
-        self, executor: SharedMemoryProcessExecutor, key, array: np.ndarray
-    ) -> SharedArraySpec:
+    def _publish_slot(self, executor, key, array: np.ndarray) -> SharedArraySpec:
         """Publish a refreshable slot, remembering the key for cleanup."""
         spec = executor.publish(key, array)
         self._published_keys.add(key)
         return spec
 
-    def _publish_static(
-        self, executor: SharedMemoryProcessExecutor, array: np.ndarray
-    ) -> SharedArraySpec:
+    def _publish_static(self, executor, array: np.ndarray) -> SharedArraySpec:
         """Publish write-once data, remembering its slot key for cleanup."""
         spec = executor.publish_static(array)
         self._published_keys.add(("static", id(array)))
         return spec
 
-    def _publish_side(
-        self, executor: SharedMemoryProcessExecutor, plan: SweepSide
-    ) -> SharedSideSpec:
+    def _publish_side(self, executor, plan: SweepSide) -> SharedSideSpec:
         """Place a sweep side's arrays in shared memory (copy-once per fit).
 
         Every array is published via ``publish_static``, so re-presenting
@@ -364,8 +358,9 @@ class ParallelBackend(Backend):
             executor = self._scheduler.live_executor
             if (
                 self._published_keys
-                and isinstance(executor, SharedMemoryProcessExecutor)
-                and not executor.is_shut_down
+                and executor is not None
+                and supports_publication(executor)
+                and not getattr(executor, "is_shut_down", False)
             ):
                 for key in self._published_keys:
                     executor.unpublish(key)

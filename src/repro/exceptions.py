@@ -45,3 +45,35 @@ class EvaluationError(ReproError):
     positives when the protocol forbids it, or a train/test split that
     leaves no test users.
     """
+
+
+class ExecutorShutDownError(ReproError, RuntimeError):
+    """Raised when work is submitted to an executor after ``shutdown()``.
+
+    Every registered executor (serial, thread, process, shared-memory,
+    cluster) raises this from ``map``/``starmap`` — and from array
+    publication where supported — once it has been shut down, instead of
+    leaking whichever raw error its backing pool produces.  Inherits
+    :class:`RuntimeError` because that is what ``concurrent.futures`` pools
+    raise for the same condition, so pre-existing callers that caught
+    ``RuntimeError`` keep working.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """Raised when an executor's worker dies instead of returning a result.
+
+    Distinct from a *task* exception (which propagates as itself): this
+    error means the worker process or cluster node vanished — killed,
+    segfaulted, or unreachable past the task timeout.  ``executor`` names
+    the executor type and ``task_index`` the submission-order index of the
+    task whose worker died (``None`` when the crash cannot be pinned to one
+    task).  On the cluster executor the condition is retryable — in-flight
+    shards re-dispatch to surviving nodes — so this surfaces only once the
+    retry budget or the nodes themselves are exhausted.
+    """
+
+    def __init__(self, message: str, *, executor: str = "", task_index: "int | None" = None):
+        super().__init__(message)
+        self.executor = executor
+        self.task_index = task_index

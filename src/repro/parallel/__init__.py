@@ -7,6 +7,7 @@ system — training sweeps, batch serving, the hyper-parameter grid — selects
 its execution substrate the same way.
 """
 
+from repro.parallel.cluster import ClusterArrayRef, ClusterExecutor
 from repro.parallel.executor import SerialExecutor, ProcessExecutor, ThreadExecutor
 from repro.parallel.scheduler import (
     ShardScheduler,
@@ -18,9 +19,12 @@ from repro.parallel.shared_memory import (
     SharedArraySpec,
     SharedMemoryProcessExecutor,
     attach_shared_array,
+    supports_publication,
 )
 
 __all__ = [
+    "ClusterArrayRef",
+    "ClusterExecutor",
     "SerialExecutor",
     "ProcessExecutor",
     "ThreadExecutor",
@@ -31,4 +35,5 @@ __all__ = [
     "available_executors",
     "register_executor",
     "resolve_executor",
+    "supports_publication",
 ]

@@ -1,0 +1,1190 @@
+"""Multi-machine RPC execution: N agent nodes serving shards of one model.
+
+The paper deploys grid search and serving "using Apache Spark across a
+cluster of 8 machines" (Section VII-E).  This module reproduces that shape
+natively on the stdlib: a :class:`ClusterExecutor` registered in the
+scheduler registry as ``"cluster"`` fans ``starmap`` tasks out over
+``multiprocessing.connection`` sockets to N agent processes — loopback
+agents it spawns itself, or agents started on other machines with
+``python -m repro.parallel.cluster``.
+
+Three ideas carry the design:
+
+* **Descriptors, not arrays.**  The executor exposes the same publication
+  capability as :class:`~repro.parallel.shared_memory.SharedMemoryProcessExecutor`
+  (``publish`` / ``publish_static`` / ``unpublish``), so the training
+  backend and the serving runtime ship ``(row_range, spec)`` tasks
+  unchanged.  Published arrays live in a driver-side object store;
+  tasks carry :class:`ClusterArrayRef` descriptors (a store key plus shape
+  and dtype).  A node fetches each key **once**, caches the array for the
+  publication's lifetime, and is told to evict it when the driver retires
+  the publication (a model-generation swap, a per-call fold-in block) — so
+  one model version crosses the wire to each node one time, not once per
+  shard.
+* **Fault tolerance is first-class.**  Each node runs its tasks over a
+  dedicated connection with a per-task reply timeout.  A task that *raises*
+  propagates its exception (first failure in submission order, remote
+  traceback attached) exactly like the local pools.  A node that *dies* —
+  killed, crashed, or silent past the timeout — has its in-flight task
+  re-dispatched to a surviving node (bounded by ``max_task_retries``); the
+  merged results are indistinguishable from a run without the failure.
+  Only when the retry budget or the nodes themselves are exhausted does the
+  caller see a typed :class:`~repro.exceptions.WorkerCrashError` naming the
+  failed task.
+* **One lifecycle contract.**  Like every registered executor, work
+  submitted after :meth:`ClusterExecutor.shutdown` raises
+  :class:`~repro.exceptions.ExecutorShutDownError`; shutdown itself is
+  idempotent, drains in-flight work, stops the agents it spawned and closes
+  the object store.
+
+Wire protocol (all messages are pickled tuples over authenticated
+``multiprocessing.connection`` channels; every channel opens with a
+``("hello", kind, node_id, store_address)`` frame):
+
+========  =======================================  =========================
+channel   driver -> agent                          agent -> driver
+========  =======================================  =========================
+task      ``("task", function, args)``             ``("ok", result)`` or
+                                                   ``("error", pickled,
+                                                   repr, traceback)``
+ctrl      ``("ping",)`` ``("stats",)``             ``("ok", payload)``
+          ``("evict", keys)`` ``("die_after", n)``
+          ``("shutdown",)``
+store     ``("get", keys)`` (agent -> driver)      ``{key: array}``
+========  =======================================  =========================
+
+``die_after`` is a deterministic fault-injection hook: the agent executes
+``n`` more tasks, then exits hard *before* replying to the next one —
+exactly the mid-call crash the re-dispatch tests need, without racing a
+signal against task boundaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import os
+import pickle
+import queue
+import sys
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from multiprocessing import AuthenticationError, get_context
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ExecutorShutDownError, WorkerCrashError
+from repro.parallel.shared_memory import evict_holder_claims
+from repro.utils.validation import check_positive_int
+
+#: Node count when ``"cluster"`` is resolved by name without ``max_workers``.
+DEFAULT_CLUSTER_NODES = 2
+
+#: Fault-injection knob (milliseconds): every agent sleeps this long before
+#: executing each task, widening the window in which a test can kill a node
+#: mid-``serve_sharded``.  Read agent-side per task; unset means no delay.
+TASK_DELAY_ENV = "REPRO_CLUSTER_TASK_DELAY_MS"
+
+#: Exit code of an agent killed by the ``die_after`` fault-injection hook.
+EXIT_INJECTED_DEATH = 17
+
+_AGENT_START_TIMEOUT = 30.0
+
+
+# --------------------------------------------------------------------------- #
+# Object descriptors
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ClusterArrayRef:
+    """Descriptor of one array in the driver's object store (picklable).
+
+    The cluster twin of :class:`~repro.parallel.shared_memory.SharedArraySpec`:
+    tasks carry refs, nodes materialise them.  ``attach()`` serves from the
+    node's local cache, fetching from the driver store only the first time a
+    key reaches the node — this is what makes descriptor serving
+    fetch-once-per-node-per-generation.
+    """
+
+    key: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def shm_name(self) -> str:
+        """The store key, under the generic "segment name" protocol.
+
+        Name-based machinery written for shared memory (engine caches
+        keyed by segment names, attachment-holder claims, eviction) works
+        on cluster refs through this alias.
+        """
+        return self.key
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the described array in bytes."""
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    def attach(self) -> np.ndarray:
+        """Materialise the array inside an agent (cached, fetch-once)."""
+        return _node_runtime().fetch(self)
+
+    def is_live(self) -> bool:
+        """Whether the publication behind this ref is still live (node side)."""
+        return _node_runtime().is_live(self.key)
+
+
+# --------------------------------------------------------------------------- #
+# Agent (node) side
+# --------------------------------------------------------------------------- #
+class _NodeRuntime:
+    """Per-agent object cache plus fault-injection and telemetry state.
+
+    One instance per (agent process, driver store) pair — a standalone agent
+    that outlives its driver builds a fresh runtime when the next driver's
+    hello announces a different store address.
+    """
+
+    def __init__(self, store_address: Tuple[str, int], authkey: bytes) -> None:
+        self.store_address = tuple(store_address)
+        self.authkey = authkey
+        self._objects: Dict[str, np.ndarray] = {}
+        self._evicted: set = set()
+        self.fetch_counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.tasks_executed = 0
+        self._die_after: Optional[int] = None
+
+    def fetch(self, ref: ClusterArrayRef) -> np.ndarray:
+        """The node-local array for ``ref``, fetching from the driver once."""
+        with self._lock:
+            cached = self._objects.get(ref.key)
+        if cached is not None:
+            return cached
+        connection = Client(self.store_address, authkey=self.authkey)
+        try:
+            connection.send(("get", [ref.key]))
+            payload = connection.recv()
+        finally:
+            connection.close()
+        array = payload.get(ref.key)
+        if array is None:
+            raise KeyError(
+                f"cluster object {ref.key!r} is not in the driver store "
+                "(retired or never published)"
+            )
+        array = np.asarray(array).reshape(ref.shape)
+        with self._lock:
+            self._objects[ref.key] = array
+            self.fetch_counts[ref.key] = self.fetch_counts.get(ref.key, 0) + 1
+            self._evicted.discard(ref.key)
+        return array
+
+    def is_live(self, key: str) -> bool:
+        with self._lock:
+            return key not in self._evicted
+
+    def evict(self, keys: Iterable[str]) -> None:
+        """Drop cached arrays for retired publications (driver broadcast).
+
+        Worker-side caches built over the arrays (rebuilt engines, sweep
+        sides) are asked to drop their entries too, so the next task
+        rebuilds from live publications instead of serving stale data.
+        """
+        keys = list(keys)
+        with self._lock:
+            for key in keys:
+                self._objects.pop(key, None)
+                self._evicted.add(key)
+        for key in keys:
+            evict_holder_claims(key)
+
+    def set_die_after(self, n_tasks: int) -> None:
+        with self._lock:
+            self._die_after = int(n_tasks)
+
+    def take_death_token(self) -> bool:
+        """Whether the injected death fires on the task starting now."""
+        with self._lock:
+            if self._die_after is None:
+                return False
+            if self._die_after <= 0:
+                return True
+            self._die_after -= 1
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "pid": os.getpid(),
+                "tasks_executed": self.tasks_executed,
+                "store_keys": sorted(self._objects),
+                "fetch_counts": dict(self.fetch_counts),
+                "evicted": sorted(self._evicted),
+            }
+
+
+#: The agent process's runtime; rebuilt when a driver with a new object
+#: store says hello.  ``None`` outside agent processes — attaching a
+#: ClusterArrayRef anywhere else is a programming error and raises.
+_NODE_RUNTIME: Optional[_NodeRuntime] = None
+_RUNTIME_LOCK = threading.Lock()
+
+
+def _node_runtime() -> _NodeRuntime:
+    runtime = _NODE_RUNTIME
+    if runtime is None:
+        raise RuntimeError(
+            "no cluster node runtime in this process; a ClusterArrayRef can "
+            "only be attached inside a cluster agent executing a task"
+        )
+    return runtime
+
+
+def _pickle_or_none(error: BaseException) -> Optional[bytes]:
+    try:
+        return pickle.dumps(error)
+    except Exception:
+        return None
+
+
+def _serve_tasks(connection: Connection, runtime: _NodeRuntime) -> None:
+    """Execute tasks from one driver connection, one at a time, forever."""
+    while True:
+        message = connection.recv()
+        if not (isinstance(message, tuple) and message and message[0] == "task"):
+            continue
+        _op, function, args = message
+        delay = os.environ.get(TASK_DELAY_ENV)
+        if delay:
+            try:
+                time.sleep(float(delay) / 1000.0)
+            except ValueError:
+                pass
+        if runtime.take_death_token():
+            # Injected crash: exit hard before replying, so the driver sees
+            # exactly what a dead machine looks like — an in-flight task
+            # whose reply never comes.
+            os._exit(EXIT_INJECTED_DEATH)
+        try:
+            result = function(*args)
+        except BaseException as error:
+            connection.send(
+                ("error", _pickle_or_none(error), repr(error), traceback.format_exc())
+            )
+        else:
+            try:
+                connection.send(("ok", result))
+            except (EOFError, OSError):
+                raise
+            except Exception as error:
+                # The pickling failure happened before any bytes hit the
+                # wire (Connection.send serialises first), so the channel
+                # is intact — report it as a task error, not a node death.
+                connection.send(("error", None, repr(error), traceback.format_exc()))
+        runtime.tasks_executed += 1
+
+
+def _serve_ctrl(
+    connection: Connection,
+    runtime: _NodeRuntime,
+    stop: threading.Event,
+    listener: Listener,
+) -> None:
+    """Answer control requests (evict/ping/stats/fault-injection/shutdown)."""
+    while True:
+        message = connection.recv()
+        op = message[0]
+        if op == "ping":
+            connection.send(("ok", "pong"))
+        elif op == "stats":
+            connection.send(("ok", runtime.stats()))
+        elif op == "evict":
+            runtime.evict(message[1])
+            connection.send(("ok", None))
+        elif op == "die_after":
+            runtime.set_die_after(message[1])
+            connection.send(("ok", None))
+        elif op == "shutdown":
+            connection.send(("ok", None))
+            stop.set()
+            try:
+                listener.close()
+            except Exception:
+                pass
+            return
+        else:
+            connection.send(("error", None, f"unknown ctrl op {op!r}", ""))
+
+
+def _serve_channel(
+    connection: Connection,
+    authkey: bytes,
+    stop: threading.Event,
+    listener: Listener,
+) -> None:
+    global _NODE_RUNTIME
+    try:
+        hello = connection.recv()
+    except Exception:
+        connection.close()
+        return
+    if not (isinstance(hello, tuple) and len(hello) == 4 and hello[0] == "hello"):
+        connection.close()
+        return
+    _tag, kind, _node_id, store_address = hello
+    with _RUNTIME_LOCK:
+        if _NODE_RUNTIME is None or _NODE_RUNTIME.store_address != tuple(store_address):
+            _NODE_RUNTIME = _NodeRuntime(store_address, authkey)
+        runtime = _NODE_RUNTIME
+    try:
+        if kind == "task":
+            _serve_tasks(connection, runtime)
+        else:
+            _serve_ctrl(connection, runtime, stop, listener)
+    except (EOFError, OSError):
+        # The driver went away; a standalone agent stays up for the next one.
+        pass
+    finally:
+        try:
+            connection.close()
+        except Exception:
+            pass
+
+
+def _serve_agent(listener: Listener, authkey: bytes) -> None:
+    """Accept loop of one agent: a thread per channel, until shutdown."""
+    stop = threading.Event()
+    while not stop.is_set():
+        try:
+            connection = listener.accept()
+        except AuthenticationError:
+            continue
+        except (OSError, EOFError):
+            break
+        threading.Thread(
+            target=_serve_channel,
+            args=(connection, authkey, stop, listener),
+            daemon=True,
+            name="repro-cluster-channel",
+        ).start()
+    try:
+        listener.close()
+    except Exception:
+        pass
+
+
+def _agent_main(
+    host: str, port: int, authkey: bytes, ready: Optional[Connection] = None
+) -> None:
+    """Entry point of a spawned loopback agent process."""
+    listener = Listener((host, port), authkey=bytes(authkey))
+    if ready is not None:
+        ready.send(listener.address)
+        ready.close()
+    _serve_agent(listener, bytes(authkey))
+
+
+# --------------------------------------------------------------------------- #
+# Driver-side object store
+# --------------------------------------------------------------------------- #
+class _StoreServer:
+    """The driver's object store: a tiny array server nodes fetch from.
+
+    One listener, a thread per connected node; nodes connect lazily on
+    their first fetch and requests are answered straight out of the table.
+    The store holds the *published* arrays — eviction policy (LRU cap,
+    generation retirement) lives in :class:`ClusterExecutor`, which owns
+    the table keys.
+    """
+
+    def __init__(self, host: str, authkey: bytes) -> None:
+        self._listener = Listener((host, 0), authkey=authkey)
+        self._objects: Dict[str, np.ndarray] = {}
+        self._lock = threading.Lock()
+        threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-cluster-store"
+        ).start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return tuple(self._listener.address)
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                connection = self._listener.accept()
+            except AuthenticationError:
+                continue
+            except (OSError, EOFError):
+                return
+            threading.Thread(
+                target=self._serve_client,
+                args=(connection,),
+                daemon=True,
+                name="repro-cluster-store-client",
+            ).start()
+
+    def _serve_client(self, connection: Connection) -> None:
+        try:
+            while True:
+                message = connection.recv()
+                if not (isinstance(message, tuple) and message and message[0] == "get"):
+                    break
+                with self._lock:
+                    payload = {key: self._objects.get(key) for key in message[1]}
+                connection.send(payload)
+        except (EOFError, OSError):
+            pass
+        finally:
+            try:
+                connection.close()
+            except Exception:
+                pass
+
+    def put(self, key: str, array: np.ndarray) -> None:
+        with self._lock:
+            self._objects[key] = array
+
+    def remove(self, key: str) -> None:
+        with self._lock:
+            self._objects.pop(key, None)
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except Exception:
+            pass
+        with self._lock:
+            self._objects.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Driver-side executor
+# --------------------------------------------------------------------------- #
+@dataclass
+class _NodeHandle:
+    """Driver-side view of one agent node."""
+
+    node_id: int
+    address: Tuple[str, int]
+    process: Optional[Any]  # multiprocessing.Process for spawned agents
+    task_conn: Connection
+    ctrl_conn: Connection
+    ctrl_lock: threading.Lock = field(default_factory=threading.Lock)
+    alive: bool = True
+
+
+class _Call:
+    """One map/starmap invocation: slot-addressed results plus a countdown."""
+
+    __slots__ = ("results", "errors", "done", "remaining", "condition")
+
+    def __init__(self, n_tasks: int) -> None:
+        self.results: List[Any] = [None] * n_tasks
+        self.errors: List[Optional[BaseException]] = [None] * n_tasks
+        self.done = [False] * n_tasks
+        self.remaining = n_tasks
+        self.condition = threading.Condition()
+
+    def complete(
+        self, index: int, result: Any = None, error: Optional[BaseException] = None
+    ) -> None:
+        with self.condition:
+            if self.done[index]:
+                return
+            self.done[index] = True
+            self.results[index] = result
+            self.errors[index] = error
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.condition.notify_all()
+
+
+@dataclass
+class _QueuedTask:
+    call: _Call
+    index: int
+    function: Callable[..., Any]
+    args: Tuple
+    attempts: int = 0
+
+
+class _RemoteTraceback(Exception):
+    """Carrier of a remote task's traceback text, attached as ``__cause__``."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _rebuild_remote_error(reply: Tuple) -> BaseException:
+    _op, payload, text, remote_traceback = reply
+    error: Optional[BaseException] = None
+    if payload is not None:
+        try:
+            error = pickle.loads(payload)
+        except Exception:
+            error = None
+    if error is None:
+        error = RuntimeError(f"cluster task failed with an unpicklable exception: {text}")
+    error.__cause__ = _RemoteTraceback(
+        f"\n--- remote traceback (cluster agent) ---\n{remote_traceback}"
+    )
+    return error
+
+
+@dataclass
+class _StoreEntry:
+    ref: ClusterArrayRef
+    pinned: Optional[np.ndarray]
+    evictable: bool
+
+
+def _parse_address(address: Any) -> Tuple[str, int]:
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigurationError(
+                f"cluster agent address must be 'host:port' or (host, port), got {address!r}"
+            )
+        return (host, int(port))
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return (str(address[0]), int(address[1]))
+    raise ConfigurationError(
+        f"cluster agent address must be 'host:port' or (host, port), got {address!r}"
+    )
+
+
+_CLUSTER_IDS = itertools.count(1)
+
+
+class ClusterExecutor:
+    """RPC executor over N agent nodes with fault-tolerant re-dispatch.
+
+    Registered in the scheduler registry as ``"cluster"``; every consumer of
+    the executor protocol (training sweeps, ``serve_sharded``, the serving
+    runtime, grid search) can select it by name.  Implements the full
+    executor contract — order-stable ``map``/``starmap``, first-failure
+    propagation with the remote traceback attached, idempotent
+    ``shutdown``, :class:`~repro.exceptions.ExecutorShutDownError` on
+    post-shutdown submission — plus the array-publication capability
+    (``publish``/``publish_static``/``unpublish``), which is what lets the
+    descriptor fast paths treat "8 machines" and "8 local processes" as the
+    same shape.
+
+    Parameters
+    ----------
+    n_nodes:
+        How many loopback agent processes to spawn (default
+        :data:`DEFAULT_CLUSTER_NODES`).  Ignored when ``addresses`` is given.
+    addresses:
+        Addresses (``"host:port"`` or ``(host, port)``) of externally
+        started agents (``python -m repro.parallel.cluster --authkey ...``).
+        Requires ``authkey``.
+    authkey:
+        Shared HMAC secret for every channel.  Defaults to a fresh random
+        key for spawned agents; mandatory for external ones.
+    task_timeout:
+        Seconds a node may stay silent on an in-flight task before the
+        driver declares it dead and re-dispatches the task.
+    max_task_retries:
+        How many times one task may be re-dispatched after node deaths
+        before it fails with :class:`~repro.exceptions.WorkerCrashError`.
+    max_objects:
+        Soft LRU cap on concurrently published objects, mirroring the
+        shared-memory executor's ``max_segments`` (non-evictable
+        publications are never silently dropped).
+    store_host:
+        Interface the object store binds; make it externally reachable
+        (and routable from the agents) for true multi-machine runs.
+    """
+
+    def __init__(
+        self,
+        n_nodes: Optional[int] = None,
+        *,
+        addresses: Optional[Sequence[Any]] = None,
+        authkey: Optional[bytes] = None,
+        task_timeout: float = 120.0,
+        ctrl_timeout: float = 30.0,
+        max_task_retries: int = 3,
+        max_objects: int = 256,
+        store_host: str = "127.0.0.1",
+    ) -> None:
+        if task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be positive")
+        if max_task_retries < 0:
+            raise ConfigurationError("max_task_retries must be non-negative")
+        if max_objects < 1:
+            raise ConfigurationError("max_objects must be at least 1")
+        self._task_timeout = float(task_timeout)
+        self._ctrl_timeout = float(ctrl_timeout)
+        self._max_task_retries = int(max_task_retries)
+        self._max_objects = int(max_objects)
+        self._uid = f"{os.getpid()}-{next(_CLUSTER_IDS)}"
+        self._store_key_counter = itertools.count(1)
+        self._objects: "OrderedDict[Hashable, _StoreEntry]" = OrderedDict()
+        self._objects_lock = threading.RLock()
+        self._tasks: "queue.Queue[_QueuedTask]" = queue.Queue()
+        self._nodes: List[_NodeHandle] = []
+        self._nodes_lock = threading.Lock()
+        self._runners: List[threading.Thread] = []
+        self._shut_down = False
+        self._stopping = False
+        self._lifecycle_lock = threading.Lock()
+
+        if addresses is not None:
+            if authkey is None:
+                raise ConfigurationError(
+                    "connecting to externally started agents requires their authkey"
+                )
+            self._authkey = bytes(authkey)
+            agent_plan = [(_parse_address(address), None) for address in addresses]
+            if not agent_plan:
+                raise ConfigurationError("addresses must name at least one agent")
+        else:
+            if n_nodes is None:
+                n_nodes = DEFAULT_CLUSTER_NODES
+            n_nodes = check_positive_int(n_nodes, "n_nodes")
+            self._authkey = bytes(authkey) if authkey is not None else os.urandom(16)
+            agent_plan = []
+
+        self._store = _StoreServer(store_host, self._authkey)
+        try:
+            if not agent_plan:
+                agent_plan = [self._spawn_local_agent(i) for i in range(n_nodes)]
+            for node_id, (address, process) in enumerate(agent_plan):
+                self._nodes.append(self._connect_node(node_id, address, process))
+            for node in self._nodes:
+                self._ctrl_request(node, ("ping",))
+        except BaseException:
+            self._emergency_teardown()
+            raise
+        #: Executor-protocol attribute: consumers size their shard counts on
+        #: it (one shard wave spans the nodes), exactly like the pools.
+        self.max_workers = len(self._nodes)
+        for node in self._nodes:
+            runner = threading.Thread(
+                target=self._node_loop,
+                args=(node,),
+                daemon=True,
+                name=f"repro-cluster-node-{node.node_id}",
+            )
+            runner.start()
+            self._runners.append(runner)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _spawn_local_agent(self, node_id: int) -> Tuple[Tuple[str, int], Any]:
+        # Spawn (not fork): agents must not inherit the driver's threads,
+        # locks or BLAS state — they are stand-ins for other machines.
+        context = get_context("spawn")
+        parent, child = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_agent_main,
+            args=("127.0.0.1", 0, self._authkey, child),
+            daemon=True,
+            name=f"repro-cluster-agent-{node_id}",
+        )
+        process.start()
+        child.close()
+        if not parent.poll(_AGENT_START_TIMEOUT):
+            process.kill()
+            raise RuntimeError(
+                f"cluster agent {node_id} did not report its address within "
+                f"{_AGENT_START_TIMEOUT:.0f}s"
+            )
+        address = tuple(parent.recv())
+        parent.close()
+        return address, process
+
+    def _connect_node(
+        self, node_id: int, address: Tuple[str, int], process: Any
+    ) -> _NodeHandle:
+        task_conn = Client(address, authkey=self._authkey)
+        task_conn.send(("hello", "task", node_id, self._store.address))
+        ctrl_conn = Client(address, authkey=self._authkey)
+        ctrl_conn.send(("hello", "ctrl", node_id, self._store.address))
+        return _NodeHandle(
+            node_id=node_id,
+            address=tuple(address),
+            process=process,
+            task_conn=task_conn,
+            ctrl_conn=ctrl_conn,
+        )
+
+    def _emergency_teardown(self) -> None:
+        for node in self._nodes:
+            for connection in (node.task_conn, node.ctrl_conn):
+                try:
+                    connection.close()
+                except Exception:
+                    pass
+            if node.process is not None and node.process.is_alive():
+                node.process.kill()
+        self._store.close()
+
+    # ------------------------------------------------------------------ #
+    # Task execution
+    # ------------------------------------------------------------------ #
+    def map(self, function: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``function`` to each item across the nodes, order-stable."""
+        return self.starmap(function, [(item,) for item in items])
+
+    def starmap(
+        self, function: Callable[..., Any], argument_tuples: Iterable[Sequence[Any]]
+    ) -> List[Any]:
+        """Apply ``function(*args)`` across the nodes; results keep input order.
+
+        Tasks are pulled round-robin by one runner thread per node (a
+        work-sharing queue: a slow or dead node never strands more than its
+        in-flight task).  The first task *exception* in submission order
+        propagates with the remote traceback attached; node *deaths*
+        re-dispatch transparently until the retry budget or the nodes run
+        out, then raise :class:`~repro.exceptions.WorkerCrashError`.
+        """
+        self._check_active()
+        tasks = [tuple(args) for args in argument_tuples]
+        if not tasks:
+            return []
+        if not self._live_nodes():
+            raise WorkerCrashError(
+                "cannot dispatch: every cluster node is dead",
+                executor=type(self).__name__,
+            )
+        call = _Call(len(tasks))
+        for index, args in enumerate(tasks):
+            self._tasks.put(_QueuedTask(call=call, index=index, function=function, args=args))
+        self._await_call(call)
+        for error in call.errors:
+            if error is not None:
+                raise error
+        return list(call.results)
+
+    def _await_call(self, call: _Call) -> None:
+        while True:
+            with call.condition:
+                if call.remaining == 0:
+                    return
+                call.condition.wait(timeout=0.25)
+                if call.remaining == 0:
+                    return
+            # Safety net for the all-nodes-dead races: any task still queued
+            # can never run, so fail it now instead of waiting forever.
+            if not self._live_nodes():
+                self._drain_queue(RuntimeError("every cluster node is dead"))
+
+    def _node_loop(self, node: _NodeHandle) -> None:
+        while True:
+            try:
+                task = self._tasks.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopping or not node.alive:
+                    return
+                continue
+            if not node.alive:
+                # This runner's node was killed between polls; hand the task
+                # to a surviving runner.
+                self._tasks.put(task)
+                return
+            try:
+                node.task_conn.send(("task", task.function, task.args))
+            except (EOFError, OSError) as error:
+                self._on_node_death(node, error)
+                self._requeue(task, node, error)
+                return
+            except Exception as error:
+                # Serialisation failed before any bytes hit the wire: a task
+                # error (unpicklable function/args), not a node death.
+                task.call.complete(task.index, error=error)
+                continue
+            try:
+                if not node.task_conn.poll(self._task_timeout):
+                    raise TimeoutError(
+                        f"cluster node {node.node_id} gave no reply within "
+                        f"{self._task_timeout:.1f}s"
+                    )
+                reply = node.task_conn.recv()
+            except (EOFError, OSError, TimeoutError) as error:
+                self._on_node_death(node, error)
+                self._requeue(task, node, error)
+                return
+            except Exception as error:
+                # The reply frame arrived but would not deserialise; the
+                # channel framing is intact, so the node stays live.
+                task.call.complete(task.index, error=error)
+                continue
+            if reply[0] == "ok":
+                task.call.complete(task.index, result=reply[1])
+            else:
+                task.call.complete(task.index, error=_rebuild_remote_error(reply))
+
+    def _requeue(
+        self, task: _QueuedTask, node: _NodeHandle, cause: BaseException
+    ) -> None:
+        task.attempts += 1
+        if task.attempts > self._max_task_retries:
+            task.call.complete(
+                task.index,
+                error=WorkerCrashError(
+                    f"cluster node {node.node_id} died while executing task "
+                    f"{task.index} ({cause!r}); retry budget "
+                    f"({self._max_task_retries}) exhausted",
+                    executor=type(self).__name__,
+                    task_index=task.index,
+                ),
+            )
+            return
+        if not self._live_nodes():
+            task.call.complete(
+                task.index,
+                error=WorkerCrashError(
+                    f"cluster node {node.node_id} died while executing task "
+                    f"{task.index} ({cause!r}); no surviving node to re-dispatch to",
+                    executor=type(self).__name__,
+                    task_index=task.index,
+                ),
+            )
+            return
+        self._tasks.put(task)
+
+    def _on_node_death(self, node: _NodeHandle, cause: BaseException) -> None:
+        with self._nodes_lock:
+            if not node.alive:
+                return
+            node.alive = False
+        for connection in (node.task_conn, node.ctrl_conn):
+            try:
+                connection.close()
+            except Exception:
+                pass
+        if node.process is not None and node.process.is_alive():
+            # A *hung* (timed-out) local agent is reaped, not abandoned.
+            node.process.kill()
+        if not self._live_nodes():
+            self._drain_queue(cause)
+
+    def _drain_queue(self, cause: BaseException) -> None:
+        while True:
+            try:
+                task = self._tasks.get_nowait()
+            except queue.Empty:
+                return
+            task.call.complete(
+                task.index,
+                error=WorkerCrashError(
+                    f"task {task.index} could not run: every cluster node is dead "
+                    f"({cause!r})",
+                    executor=type(self).__name__,
+                    task_index=task.index,
+                ),
+            )
+
+    def _live_nodes(self) -> List[_NodeHandle]:
+        return [node for node in self._nodes if node.alive]
+
+    # ------------------------------------------------------------------ #
+    # Publication (the object-store capability)
+    # ------------------------------------------------------------------ #
+    def publish(
+        self, key: Hashable, array: np.ndarray, evictable: bool = True
+    ) -> ClusterArrayRef:
+        """Place (or refresh) a published slot in the driver object store.
+
+        Unlike the shared-memory slot (which rewrites bytes in place), a
+        refresh mints a fresh store key and retires the old one: node caches
+        hold fetched *copies*, so in-place rewriting could never reach them —
+        a new key forces exactly one re-fetch per node.
+        """
+        self._check_publishable()
+        array = np.ascontiguousarray(array)
+        with self._objects_lock:
+            store_key = self._next_store_key()
+            ref = ClusterArrayRef(
+                key=store_key, shape=tuple(array.shape), dtype=array.dtype.str
+            )
+            # Snapshot semantics, like the shared-memory memcpy: later caller
+            # mutations of `array` must not leak into what nodes fetch.
+            self._store.put(store_key, array.copy())
+            previous = self._objects.pop(key, None)
+            self._objects[key] = _StoreEntry(ref=ref, pinned=None, evictable=evictable)
+            retired = [previous.ref.key] if previous is not None else []
+            retired.extend(self._collect_over_cap())
+        self._retire_store_keys(retired)
+        return ref
+
+    def publish_static(self, array: np.ndarray) -> ClusterArrayRef:
+        """Publish write-once data, keyed (and pinned) by array identity.
+
+        Republishing the same array object returns the existing ref without
+        touching bytes — a fit's plan arrays cross the wire to each node
+        once, no matter how many sweeps reference them.
+        """
+        self._check_publishable()
+        array = np.asarray(array)
+        if not array.flags.c_contiguous:
+            raise ValueError(
+                "publish_static requires a C-contiguous array; copy it first "
+                "(a non-contiguous source would silently republish every call)"
+            )
+        key = ("static", id(array))
+        with self._objects_lock:
+            entry = self._objects.get(key)
+            if entry is not None and entry.pinned is array:
+                self._objects.move_to_end(key)
+                return entry.ref
+            store_key = self._next_store_key()
+            ref = ClusterArrayRef(
+                key=store_key, shape=tuple(array.shape), dtype=array.dtype.str
+            )
+            self._store.put(store_key, array)  # pinned: serve the source itself
+            previous = self._objects.pop(key, None)
+            self._objects[key] = _StoreEntry(ref=ref, pinned=array, evictable=True)
+            retired = [previous.ref.key] if previous is not None else []
+            retired.extend(self._collect_over_cap())
+        self._retire_store_keys(retired)
+        return ref
+
+    def unpublish(self, key: Hashable) -> bool:
+        """Retire one published slot; nodes evict their cached copies.
+
+        Returns whether the key was live.  This is the generation-retirement
+        hook: the serving runtime unpublishes an old model version here and
+        every node drops that version's arrays (and any engine rebuilt over
+        them) on the spot.
+        """
+        if self._shut_down:
+            return False
+        with self._objects_lock:
+            entry = self._objects.pop(key, None)
+        if entry is None:
+            return False
+        self._retire_store_keys([entry.ref.key])
+        return True
+
+    def release_static(self) -> int:
+        """Retire every ``publish_static`` slot; returns how many."""
+        with self._objects_lock:
+            static_keys = [
+                key
+                for key in self._objects
+                if isinstance(key, tuple) and key and key[0] == "static"
+            ]
+            retired = [self._objects.pop(key).ref.key for key in static_keys]
+        self._retire_store_keys(retired)
+        return len(static_keys)
+
+    def active_store_keys(self) -> List[str]:
+        """Store keys of every live publication (for tests)."""
+        with self._objects_lock:
+            return [entry.ref.key for entry in self._objects.values()]
+
+    def _next_store_key(self) -> str:
+        return f"repro-cluster-{self._uid}-{next(self._store_key_counter)}"
+
+    def _collect_over_cap(self) -> List[str]:
+        retired = []
+        while len(self._objects) > self._max_objects:
+            oldest = next(
+                (k for k, entry in self._objects.items() if entry.evictable), None
+            )
+            if oldest is None:
+                break
+            retired.append(self._objects.pop(oldest).ref.key)
+        return retired
+
+    def _retire_store_keys(self, store_keys: List[str]) -> None:
+        if not store_keys:
+            return
+        for store_key in store_keys:
+            self._store.remove(store_key)
+        self._broadcast(("evict", list(store_keys)))
+
+    def _check_publishable(self) -> None:
+        if self._shut_down:
+            raise ExecutorShutDownError(
+                "cannot publish to a shut-down ClusterExecutor; objects stored "
+                "now would never be retired"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Control channel
+    # ------------------------------------------------------------------ #
+    def _ctrl_request(
+        self, node: _NodeHandle, message: Tuple, timeout: Optional[float] = None
+    ) -> Any:
+        timeout = self._ctrl_timeout if timeout is None else timeout
+        with node.ctrl_lock:
+            node.ctrl_conn.send(message)
+            if not node.ctrl_conn.poll(timeout):
+                raise TimeoutError(
+                    f"cluster node {node.node_id} gave no ctrl reply within {timeout:.1f}s"
+                )
+            reply = node.ctrl_conn.recv()
+        if reply[0] != "ok":
+            raise RuntimeError(
+                f"ctrl request {message[0]!r} failed on node {node.node_id}: {reply!r}"
+            )
+        return reply[1]
+
+    def _broadcast(self, message: Tuple) -> None:
+        for node in self._live_nodes():
+            try:
+                self._ctrl_request(node, message)
+            except Exception as error:
+                self._on_node_death(node, error)
+
+    def node_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Per-node telemetry: pid, tasks executed, cached keys, fetch counts."""
+        stats = {}
+        for node in self._live_nodes():
+            try:
+                stats[node.node_id] = self._ctrl_request(node, ("stats",))
+            except Exception as error:
+                self._on_node_death(node, error)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (tests and drills)
+    # ------------------------------------------------------------------ #
+    def kill_node(self, node_id: int) -> None:
+        """SIGKILL one locally spawned agent, exactly like a machine loss.
+
+        The node is *not* marked dead here — the dispatch path must discover
+        the death itself (EOF or task timeout) and re-dispatch, which is the
+        behaviour under test.
+        """
+        node = self._nodes[node_id]
+        if node.process is None:
+            raise ConfigurationError(
+                "kill_node only works on locally spawned agents; stop external "
+                "agents at their own host"
+            )
+        node.process.kill()
+
+    def inject_death_after(self, node_id: int, n_tasks: int) -> None:
+        """Arm a node to exit hard right before replying to its (n+1)-th task."""
+        node = self._nodes[node_id]
+        self._ctrl_request(node, ("die_after", int(n_tasks)))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _check_active(self) -> None:
+        if self._shut_down:
+            raise ExecutorShutDownError(
+                f"cannot submit work to {type(self).__name__} after shutdown()"
+            )
+
+    @property
+    def is_shut_down(self) -> bool:
+        """Whether :meth:`shutdown` has completed."""
+        return self._shut_down
+
+    def shutdown(self) -> None:
+        """Drain in-flight work, stop the agents, close the object store.
+
+        Idempotent.  New submissions are rejected immediately; queued and
+        in-flight tasks finish first (like the pools' drain-on-shutdown),
+        then spawned agents are asked to exit (and reaped if they will not),
+        connections and the store are closed, and the publication table is
+        dropped.
+        """
+        with self._lifecycle_lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        self._stopping = True
+        for runner in self._runners:
+            runner.join()
+        for node in self._nodes:
+            if node.alive:
+                try:
+                    self._ctrl_request(node, ("shutdown",), timeout=5.0)
+                except Exception:
+                    pass
+            node.alive = False
+            for connection in (node.task_conn, node.ctrl_conn):
+                try:
+                    connection.close()
+                except Exception:
+                    pass
+        for node in self._nodes:
+            if node.process is not None:
+                node.process.join(timeout=5.0)
+                if node.process.is_alive():
+                    node.process.kill()
+                    node.process.join(timeout=5.0)
+        self._store.close()
+        with self._objects_lock:
+            self._objects.clear()
+
+    def __enter__(self) -> "ClusterExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "shut down" if self._shut_down else f"{len(self._live_nodes())} live"
+        return f"{type(self).__name__}(nodes={len(self._nodes)}, {state})"
+
+
+# --------------------------------------------------------------------------- #
+# Standalone agent CLI
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run one agent in the foreground: ``python -m repro.parallel.cluster``.
+
+    Start one per machine, then point the driver at them::
+
+        # on each worker machine
+        python -m repro.parallel.cluster --host 0.0.0.0 --port 9410 --authkey <hex>
+
+        # on the driver
+        ClusterExecutor(addresses=["node1:9410", "node2:9410"],
+                        authkey=bytes.fromhex("<hex>"),
+                        store_host="<driver-ip>")
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.cluster",
+        description="Run one repro cluster agent node in the foreground.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    parser.add_argument(
+        "--port", type=int, default=0, help="port to bind (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--authkey",
+        required=True,
+        help="hex-encoded shared secret; the driver must use the same bytes",
+    )
+    args = parser.parse_args(argv)
+    try:
+        authkey = bytes.fromhex(args.authkey)
+    except ValueError:
+        parser.error("--authkey must be a hex string (e.g. from os.urandom(16).hex())")
+    listener = Listener((args.host, args.port), authkey=authkey)
+    host, port = listener.address
+    print(f"repro cluster agent listening on {host}:{port}", flush=True)
+    _serve_agent(listener, authkey)
+    return 0
+
+
+if __name__ == "__main__":
+    # Under ``python -m repro.parallel.cluster`` this file runs as the
+    # ``__main__`` module while task payloads unpickle against the canonical
+    # ``repro.parallel.cluster`` instance — two copies of the module-level
+    # node runtime.  Delegate to the canonical instance so the runtime the
+    # serving loop installs is the one attached descriptors resolve.
+    from repro.parallel.cluster import main as _canonical_main
+
+    sys.exit(_canonical_main())

@@ -20,6 +20,7 @@ import os
 import threading
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
+from repro.exceptions import ExecutorShutDownError, WorkerCrashError
 from repro.utils.validation import check_positive_int
 
 
@@ -31,18 +32,43 @@ def _resolve_workers(max_workers: Optional[int]) -> int:
 
 
 class SerialExecutor:
-    """Run tasks sequentially in the calling process."""
+    """Run tasks sequentially in the calling process.
+
+    Even though there is no pool to release, :meth:`shutdown` still flips
+    the executor into a terminal state: every registered executor rejects
+    work after shutdown with :class:`ExecutorShutDownError`, so lifecycle
+    bugs (a component using an executor its owner already tore down) fail
+    identically whether the configured executor happens to be serial,
+    pooled, or remote.
+    """
+
+    def __init__(self) -> None:
+        self._shut_down = False
 
     def map(self, function: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``function`` to each item, in order."""
+        self._check_active()
         return [function(item) for item in items]
 
     def starmap(self, function: Callable[..., Any], argument_tuples: Iterable[Sequence[Any]]) -> List[Any]:
         """Apply ``function(*args)`` to each argument tuple, in order."""
+        self._check_active()
         return [function(*args) for args in argument_tuples]
 
+    def _check_active(self) -> None:
+        if self._shut_down:
+            raise ExecutorShutDownError(
+                f"cannot submit work to {type(self).__name__} after shutdown()"
+            )
+
     def shutdown(self) -> None:
-        """No resources to release."""
+        """Mark the executor terminal (idempotent); later submissions raise."""
+        self._shut_down = True
+
+    @property
+    def is_shut_down(self) -> bool:
+        """Whether :meth:`shutdown` has been called."""
+        return self._shut_down
 
     def __enter__(self) -> "SerialExecutor":
         return self
@@ -60,16 +86,23 @@ class _PoolExecutor:
 
     def map(self, function: Callable[..., Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``function`` to each item concurrently; results keep input order."""
+        self._check_active()
         futures = [self._pool.submit(function, item) for item in items]
         return self._gather(futures)
 
     def starmap(self, function: Callable[..., Any], argument_tuples: Iterable[Sequence[Any]]) -> List[Any]:
         """Apply ``function(*args)`` concurrently; results keep input order."""
+        self._check_active()
         futures = [self._pool.submit(function, *args) for args in argument_tuples]
         return self._gather(futures)
 
-    @staticmethod
-    def _gather(futures: List[concurrent.futures.Future]) -> List[Any]:
+    def _check_active(self) -> None:
+        if self._shut_down:
+            raise ExecutorShutDownError(
+                f"cannot submit work to {type(self).__name__} after shutdown()"
+            )
+
+    def _gather(self, futures: List[concurrent.futures.Future]) -> List[Any]:
         """Collect results in submission order once every worker has finished.
 
         Waiting for *all* futures first (instead of calling ``result()`` on
@@ -77,13 +110,25 @@ class _PoolExecutor:
         propagates, and the raised exception is deterministically the first
         failure in submission order, re-raised with the worker's original
         traceback attached rather than whichever future happened to be
-        awaited first.
+        awaited first.  A dead *worker* (as opposed to a failing task) is
+        translated from the pool's bare ``BrokenExecutor`` into
+        :class:`WorkerCrashError` naming this executor and the submission
+        index of the task whose worker died, so callers can tell "retryable
+        infrastructure failure" from "the task itself raised".
         """
         concurrent.futures.wait(futures)
-        for future in futures:
+        for index, future in enumerate(futures):
             error = future.exception()
-            if error is not None:
-                raise error.with_traceback(error.__traceback__)
+            if error is None:
+                continue
+            if isinstance(error, concurrent.futures.BrokenExecutor):
+                raise WorkerCrashError(
+                    f"a worker of {type(self).__name__} died while executing task "
+                    f"{index} ({error!r}); the pool is broken and must be rebuilt",
+                    executor=type(self).__name__,
+                    task_index=index,
+                ) from error
+            raise error.with_traceback(error.__traceback__)
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:

@@ -4,7 +4,8 @@ Before this layer existed, each parallel consumer hard-wired its own
 executor: the training backend built a ``ThreadExecutor``, batch serving
 defaulted to ``SerialExecutor``, and the grid search took whatever instance
 it was handed.  The scheduler unifies them: executors are registered by name
-(``"serial"``, ``"thread"``, ``"process"``), :func:`resolve_executor` turns
+(``"serial"``, ``"thread"``, ``"process"``, ``"cluster"``),
+:func:`resolve_executor` turns
 a name *or* an instance into a ready executor, and :class:`ShardScheduler`
 adds lazy construction plus lifecycle so a component can declare "I fan out
 on <name>" without paying for a pool until the first shard runs.
@@ -15,9 +16,11 @@ a drop-in process pool for pickled tasks *and* offers shared-memory array
 publication — the training backend detects that capability and ships
 ``(row_range, shm_names)`` descriptors instead of arrays.
 
-Registering a new execution substrate (e.g. an RPC fan-out to remote
-machines) is one :func:`register_executor` call; every consumer — training,
-serving, grid search — can then select it by name.
+The ``"cluster"`` entry resolves to
+:class:`~repro.parallel.cluster.ClusterExecutor` — the same publication
+capability over RPC agent nodes, loopback-spawned or remote.  Registering a
+further execution substrate is one :func:`register_executor` call; every
+consumer — training, serving, grid search — can then select it by name.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.parallel.cluster import ClusterExecutor
 from repro.parallel.executor import SerialExecutor, ThreadExecutor
 from repro.parallel.shared_memory import SharedMemoryProcessExecutor
 
@@ -35,6 +39,9 @@ _EXECUTOR_FACTORIES: Dict[str, ExecutorFactory] = {
     "serial": lambda max_workers: SerialExecutor(),
     "thread": lambda max_workers: ThreadExecutor(max_workers=max_workers),
     "process": lambda max_workers: SharedMemoryProcessExecutor(max_workers=max_workers),
+    # max_workers maps onto the node count: "fan out on cluster at width 3"
+    # spawns (or, with explicit addresses, expects) three agent nodes.
+    "cluster": lambda max_workers: ClusterExecutor(n_nodes=max_workers),
 }
 
 
@@ -63,8 +70,9 @@ def resolve_executor(executor: Any, max_workers: Optional[int] = None) -> Any:
     Parameters
     ----------
     executor:
-        A registered name (``"serial"``, ``"thread"``, ``"process"``, or
-        anything added via :func:`register_executor`), or an already-built
+        A registered name (``"serial"``, ``"thread"``, ``"process"``,
+        ``"cluster"``, or anything added via :func:`register_executor`), or
+        an already-built
         executor instance (returned unchanged).
     max_workers:
         Pool size handed to the factory when ``executor`` is a name.  It is

@@ -42,7 +42,24 @@ from typing import Callable, Collection, Hashable, List, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.exceptions import ExecutorShutDownError
 from repro.parallel.executor import _PoolExecutor, _resolve_workers
+
+
+def supports_publication(executor: object) -> bool:
+    """Whether ``executor`` offers the array-publication capability.
+
+    The descriptor fast paths (training sweeps and serving shipping
+    ``(row_range, spec)`` tasks instead of arrays) are gated on this rather
+    than on a concrete class: any executor exposing ``publish``,
+    ``publish_static`` and ``unpublish`` qualifies — the shared-memory
+    process pool publishes to ``/dev/shm``, the cluster executor to its
+    driver-side object store.
+    """
+    return all(
+        callable(getattr(executor, method, None))
+        for method in ("publish", "publish_static", "unpublish")
+    )
 
 
 @dataclass(frozen=True)
@@ -114,12 +131,20 @@ _ATTACHMENTS: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
 
 
 def attach_shared_array(spec: SharedArraySpec) -> np.ndarray:
-    """Materialise a :class:`SharedArraySpec` as an array view (worker side).
+    """Materialise an array descriptor as an ndarray (worker side).
 
-    The returned array is backed directly by the shared segment — reading it
-    is zero-copy.  Callers must treat it as read-only: it is shared with the
-    publishing process and every sibling worker.
+    For a :class:`SharedArraySpec` the returned array is backed directly by
+    the shared segment — reading it is zero-copy.  Descriptors from other
+    publication substrates (the cluster executor's
+    :class:`~repro.parallel.cluster.ClusterArrayRef`) provide their own
+    ``attach()`` and are dispatched to it, so worker functions written
+    against shared memory run unchanged on remote nodes.  Callers must treat
+    the result as read-only: it is shared with the publishing process and
+    every sibling worker.
     """
+    attach = getattr(spec, "attach", None)
+    if attach is not None:
+        return attach()
     segment = _ATTACHMENTS.get(spec.shm_name)
     if segment is None:
         segment = shared_memory.SharedMemory(name=spec.shm_name)
@@ -147,6 +172,20 @@ def segment_exists(name: str) -> bool:
     _unregister_attachment(probe)
     probe.close()
     return True
+
+
+def spec_is_live(spec: object) -> bool:
+    """Whether the publication behind one array descriptor is still live.
+
+    Worker-side caches use this to prune entries whose backing publication
+    the driver has retired.  Shared-memory specs answer by probing the
+    segment name; descriptors with their own ``is_live()`` (cluster object
+    refs) answer for themselves.
+    """
+    is_live = getattr(spec, "is_live", None)
+    if callable(is_live):
+        return bool(is_live())
+    return segment_exists(spec.shm_name)
 
 
 def touch_attachments(names: Collection[str]) -> None:
@@ -207,6 +246,24 @@ def _holder_claims() -> set:
     for provider, _evict in _ATTACHMENT_HOLDERS:
         claimed.update(provider())
     return claimed
+
+
+def evict_holder_claims(name: str) -> None:
+    """Ask every evict-capable holder to drop cached objects viewing ``name``.
+
+    Used when the publisher retires a publication out from under a worker
+    (a cluster node told to evict a retired generation): caches built over
+    the named descriptor — worker engines, sweep sides — are dropped so the
+    next task rebuilds from live publications instead of serving stale data.
+    """
+    for provider, evict in list(_ATTACHMENT_HOLDERS):
+        if evict is None:
+            continue
+        try:
+            if name in set(provider()):
+                evict(name)
+        except Exception:  # pragma: no cover - a broken holder must not block
+            pass
 
 
 def attached_bytes() -> int:
@@ -448,7 +505,7 @@ class SharedMemoryProcessExecutor(_PoolExecutor):
         evictable: bool = True,
     ) -> _Segment:
         if self.is_shut_down:
-            raise RuntimeError(
+            raise ExecutorShutDownError(
                 "cannot publish to a shut-down SharedMemoryProcessExecutor; "
                 "segments created now would never be unlinked"
             )

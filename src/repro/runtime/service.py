@@ -53,7 +53,7 @@ from repro.core.backends import ParallelBackend
 from repro.core.objective import full_objective
 from repro.data.interactions import InteractionMatrix
 from repro.exceptions import ConfigurationError, NotFittedError
-from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
+from repro.parallel import ShardScheduler, supports_publication
 from repro.serving.batch import BatchServingResult, _serve_shard
 from repro.serving.engine import DEFAULT_CHUNK_SIZE, TopNEngine
 from repro.core.factors import FactorModel
@@ -687,10 +687,7 @@ class RecommenderRuntime:
             model, chunk_size=self.chunk_size, dtype=self.serving_dtype
         )
         spec = None
-        if (
-            isinstance(self._executor, SharedMemoryProcessExecutor)
-            and engine.factors is not None
-        ):
+        if supports_publication(self._executor) and engine.factors is not None:
             spec = publish_engine(self._executor, engine)
         factors = getattr(model, "factors_", None)
         solver = (

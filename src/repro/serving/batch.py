@@ -29,7 +29,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.parallel import ShardScheduler, SharedMemoryProcessExecutor
+from repro.parallel import ShardScheduler, supports_publication
 from repro.serving.engine import TopNEngine
 from repro.serving.results import TopNResult
 from repro.serving.shared import _topn_shard, publish_engine, unpublish_engine
@@ -137,10 +137,11 @@ def serve_sharded(
     ----------
     engine:
         The scoring engine.  Factor-path engines served on a
-        :class:`~repro.parallel.SharedMemoryProcessExecutor` are published
-        to shared memory (descriptors per task, zero factor bytes); on any
-        other process executor — or for model-path engines — the engine is
-        pickled per shard, so it must be picklable there.
+        publication-capable executor (the shared-memory process pool, the
+        cluster executor) are published once per call — descriptors per
+        task, zero factor bytes; on any other process executor — or for
+        model-path engines — the engine is pickled per shard, so it must be
+        picklable there.
     users:
         Users to serve, any order, duplicates allowed.
     n_items:
@@ -149,8 +150,9 @@ def serve_sharded(
         Mask training positives (the deployment default).
     executor:
         A name from the :mod:`repro.parallel.scheduler` registry
-        (``"serial"``, ``"thread"``, ``"process"``) — the executor is then
-        built for this call and shut down afterwards — or any prebuilt
+        (``"serial"``, ``"thread"``, ``"process"``, ``"cluster"``) — the
+        executor is then built for this call and shut down afterwards — or
+        any prebuilt
         instance with ``starmap`` (the caller keeps its lifecycle).
         Defaults to ``"serial"``.
     shard_size:
@@ -167,7 +169,7 @@ def serve_sharded(
     # borrows an instance (left running for its owner).
     with ShardScheduler("serial" if executor is None else executor) as scheduler:
         live = scheduler.executor if shards else None
-        if isinstance(live, SharedMemoryProcessExecutor) and engine.factors is not None:
+        if live is not None and supports_publication(live) and engine.factors is not None:
             # Descriptor path: one publication per call, no factor bytes per
             # task.  Unpublished in ``finally`` so a borrowed executor is
             # left exactly as it was handed in.

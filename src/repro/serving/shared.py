@@ -29,7 +29,7 @@ import itertools
 import os
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import scipy.sparse as sp
 
@@ -38,12 +38,11 @@ from repro.core.factors import FactorModel
 from repro.parallel.shared_memory import (
     SharedArraySpec,
     SharedCsrSpec,
-    SharedMemoryProcessExecutor,
     attach_shared_array,
     attach_shared_csr,
     close_stale_attachments,
     register_attachment_holder,
-    segment_exists,
+    spec_is_live,
     touch_attachments,
 )
 from repro.serving.engine import TopNEngine
@@ -77,6 +76,21 @@ class SharedEngineSpec:
             *self.seen.segment_names(),
         ]
 
+    def array_specs(self) -> List[Any]:
+        """The five component array descriptors, in key-layout order.
+
+        The generic form of :meth:`segment_names`: liveness probing and
+        fetch bookkeeping work per *descriptor* (shared-memory spec or
+        cluster object ref), not per segment-name string.
+        """
+        return [
+            self.user_factors,
+            self.item_factors,
+            self.seen.data,
+            self.seen.indices,
+            self.seen.indptr,
+        ]
+
 
 #: Process-wide source of unique publication generations.  ``itertools.count``
 #: is atomic under the GIL, so concurrent publishers never collide on keys.
@@ -104,12 +118,18 @@ def _engine_keys(generation: int) -> List[Tuple]:
 
 
 def publish_csr(
-    executor: SharedMemoryProcessExecutor,
+    executor: Any,
     matrix: sp.csr_matrix,
     key_prefix: Tuple,
     evictable: bool = True,
 ) -> SharedCsrSpec:
-    """Publish a CSR matrix's three arrays under ``key_prefix``-derived keys."""
+    """Publish a CSR matrix's three arrays under ``key_prefix``-derived keys.
+
+    ``executor`` is any publication-capable executor (see
+    :func:`~repro.parallel.shared_memory.supports_publication`): the
+    shared-memory pool yields segment-backed specs, the cluster executor
+    object-store refs — both compose into the same :class:`SharedCsrSpec`.
+    """
     return SharedCsrSpec(
         shape=tuple(matrix.shape),
         data=executor.publish(key_prefix + ("data",), matrix.data, evictable=evictable),
@@ -123,7 +143,7 @@ def publish_csr(
 
 
 def publish_engine(
-    executor: SharedMemoryProcessExecutor,
+    executor: Any,
     engine: TopNEngine,
     generation: Optional[int] = None,
 ) -> SharedEngineSpec:
@@ -164,9 +184,7 @@ def publish_engine(
     )
 
 
-def unpublish_engine(
-    executor: SharedMemoryProcessExecutor, spec: SharedEngineSpec
-) -> None:
+def unpublish_engine(executor: Any, spec: SharedEngineSpec) -> None:
     """Unlink one published engine generation.
 
     Safe while serving tasks are in flight: workers already attached keep
@@ -242,7 +260,7 @@ def _prune_unlinked_engines() -> None:
     and is kept; one whose names are gone can never be served again.
     """
     for spec in list(_WORKER_ENGINES):
-        if any(not segment_exists(name) for name in spec.segment_names()):
+        if any(not spec_is_live(array_spec) for array_spec in spec.array_specs()):
             del _WORKER_ENGINES[spec]
 
 

@@ -1,0 +1,100 @@
+"""Executor-contract conformance suite, run against every registered name.
+
+Every executor in the scheduler registry — serial, thread, process
+(shared-memory), cluster, and whatever gets registered next — must honour
+one contract: order-stable ``map``/``starmap``, deterministic first-failure
+propagation in submission order, idempotent ``shutdown``, a typed
+:class:`~repro.exceptions.ExecutorShutDownError` on post-shutdown
+submission, and context-manager teardown.  Parameterizing over
+:func:`~repro.parallel.available_executors` means a future executor
+inherits the whole suite by being registered.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import ExecutorShutDownError, ReproError
+from repro.parallel import available_executors, resolve_executor
+
+
+def square(value: int) -> int:
+    """Module-level helper (picklable for process/cluster substrates)."""
+    return value * value
+
+
+def add(left: int, right: int) -> int:
+    """Module-level helper (picklable for process/cluster substrates)."""
+    return left + right
+
+
+def fail_tagged(tag: str, delay: float = 0.0) -> None:
+    """Raise a tagged error after an optional delay (picklable)."""
+    if delay:
+        time.sleep(delay)
+    raise ValueError(f"worker failed: {tag}")
+
+
+@pytest.fixture(params=sorted(available_executors()))
+def executor_name(request) -> str:
+    return request.param
+
+
+def build(name: str):
+    """One small instance of the named executor (2 workers/nodes)."""
+    return resolve_executor(name, max_workers=2)
+
+
+class TestExecutorContract:
+    def test_map_preserves_submission_order(self, executor_name):
+        with build(executor_name) as executor:
+            assert executor.map(square, range(7)) == [v * v for v in range(7)]
+
+    def test_starmap_preserves_submission_order(self, executor_name):
+        with build(executor_name) as executor:
+            pairs = [(i, 2 * i) for i in range(7)]
+            assert executor.starmap(add, pairs) == [a + b for a, b in pairs]
+
+    def test_empty_input(self, executor_name):
+        with build(executor_name) as executor:
+            assert executor.map(square, []) == []
+            assert executor.starmap(add, []) == []
+
+    def test_first_failure_in_submission_order_wins(self, executor_name):
+        # The first-submitted task fails slowly, the second instantly; the
+        # propagated error must deterministically be the first task's.
+        with build(executor_name) as executor:
+            with pytest.raises(ValueError, match="worker failed: first"):
+                executor.starmap(fail_tagged, [("first", 0.3), ("second", 0.0)])
+
+    def test_executor_survives_a_task_failure(self, executor_name):
+        # A failing *task* must not poison the executor: workers/nodes stay
+        # alive and the next call succeeds.
+        with build(executor_name) as executor:
+            with pytest.raises(ValueError):
+                executor.map(fail_tagged, ["once"])
+            assert executor.map(square, [4]) == [16]
+
+    def test_shutdown_is_idempotent(self, executor_name):
+        executor = build(executor_name)
+        executor.shutdown()
+        executor.shutdown()
+        assert executor.is_shut_down
+
+    def test_post_shutdown_submission_raises_typed_error(self, executor_name):
+        executor = build(executor_name)
+        executor.shutdown()
+        with pytest.raises(ExecutorShutDownError) as excinfo:
+            executor.map(square, [1])
+        assert isinstance(excinfo.value, ReproError)
+        with pytest.raises(ExecutorShutDownError):
+            executor.starmap(add, [(1, 2)])
+
+    def test_context_manager_exit_shuts_down(self, executor_name):
+        with build(executor_name) as executor:
+            assert executor.starmap(add, [(2, 3)]) == [5]
+        assert executor.is_shut_down
+        with pytest.raises(ExecutorShutDownError):
+            executor.map(square, [1])

@@ -8,13 +8,23 @@ import traceback
 
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutorShutDownError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.parallel import ProcessExecutor, SerialExecutor, ThreadExecutor
 
 
 def square(value: int) -> int:
     """Module-level helper (picklable for the process pool)."""
     return value * value
+
+
+def exit_hard(code: int) -> None:
+    """Module-level helper that kills its worker process outright."""
+    os._exit(code)
 
 
 def add(left: int, right: int) -> int:
@@ -36,8 +46,21 @@ class TestSerialExecutor:
     def test_starmap(self):
         assert SerialExecutor().starmap(add, [(1, 2), (3, 4)]) == [3, 7]
 
-    def test_shutdown_is_noop(self):
-        SerialExecutor().shutdown()
+    def test_shutdown_is_idempotent(self):
+        executor = SerialExecutor()
+        executor.shutdown()
+        executor.shutdown()
+        assert executor.is_shut_down
+
+    def test_rejects_work_after_shutdown(self):
+        # The serial executor used to keep accepting work after shutdown(),
+        # diverging from the pooled executors; the contract is now uniform.
+        executor = SerialExecutor()
+        executor.shutdown()
+        with pytest.raises(ExecutorShutDownError):
+            executor.map(square, [1])
+        with pytest.raises(ExecutorShutDownError):
+            executor.starmap(add, [(1, 2)])
 
     def test_context_manager_protocol(self):
         # Interchangeable with the pooled executors in ``with`` blocks.
@@ -107,3 +130,48 @@ class TestFailurePropagation:
         with ProcessExecutor(max_workers=2) as executor:
             with pytest.raises(ValueError, match="worker failed: only"):
                 executor.starmap(fail_tagged, [("only", 0.0)])
+
+
+class TestLifecycleContract:
+    """The post-shutdown and worker-death bugfixes (typed errors everywhere)."""
+
+    @pytest.mark.parametrize("build", [ThreadExecutor, ProcessExecutor])
+    def test_pooled_submission_after_shutdown_raises_typed_error(self, build):
+        # Used to leak concurrent.futures' raw RuntimeError("cannot schedule
+        # new futures after shutdown"); now a typed repro error.
+        executor = build(max_workers=2)
+        executor.shutdown()
+        with pytest.raises(ExecutorShutDownError):
+            executor.map(square, [1])
+        with pytest.raises(ExecutorShutDownError):
+            executor.starmap(add, [(1, 2)])
+
+    def test_shutdown_error_is_repro_and_runtime_error(self):
+        # ReproError so library callers catch one base class; RuntimeError so
+        # pre-existing code written against the pools' raw error keeps working.
+        executor = ThreadExecutor(max_workers=1)
+        executor.shutdown()
+        with pytest.raises(ReproError):
+            executor.map(square, [1])
+        executor = ThreadExecutor(max_workers=1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.map(square, [1])
+
+    def test_worker_death_is_translated_with_task_index(self):
+        # A dying worker process used to surface as a bare BrokenProcessPool
+        # with no context; now WorkerCrashError names the executor and the
+        # submission index of the task whose worker died.
+        with ProcessExecutor(max_workers=2) as executor:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                executor.starmap(exit_hard, [(3,)])
+        assert excinfo.value.executor == "ProcessExecutor"
+        assert excinfo.value.task_index == 0
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_task_exception_is_not_a_worker_crash(self):
+        # The distinction runtime callers rely on: "node died" (retryable on
+        # cluster) arrives as WorkerCrashError, a plain task failure as itself.
+        with ProcessExecutor(max_workers=2) as executor:
+            with pytest.raises(ValueError, match="worker failed: plain"):
+                executor.starmap(fail_tagged, [("plain", 0.0)])
